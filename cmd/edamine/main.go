@@ -1,0 +1,119 @@
+// Command edamine regenerates every table and figure of the paper
+// "Data Mining In EDA — Basic Principles, Promises, and Constraints"
+// (DAC 2014) on the synthetic substrates in this repository.
+//
+// Usage:
+//
+//	edamine [-seed N] [-quick] <experiment>
+//
+// Experiments: fig3, fig5, fig7, table1, fig9, fig10, fig11, fig12, sec2,
+// or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps/costred"
+	"repro/internal/apps/dstc"
+	"repro/internal/apps/patterns"
+	"repro/internal/apps/returns"
+	"repro/internal/apps/survey"
+	"repro/internal/apps/template"
+	"repro/internal/apps/testsel"
+	"repro/internal/apps/varpred"
+)
+
+var (
+	seed  = flag.Int64("seed", 1, "random seed for the experiment")
+	quick = flag.Bool("quick", false, "reduced-scale run for smoke testing")
+)
+
+type experiment struct {
+	id, title string
+	run       func() (fmt.Stringer, error)
+}
+
+func experiments() []experiment {
+	full := !*quick
+	scale := func(q, f int) int {
+		if full {
+			return f
+		}
+		return q
+	}
+	return []experiment{
+		{"fig3", "Figure 3 — kernel trick on ring-and-core", func() (fmt.Stringer, error) {
+			return survey.Fig3(*seed, scale(60, 150))
+		}},
+		{"fig5", "Figure 5 — overfitting vs model complexity", func() (fmt.Stringer, error) {
+			return survey.Fig5(*seed, scale(25, 40))
+		}},
+		{"fig7", "Figure 7 — novel test selection simulation saving", func() (fmt.Stringer, error) {
+			return testsel.Run(testsel.Config{Seed: *seed, MaxTests: scale(800, 6000)})
+		}},
+		{"table1", "Table 1 — coverage improvement after rule learning", func() (fmt.Stringer, error) {
+			return template.Run(template.Config{Seed: *seed})
+		}},
+		{"fig9", "Figure 9 — fast prediction of layout variability", func() (fmt.Stringer, error) {
+			return varpred.Run(varpred.Config{Seed: *seed, Train: scale(150, 400), Test: scale(150, 400), KernelHI: true})
+		}},
+		{"fig10", "Figure 10 — diagnosing unexpected timing paths", func() (fmt.Stringer, error) {
+			return dstc.Run(dstc.Config{Seed: *seed, Paths: scale(800, 2000)})
+		}},
+		{"fig11", "Figure 11 — modeling customer returns", func() (fmt.Stringer, error) {
+			return returns.Run(returns.Config{Seed: *seed, LotSize: scale(6000, 15000)})
+		}},
+		{"fig12", "Figure 12 — difficult case: test elimination escapes", func() (fmt.Stringer, error) {
+			return costred.Run(costred.Config{Seed: *seed,
+				Phase1Size: scale(200000, 1000000), Phase2Size: scale(100000, 500000)})
+		}},
+		{"sec2", "Section 2.4 — five regressor families (Fmax-style task)", func() (fmt.Stringer, error) {
+			return survey.Sec2Regressors(*seed, scale(150, 400))
+		}},
+		{"imbalance", "Section 2.4 — extreme imbalance: rebalancing vs feature selection", func() (fmt.Stringer, error) {
+			return survey.ImbalanceStudy(*seed, scale(6000, 15000))
+		}},
+		{"assoc", "Section 2.4 — association rules on failing-chip patterns", func() (fmt.Stringer, error) {
+			return patterns.Run(patterns.Config{Seed: *seed, Chips: scale(60000, 200000)})
+		}},
+	}
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: edamine [-seed N] [-quick] <experiment|all>\nexperiments:\n")
+		for _, e := range experiments() {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.id, e.title)
+		}
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	want := flag.Arg(0)
+	ran := false
+	for _, e := range experiments() {
+		if want != "all" && want != e.id {
+			continue
+		}
+		ran = true
+		fmt.Printf("=== %s ===\n", e.title)
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edamine: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		fmt.Printf("(%s in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "edamine: unknown experiment %q\n", want)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,54 @@
+// Lithoscan: layout-variability prediction (paper Figures 8-9).
+//
+// The golden reference is a first-principles aerial-image model; the
+// learned model is an SVM with a Histogram Intersection kernel over
+// density histograms. The example prints the physics first (why tight
+// pitch is risky), then the learned screen's quality and speed.
+//
+// Run with: go run ./examples/lithoscan
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/apps/varpred"
+	"repro/internal/litho"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+
+	fmt.Println("-- the golden model: aerial image physics ------------------")
+	tight := litho.Generate(rng, litho.GenConfig{N: 64, MinWidth: 2, MaxWidth: 2, MinSpace: 2, MaxSpace: 3})
+	relaxed := litho.Generate(rng, litho.GenConfig{N: 64, MinWidth: 8, MaxWidth: 10, MinSpace: 10, MaxSpace: 12})
+	for _, c := range []struct {
+		name string
+		w    *litho.Window
+	}{{"tight-pitch", tight}, {"relaxed", relaxed}} {
+		v, err := litho.Variability(c.w, 2.5, 0.08)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s density=%.2f variability score=%.2f weak-edge fraction=%.2f\n",
+			c.name, c.w.Density(), v.Score, v.WeakEdgeFrac)
+	}
+
+	fmt.Println("\n-- the learned screen (Figure 9) ---------------------------")
+	res, err := varpred.Run(varpred.Config{Seed: 5, Train: 300, Test: 300, KernelHI: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+
+	fmt.Println("\n-- knowledge-in-the-kernel ablation ------------------------")
+	rbf, err := varpred.Run(varpred.Config{Seed: 5, Train: 300, Test: 300, KernelHI: false})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rbf)
+	fmt.Println("\nthe HI kernel encodes that layouts are histograms of local")
+	fmt.Println("density — the implementation effort the paper says dominates")
+	fmt.Println("these applications (Section 5).")
+}

@@ -1,0 +1,43 @@
+// Timingdebug: design-silicon timing correlation (paper Figure 10).
+//
+// A silicon bring-up engineer sees paths in one block running slower than
+// the signoff timer predicted. The walkthrough shows the three mining
+// steps: quantify the mismatch, cluster it, and learn an interpretable
+// rule that points at the physical mechanism.
+//
+// Run with: go run ./examples/timingdebug
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/apps/dstc"
+	"repro/internal/timing"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	fmt.Println("-- one path, timer vs silicon ------------------------------")
+	p := timing.GeneratePath(rng, 0, timing.GenConfig{Block: "blk_core", HighLayerProb: 0.8})
+	cfg := timing.SiliconConfig{
+		Via45Extra: 2.5, Via56Extra: 2.0,
+		AffectedBlock: "blk_core", GlobalSpeedup: 25, Noise: 4,
+	}
+	fmt.Printf("stages=%d  via45=%d  via56=%d\n", len(p.Stages), p.Vias[3], p.Vias[4])
+	fmt.Printf("timer predicts %.1f ps; silicon measures %.1f ps\n",
+		timing.TimerDelay(p), timing.SiliconDelay(rng, p, cfg))
+
+	fmt.Println("\n-- the full diagnosis (Figure 10) --------------------------")
+	res, err := dstc.Run(dstc.Config{Seed: 11, Paths: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+
+	fmt.Println("\nthe rule names the exact structural features the injected")
+	fmt.Println("metal-5 via defect acts through — the interpretable, actionable")
+	fmt.Println("knowledge the paper's Section 5 calls the point of the exercise.")
+}

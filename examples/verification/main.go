@@ -1,0 +1,51 @@
+// Verification: the two data-mining hooks of the paper's Figure 6 in one
+// constrained-random processor-verification flow.
+//
+//  1. Novel test selection (Figure 7): a one-class SVM over a program
+//     spectrum kernel drops redundant randomizer output before simulation.
+//  2. Simulation knowledge extraction (Table 1): rules learned from
+//     simulated tests refine the test template.
+//
+// Run with: go run ./examples/verification
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/template"
+	"repro/internal/apps/testsel"
+	"repro/internal/isa"
+)
+
+func main() {
+	fmt.Println("-- the unit under test ------------------------------------")
+	fmt.Printf("load-store unit with %d cross-coverage bins over events:\n", isa.NumBins)
+	for e := isa.Event(0); e < isa.NumEvents; e++ {
+		fmt.Printf("  %v\n", e)
+	}
+
+	fmt.Println("\n-- a test is an assembly program ---------------------------")
+	gen := isa.NewGenerator(isa.WideTemplate(), 7)
+	prog := gen.Next()
+	fmt.Print(prog)
+	fmt.Println("kernel token stream:", prog.Tokens())
+
+	fmt.Println("\n-- hook 1: novel test selection (Figure 7) -----------------")
+	sel, err := testsel.Run(testsel.Config{Seed: 7, MaxTests: 1200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sel)
+
+	fmt.Println("\n-- hook 2: template refinement by rule learning (Table 1) --")
+	tbl, err := template.Run(template.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tbl)
+	fmt.Println("rules fed back to the engineer after the 1st learning stage:")
+	for _, r := range tbl.Stages[1].Rules {
+		fmt.Println("  ", r)
+	}
+}

@@ -1,0 +1,114 @@
+package repro_test
+
+// Integration tests: every public experiment entry point runs end to end
+// at reduced scale and exhibits its paper shape. These complement the
+// fine-grained shape tests inside each internal/apps package.
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/apps/costred"
+	"repro/internal/apps/dstc"
+	"repro/internal/apps/returns"
+	"repro/internal/apps/template"
+	"repro/internal/apps/testsel"
+	"repro/internal/apps/varpred"
+)
+
+func TestFacadeFig3(t *testing.T) {
+	r, err := repro.Fig3(1, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.QuadAccuracy <= r.LinearAccuracy {
+		t.Fatalf("kernel trick shape missing: quad %.3f vs linear %.3f",
+			r.QuadAccuracy, r.LinearAccuracy)
+	}
+}
+
+func TestFacadeFig5(t *testing.T) {
+	r, err := repro.Fig5(1, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Overfitting {
+		t.Fatal("overfitting shape missing")
+	}
+}
+
+func TestFacadeFig7(t *testing.T) {
+	r, err := repro.Fig7(testsel.Config{Seed: 1, MaxTests: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SelectedSimulated >= r.BaselineTests {
+		t.Fatalf("no saving: %d vs %d", r.SelectedSimulated, r.BaselineTests)
+	}
+}
+
+func TestFacadeTable1(t *testing.T) {
+	r, err := repro.Table1(template.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stages[2].Covered() <= r.Stages[0].Covered() {
+		t.Fatal("learning did not improve coverage")
+	}
+}
+
+func TestFacadeFig9(t *testing.T) {
+	r, err := repro.Fig9(varpred.Config{Seed: 1, Train: 120, Test: 120, KernelHI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Recall < 0.7 || r.Speedup < 2 {
+		t.Fatalf("shape missing: recall %.2f speedup %.1f", r.Recall, r.Speedup)
+	}
+}
+
+func TestFacadeFig10(t *testing.T) {
+	r, err := repro.Fig10(dstc.Config{Seed: 1, Paths: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.MechanismFound {
+		t.Fatal("mechanism not rediscovered")
+	}
+}
+
+func TestFacadeFig11(t *testing.T) {
+	r, err := repro.Fig11(returns.Config{Seed: 1, LotSize: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Phase2.Detected == 0 {
+		t.Fatal("no later returns detected")
+	}
+}
+
+func TestFacadeFig12(t *testing.T) {
+	r, err := repro.Fig12(costred.Config{Seed: 1, Phase1Size: 150000, Phase2Size: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.DropDecision {
+		t.Fatal("mining should recommend the drop")
+	}
+	if r.Phase2EscapesA+r.Phase2EscapesB == 0 {
+		t.Fatal("phase-2 escapes missing")
+	}
+	if r.Check.Suitable() {
+		t.Fatal("formulation must be flagged unsuitable")
+	}
+}
+
+func TestFacadeSec2(t *testing.T) {
+	r, err := repro.Sec2(1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scores) != 5 {
+		t.Fatalf("family count %d", len(r.Scores))
+	}
+}

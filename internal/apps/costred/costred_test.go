@@ -1,0 +1,57 @@
+package costred
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig12Shape(t *testing.T) {
+	// Reduced scale for test speed; the cmd harness runs 1M/0.5M.
+	res, err := Run(Config{Seed: 1, Phase1Size: 300000, Phase2Size: 200000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper's phase-1 evidence: near-0.97/0.96 correlations.
+	if res.CorrA1 < 0.94 || res.CorrA2 < 0.93 {
+		t.Fatalf("phase-1 correlations too low: %.3f %.3f", res.CorrA1, res.CorrA2)
+	}
+	// Test A does fail in phase 1 (gross defects) but never escapes.
+	if res.Phase1FailsA == 0 {
+		t.Fatal("test A never failed in phase 1")
+	}
+	if res.Phase1EscapesA != 0 || res.Phase1EscapesB != 0 {
+		t.Fatalf("phase 1 should show zero escapes: %d %d",
+			res.Phase1EscapesA, res.Phase1EscapesB)
+	}
+	// Mining, looking at that data, recommends dropping the tests.
+	if !res.DropDecision {
+		t.Fatal("mining should recommend dropping A and B on phase-1 data")
+	}
+	// Phase 2 punishes the decision: escapes appear.
+	if res.Phase2EscapesA+res.Phase2EscapesB == 0 {
+		t.Fatal("phase 2 should contain escapes")
+	}
+	// The formulation check flags the guarantee demand.
+	if res.Check.Suitable() {
+		t.Fatal("guarantee-demanding formulation must be flagged unsuitable")
+	}
+	if !strings.Contains(res.String(), "escapes") {
+		t.Fatal("render")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Run(Config{Seed: 3, Phase1Size: 50000, Phase2Size: 50000})
+	b, _ := Run(Config{Seed: 3, Phase1Size: 50000, Phase2Size: 50000})
+	if a.String() != b.String() {
+		t.Fatal("same seed must reproduce identical results")
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Seed: int64(i), Phase1Size: 100000, Phase2Size: 50000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package dstc implements the paper's design-silicon timing correlation
+// diagnosis (Figure 10, refs [29]-[31]): paths from one design block show
+// an unexpected bimodal silicon-vs-timer mismatch; clustering separates
+// the fast and slow populations, and rule learning on structural path
+// features uncovers that paths with many layer-4-5 and layer-5-6 vias are
+// the slow ones — pointing the engineer at the metal-5 process issue.
+package dstc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+	"repro/internal/linear"
+	"repro/internal/rules"
+	"repro/internal/timing"
+)
+
+// Config controls the experiment.
+type Config struct {
+	Seed       int64
+	Paths      int     // default 2000
+	Via45Extra float64 // injected per-via systematic delay, default 2.5ps
+	Via56Extra float64 // default 2.0ps
+	Noise      float64 // silicon noise sigma, default 4ps
+	Speedup    float64 // global silicon speedup, default 25ps
+}
+
+func (c *Config) defaults() {
+	if c.Paths <= 0 {
+		c.Paths = 2000
+	}
+	if c.Via45Extra == 0 {
+		c.Via45Extra = 2.5
+	}
+	if c.Via56Extra == 0 {
+		c.Via56Extra = 2.0
+	}
+	if c.Noise <= 0 {
+		c.Noise = 4
+	}
+	if c.Speedup == 0 {
+		c.Speedup = 25
+	}
+}
+
+// Result is the Figure 10 outcome.
+type Result struct {
+	Paths         int
+	FastCluster   int // paths whose silicon is faster than predicted
+	SlowCluster   int
+	MeanMismatch  [2]float64 // per-cluster mean silicon-minus-timer (ps)
+	Rules         []string   // learned explanation of the slow cluster
+	RulePrecision float64    // precision of the top rule on the slow cluster
+	// MechanismFound reports whether the top rule mentions the injected
+	// via features (via45/via56).
+	MechanismFound bool
+
+	// The ref-[31] statistic: of the silicon-slowest quartile of paths,
+	// how many were NOT in the timer's predicted-critical quartile — the
+	// "speed-limiting paths that were not predicted by the timer" whose
+	// analysis motivated the feature-based rule framework.
+	SiliconSlowest  int
+	UnpredictedSlow int
+
+	// The ref-[30] statistic: regressing the mismatch onto the structural
+	// features quantifies the unmodeled effect — the fitted per-via extra
+	// delays should recover the injected Via45Extra/Via56Extra values.
+	EstVia45Extra float64
+	EstVia56Extra float64
+}
+
+// String renders the diagnosis.
+func (r *Result) String() string {
+	s := fmt.Sprintf("clusters: fast=%d paths (mean mismatch %.1fps), slow=%d paths (mean mismatch %.1fps)\n",
+		r.FastCluster, r.MeanMismatch[0], r.SlowCluster, r.MeanMismatch[1])
+	for _, ru := range r.Rules {
+		s += "  rule: " + ru + "\n"
+	}
+	s += fmt.Sprintf("injected mechanism rediscovered: %v (top-rule precision %.2f)\n",
+		r.MechanismFound, r.RulePrecision)
+	s += fmt.Sprintf("silicon-slowest paths not in the timer's critical set: %d of %d\n",
+		r.UnpredictedSlow, r.SiliconSlowest)
+	s += fmt.Sprintf("estimated unmodeled delay: %.2f ps per layer-4-5 via, %.2f ps per layer-5-6 via",
+		r.EstVia45Extra, r.EstVia56Extra)
+	return s
+}
+
+// Run executes the experiment.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	scfg := timing.SiliconConfig{
+		Via45Extra:    cfg.Via45Extra,
+		Via56Extra:    cfg.Via56Extra,
+		AffectedBlock: "blk_core",
+		GlobalSpeedup: cfg.Speedup,
+		Noise:         cfg.Noise,
+	}
+
+	// Generate the block's paths; half routed mostly low, half climbing to
+	// the upper layers (where the via effect bites), as a placed block
+	// would have.
+	n := cfg.Paths
+	feats := make([][]float64, n)
+	mismatch := make([]float64, n)
+	timerDelay := make([]float64, n)
+	siliconDelay := make([]float64, n)
+	for i := 0; i < n; i++ {
+		gcfg := timing.GenConfig{Block: "blk_core", HighLayerProb: 0.1}
+		if i%2 == 1 {
+			gcfg.HighLayerProb = 0.7
+		}
+		p := timing.GeneratePath(rng, i, gcfg)
+		feats[i] = timing.Features(p)
+		timerDelay[i] = timing.TimerDelay(p)
+		siliconDelay[i] = timing.SiliconDelay(rng, p, scfg)
+		mismatch[i] = siliconDelay[i] - timerDelay[i]
+	}
+
+	// Left plot of Figure 10: cluster the mismatch into two populations.
+	mm := linalg.NewMatrix(n, 1)
+	for i, v := range mismatch {
+		mm.Set(i, 0, v)
+	}
+	km, err := cluster.KMeans(rng, mm, 2, 100)
+	if err != nil {
+		return nil, err
+	}
+	// Identify which cluster is "slow" (higher mean mismatch).
+	var sum [2]float64
+	var cnt [2]int
+	for i, l := range km.Labels {
+		sum[l] += mismatch[i]
+		cnt[l]++
+	}
+	slow := 0
+	if sum[1]/float64(cnt[1]) > sum[0]/float64(cnt[0]) {
+		slow = 1
+	}
+	fast := 1 - slow
+
+	res := &Result{Paths: n}
+	res.FastCluster = cnt[fast]
+	res.SlowCluster = cnt[slow]
+	res.MeanMismatch[0] = sum[fast] / float64(cnt[fast])
+	res.MeanMismatch[1] = sum[slow] / float64(cnt[slow])
+
+	// Right plot of Figure 10: learn rules explaining the slow cluster
+	// from structural path features.
+	y := make([]float64, n)
+	for i, l := range km.Labels {
+		if l == slow {
+			y[i] = 1
+		}
+	}
+	d := dataset.MustNew(linalg.FromRows(feats), y, timing.FeatureNames)
+	rs, err := rules.CN2SD(d, 1, rules.CN2SDConfig{
+		MaxRules: 2, MaxConditions: 2, Thresholds: 8, MinCoverage: 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rs {
+		res.Rules = append(res.Rules, r.String())
+	}
+	res.RulePrecision = rs[0].Precision()
+	for _, c := range rs[0].Conditions {
+		if c.Op == rules.GT && (c.Name == "via45" || c.Name == "via56") {
+			res.MechanismFound = true
+		}
+	}
+
+	// Ref-[30] quantification: least squares of the mismatch on the path
+	// features; the via coefficients estimate the unmodeled per-via delay.
+	mmData := dataset.MustNew(linalg.FromRows(feats), mismatch, timing.FeatureNames)
+	lsf, err := linear.FitOLS(mmData)
+	if err != nil {
+		return nil, err
+	}
+	for j, name := range timing.FeatureNames {
+		switch name {
+		case "via45":
+			res.EstVia45Extra = lsf.W[j]
+		case "via56":
+			res.EstVia56Extra = lsf.W[j]
+		}
+	}
+
+	// Ref-[31] statistic: silicon-slowest quartile vs timer-critical
+	// quartile.
+	timerCut := quantile(timerDelay, 0.75)
+	siliconCut := quantile(siliconDelay, 0.75)
+	for i := 0; i < n; i++ {
+		if siliconDelay[i] < siliconCut {
+			continue
+		}
+		res.SiliconSlowest++
+		if timerDelay[i] < timerCut {
+			res.UnpredictedSlow++
+		}
+	}
+	return res, nil
+}
+
+// quantile returns the q-quantile of xs without mutating it.
+func quantile(xs []float64, q float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	idx := int(q * float64(len(cp)-1))
+	return cp[idx]
+}

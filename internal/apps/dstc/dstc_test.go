@@ -1,0 +1,72 @@
+package dstc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig10Shape(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Paths: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two real clusters, neither degenerate.
+	if res.FastCluster < 100 || res.SlowCluster < 100 {
+		t.Fatalf("degenerate clusters: %d/%d", res.FastCluster, res.SlowCluster)
+	}
+	// The fast cluster's mean mismatch is negative (silicon faster than
+	// timer), the slow cluster's is higher.
+	if res.MeanMismatch[0] >= res.MeanMismatch[1] {
+		t.Fatalf("cluster means not ordered: %v", res.MeanMismatch)
+	}
+	if res.MeanMismatch[0] >= 0 {
+		t.Fatalf("fast cluster should beat the timer: %g", res.MeanMismatch[0])
+	}
+	// The learned rule rediscovers the injected via mechanism.
+	if !res.MechanismFound {
+		t.Fatalf("mechanism not rediscovered:\n%s", res)
+	}
+	if res.RulePrecision < 0.8 {
+		t.Fatalf("top rule precision %.2f", res.RulePrecision)
+	}
+	if !strings.Contains(res.String(), "rule:") {
+		t.Fatal("render")
+	}
+	// Ref-[30] quantification: the regression recovers the injected
+	// per-via delays (2.5ps and 2.0ps by default) within tolerance.
+	if res.EstVia45Extra < 1.8 || res.EstVia45Extra > 3.2 {
+		t.Fatalf("via45 delay estimate %.2f off injected 2.5", res.EstVia45Extra)
+	}
+	if res.EstVia56Extra < 1.3 || res.EstVia56Extra > 2.7 {
+		t.Fatalf("via56 delay estimate %.2f off injected 2.0", res.EstVia56Extra)
+	}
+}
+
+func TestNoInjectionMeansNoMechanism(t *testing.T) {
+	// Negative control: with the systematic effect disabled, the mismatch
+	// is unimodal noise; any rule learned from an arbitrary 2-way split of
+	// noise should not single out the via features with high precision.
+	res, err := Run(Config{Seed: 2, Paths: 1500, Via45Extra: -1e-9, Via56Extra: -1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two "clusters" now split noise; their separation is tiny
+	// compared with the injected case.
+	sep := res.MeanMismatch[1] - res.MeanMismatch[0]
+	inj, err := Run(Config{Seed: 2, Paths: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injSep := inj.MeanMismatch[1] - inj.MeanMismatch[0]
+	if sep >= injSep {
+		t.Fatalf("control separation %.1f should be below injected %.1f", sep, injSep)
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Seed: int64(i), Paths: 800}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package patterns demonstrates unsupervised association-rule mining on
+// manufacturing test data (paper Section 2.4, refs [26],[32]): failing
+// chips are transactions whose items are the tests they failed plus their
+// wafer zone; Apriori surfaces the co-failure structure of each defect
+// mode and its spatial signature (edge-zone concentration), the kind of
+// inter-wafer abnormality analysis of [32].
+package patterns
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/mfgtest"
+	"repro/internal/rules"
+)
+
+// Config controls the experiment.
+type Config struct {
+	Seed       int64
+	Chips      int     // default 200000
+	MinSupport float64 // default 0.08 (of failing chips)
+	MinConf    float64 // default 0.7
+}
+
+func (c *Config) defaults() {
+	if c.Chips <= 0 {
+		c.Chips = 200000
+	}
+	if c.MinSupport <= 0 {
+		c.MinSupport = 0.08
+	}
+	if c.MinConf <= 0 {
+		c.MinConf = 0.7
+	}
+}
+
+// Result is the mined pattern report.
+type Result struct {
+	FailingChips int
+	Rules        []rules.AssocRule
+}
+
+// String renders the top rules.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "failing chips: %d; top association rules:\n", r.FailingChips)
+	n := len(r.Rules)
+	if n > 8 {
+		n = 8
+	}
+	for _, ru := range r.Rules[:n] {
+		fmt.Fprintf(&b, "  %s\n", ru)
+	}
+	return b.String()
+}
+
+// buildModel creates an 8-test product with two planted defect modes:
+// mode1 fails {t1, t2, t5} together and concentrates at the wafer edge;
+// mode2 fails {t3, t4} together anywhere.
+func buildModel() *mfgtest.Model {
+	const nTests = 8
+	m := &mfgtest.Model{
+		Names:    make([]string, nTests),
+		Mean:     make([]float64, nTests),
+		Loadings: make([][]float64, nTests),
+		Noise:    make([]float64, nTests),
+		WaferSD:  0.1,
+		PerWafer: 500,
+	}
+	for j := 0; j < nTests; j++ {
+		m.Names[j] = fmt.Sprintf("t%d", j)
+		m.Loadings[j] = []float64{0.7}
+		m.Noise[j] = 0.7
+	}
+	return m
+}
+
+// Run executes the experiment.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	model := buildModel()
+	limits := mfgtest.LimitsFromModel(model, 4.5)
+	perWafer := model.PerWafer
+
+	defect := func(rng *rand.Rand, c *mfgtest.Chip) {
+		pos := c.ID % perWafer
+		edge := pos < perWafer/5 // first fifth of each wafer is the edge ring
+		// Mode 1: strongly edge-concentrated, fails t1, t2, t5 together.
+		p1 := 0.0002
+		if edge {
+			p1 = 0.008
+		}
+		if rng.Float64() < p1 {
+			for _, j := range []int{1, 2, 5} {
+				c.Meas[j] += 6 + rng.Float64()
+			}
+		}
+		// Mode 2: uniform, fails t3, t4 together.
+		if rng.Float64() < 0.001 {
+			for _, j := range []int{3, 4} {
+				c.Meas[j] -= 6 + rng.Float64()
+			}
+		}
+	}
+
+	chips := model.Sample(rng, cfg.Chips, 0, defect)
+	var txs []rules.Transaction
+	for i := range chips {
+		c := &chips[i]
+		var tx rules.Transaction
+		for j := range c.Meas {
+			if limits.FailsTest(c, j) {
+				tx = append(tx, "fail:"+model.Names[j])
+			}
+		}
+		if len(tx) == 0 {
+			continue
+		}
+		zone := "zone:center"
+		if c.ID%perWafer < perWafer/5 {
+			zone = "zone:edge"
+		}
+		tx = append(tx, zone)
+		txs = append(txs, tx)
+	}
+	if len(txs) < 20 {
+		return nil, errors.New("patterns: too few failing chips to mine")
+	}
+	_, mined := rules.Apriori(txs, cfg.MinSupport, cfg.MinConf)
+	return &Result{FailingChips: len(txs), Rules: mined}, nil
+}
+
+// HasRule reports whether a mined rule has exactly the given antecedent
+// items (order-free) and contains want in its consequent.
+func (r *Result) HasRule(antecedent []string, want string) bool {
+	for _, ru := range r.Rules {
+		if len(ru.Antecedent) != len(antecedent) {
+			continue
+		}
+		match := true
+		for _, a := range antecedent {
+			found := false
+			for _, x := range ru.Antecedent {
+				if x == a {
+					found = true
+					break
+				}
+			}
+			if !found {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		for _, c := range ru.Consequent {
+			if c == want {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package patterns
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunMinesPlantedDefectModes(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Chips: 150000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailingChips < 50 {
+		t.Fatalf("too few failing chips: %d", res.FailingChips)
+	}
+	if len(res.Rules) == 0 {
+		t.Fatal("no rules mined")
+	}
+	// Mode 1's co-failure structure: failing t1 and t2 implies failing t5.
+	if !res.HasRule([]string{"fail:t1", "fail:t2"}, "fail:t5") {
+		t.Fatalf("mode-1 co-failure rule not mined:\n%s", res)
+	}
+	// Mode 2: failing t3 implies failing t4.
+	if !res.HasRule([]string{"fail:t3"}, "fail:t4") {
+		t.Fatalf("mode-2 co-failure rule not mined:\n%s", res)
+	}
+	// Spatial signature: the mode-1 failure pattern associates with the
+	// wafer edge.
+	edgeAssoc := false
+	for _, ru := range res.Rules {
+		hasT1 := false
+		for _, a := range ru.Antecedent {
+			if strings.HasPrefix(a, "fail:t1") || strings.HasPrefix(a, "fail:t2") || strings.HasPrefix(a, "fail:t5") {
+				hasT1 = true
+			}
+		}
+		if !hasT1 {
+			continue
+		}
+		for _, c := range ru.Consequent {
+			if c == "zone:edge" && ru.Confidence > 0.5 {
+				edgeAssoc = true
+			}
+		}
+	}
+	if !edgeAssoc {
+		t.Fatalf("edge-zone association not mined:\n%s", res)
+	}
+	if !strings.Contains(res.String(), "association") {
+		t.Fatal("render")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	// Tiny lot: not enough failures to mine.
+	if _, err := Run(Config{Seed: 2, Chips: 200}); err == nil {
+		t.Fatal("tiny lot accepted")
+	}
+}
+
+func BenchmarkPatterns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Seed: int64(i), Chips: 60000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package returns implements the paper's customer-return screening
+// application (Figure 11, refs [16],[32]): a known return is analyzed,
+// feature selection finds the three tests in which it stands apart from
+// the passing population (the paper's 3-D test space), and a one-class
+// outlier model over that space is deployed. The model then catches a
+// return manufactured months later (plot 2) and returns from a sister
+// product line a year later (plot 3).
+package returns
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/featsel"
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+	"repro/internal/mfgtest"
+	"repro/internal/svm"
+)
+
+// Config controls the experiment.
+type Config struct {
+	Seed     int64
+	Tests    int     // parametric tests in the product, default 12
+	LotSize  int     // chips per phase, default 15000
+	TrainSub int     // population subsample for the one-class fit, default 500
+	Nu       float64 // outlier model nu, default 0.02
+	Gamma    float64 // RBF gamma of the outlier model, default 0.05
+	TopTests int     // dimensionality of the screening space, default 3
+}
+
+func (c *Config) defaults() {
+	if c.Tests <= 0 {
+		c.Tests = 12
+	}
+	if c.LotSize <= 0 {
+		c.LotSize = 15000
+	}
+	if c.TrainSub <= 0 {
+		c.TrainSub = 500
+	}
+	if c.Nu <= 0 || c.Nu > 1 {
+		c.Nu = 0.02
+	}
+	if c.TopTests <= 0 {
+		c.TopTests = 3
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = 0.05
+	}
+}
+
+// PhaseOutcome reports the screen's behaviour on one deployment phase.
+type PhaseOutcome struct {
+	Name       string
+	Chips      int
+	Returns    int     // latent-defect parts that shipped
+	Detected   int     // returns the screen flags as outliers
+	FalseAlarm float64 // flagged fraction of the clean population
+}
+
+// Result is the Figure 11 outcome.
+type Result struct {
+	SelectedTests []string // the learned 3-D test space
+	Phase1        PhaseOutcome
+	Phase2        PhaseOutcome
+	Sister        PhaseOutcome
+}
+
+// String renders the summary.
+func (r *Result) String() string {
+	s := fmt.Sprintf("screening space: %v\n", r.SelectedTests)
+	for _, p := range []PhaseOutcome{r.Phase1, r.Phase2, r.Sister} {
+		s += fmt.Sprintf("  %-22s chips=%6d returns=%3d detected=%3d false-alarm=%.3f\n",
+			p.Name, p.Chips, p.Returns, p.Detected, p.FalseAlarm)
+	}
+	return s
+}
+
+// screen is the deployed model: a test subset, a scaler fit on the phase-1
+// population, and a one-class SVM in the scaled space.
+type screen struct {
+	tests  []int
+	scaler *dataset.Scaler
+	model  *svm.OneClass
+}
+
+func (s *screen) flag(meas []float64) bool {
+	sub := make([]float64, len(s.tests))
+	for i, t := range s.tests {
+		sub[i] = meas[t]
+	}
+	return s.model.Novel(s.scaler.TransformVec(sub))
+}
+
+func (s *screen) evaluate(name string, shipped []mfgtest.Chip, retIdx []int) PhaseOutcome {
+	out := PhaseOutcome{Name: name, Chips: len(shipped), Returns: len(retIdx)}
+	isReturn := map[int]bool{}
+	for _, i := range retIdx {
+		isReturn[i] = true
+	}
+	falseAlarms, clean := 0, 0
+	for i := range shipped {
+		flagged := s.flag(shipped[i].Meas)
+		if isReturn[i] {
+			if flagged {
+				out.Detected++
+			}
+		} else {
+			clean++
+			if flagged {
+				falseAlarms++
+			}
+		}
+	}
+	if clean > 0 {
+		out.FalseAlarm = float64(falseAlarms) / float64(clean)
+	}
+	return out
+}
+
+// Run executes the three-phase experiment.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	scen := mfgtest.NewReturnsScenario(cfg.Tests)
+
+	// Phase 1: production lot; the first return comes back and is
+	// analyzed (paper plot 1).
+	shipped1, rets1 := scen.SampleLot(rng, cfg.LotSize, 0)
+	if len(rets1) == 0 {
+		return nil, errors.New("returns: phase 1 produced no customer return")
+	}
+	analyzed := rets1[0]
+
+	// Feature selection under extreme imbalance: one return vs the
+	// passing population (paper: this is a feature-selection problem, not
+	// a classification problem).
+	x := mfgtest.Matrix(shipped1)
+	y := make([]float64, len(shipped1))
+	y[analyzed] = 1
+	names := make([]string, cfg.Tests)
+	copy(names, scen.Model.Names)
+	d := dataset.MustNew(x, y, names)
+	scores, err := featsel.OutlierSeparation(d, 1)
+	if err != nil {
+		return nil, err
+	}
+	top := featsel.TopK(scores, cfg.TopTests)
+
+	// Fit the outlier model on a population subsample in the selected
+	// space (excluding the analyzed return itself).
+	sub := linalg.NewMatrix(cfg.TrainSub, len(top))
+	seen := 0
+	for seen < cfg.TrainSub {
+		i := rng.Intn(len(shipped1))
+		if i == analyzed {
+			continue
+		}
+		for j, t := range top {
+			sub.Set(seen, j, shipped1[i].Meas[t])
+		}
+		seen++
+	}
+	scaler := dataset.FitScaler(sub)
+	scaled := scaler.Transform(sub)
+	oc, err := svm.FitOneClass(scaled, kernel.RBF{Gamma: cfg.Gamma},
+		svm.OneClassConfig{Nu: cfg.Nu, MaxIters: 3000})
+	if err != nil {
+		return nil, err
+	}
+	scr := &screen{tests: top, scaler: scaler, model: oc}
+
+	res := &Result{}
+	for _, t := range top {
+		res.SelectedTests = append(res.SelectedTests, d.FeatureName(t))
+	}
+	res.Phase1 = scr.evaluate("phase1 (training lot)", shipped1, rets1)
+
+	// Phase 2: a lot manufactured months later (paper plot 2).
+	shipped2, rets2 := scen.SampleLot(rng, cfg.LotSize, cfg.LotSize)
+	res.Phase2 = scr.evaluate("phase2 (months later)", shipped2, rets2)
+
+	// Phase 3: sister product line a year later (paper plot 3).
+	sister := scen.SisterScenario()
+	shipped3, rets3 := sister.SampleLot(rng, cfg.LotSize, 2*cfg.LotSize)
+	res.Sister = scr.evaluate("sister product line", shipped3, rets3)
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package returns
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig11Shape(t *testing.T) {
+	res, err := Run(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The screening space has 3 tests and includes the defect-disturbed
+	// tests t02/t05/t07 (the generator's mechanism).
+	if len(res.SelectedTests) != 3 {
+		t.Fatalf("selected %v", res.SelectedTests)
+	}
+	joined := strings.Join(res.SelectedTests, ",")
+	hits := 0
+	for _, want := range []string{"t02", "t05", "t07"} {
+		if strings.Contains(joined, want) {
+			hits++
+		}
+	}
+	if hits < 2 {
+		t.Fatalf("screening space %v misses the defect tests", res.SelectedTests)
+	}
+
+	// Plot 1: the analyzed return is an outlier under its own model.
+	if res.Phase1.Detected == 0 {
+		t.Fatal("phase-1 return not flagged")
+	}
+	// Plot 2: the model catches most later returns.
+	if res.Phase2.Returns == 0 {
+		t.Fatal("phase 2 generated no returns (generator issue)")
+	}
+	if float64(res.Phase2.Detected) < 0.6*float64(res.Phase2.Returns) {
+		t.Fatalf("phase-2 detection %d/%d too low", res.Phase2.Detected, res.Phase2.Returns)
+	}
+	// Plot 3: the same model transfers to the sister product.
+	if res.Sister.Returns < 3 {
+		t.Fatalf("sister lot should contain at least 3 returns, got %d", res.Sister.Returns)
+	}
+	if float64(res.Sister.Detected) < 0.5*float64(res.Sister.Returns) {
+		t.Fatalf("sister detection %d/%d too low", res.Sister.Detected, res.Sister.Returns)
+	}
+	// The screen must not flag everything: false alarms stay low, or the
+	// flow would cost more than it saves (paper Section 1 criterion 4).
+	for _, p := range []PhaseOutcome{res.Phase1, res.Phase2, res.Sister} {
+		if p.FalseAlarm > 0.08 {
+			t.Fatalf("%s false alarm %.3f too high", p.Name, p.FalseAlarm)
+		}
+	}
+	if !strings.Contains(res.String(), "screening space") {
+		t.Fatal("render")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a, err := Run(Config{Seed: 7, LotSize: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 7, LotSize: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed must reproduce identical results")
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Seed: int64(i), LotSize: 5000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

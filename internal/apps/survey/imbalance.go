@@ -1,0 +1,150 @@
+package survey
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/featsel"
+	"repro/internal/imbalance"
+	"repro/internal/kernel"
+	"repro/internal/mfgtest"
+	"repro/internal/svm"
+	"repro/internal/tree"
+)
+
+// ImbalanceResult compares the two framings of the extreme-imbalance
+// problem from paper Section 2.4: rebalancing + classification (SMOTE +
+// random forest) vs the feature-selection framing (pick the separating
+// tests, model the population, flag outliers). The paper's claim: "if the
+// imbalance is quite extreme, rebalancing will not solve the problem ...
+// the problem becomes more like a feature selection problem".
+type ImbalanceResult struct {
+	TrainReturns int // known returns available for training
+	TestReturns  int
+
+	// Rebalancing framing.
+	RebalanceDetected   int
+	RebalanceFalseAlarm float64
+
+	// Feature-selection framing.
+	FeatselDetected   int
+	FeatselFalseAlarm float64
+}
+
+// String renders the comparison.
+func (r *ImbalanceResult) String() string {
+	return fmt.Sprintf(
+		"training returns: %d; evaluation returns: %d\nrebalance+classify:   detected %d/%d, false alarms %.3f\nfeatsel+outlier:      detected %d/%d, false alarms %.3f",
+		r.TrainReturns, r.TestReturns,
+		r.RebalanceDetected, r.TestReturns, r.RebalanceFalseAlarm,
+		r.FeatselDetected, r.TestReturns, r.FeatselFalseAlarm)
+}
+
+// ImbalanceStudy runs the comparison on the customer-return substrate.
+func ImbalanceStudy(seed int64, lot int) (*ImbalanceResult, error) {
+	if lot <= 0 {
+		lot = 12000
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	scen := mfgtest.NewReturnsScenario(12)
+
+	train, trainRets := scen.SampleLot(rng, lot, 0)
+	test, testRets := scen.SampleLot(rng, lot, lot)
+	if len(trainRets) < 2 || len(testRets) == 0 {
+		return nil, errors.New("survey: lots produced too few returns")
+	}
+
+	// Only the first few returns have actually come back from the field
+	// and been analyzed; the remaining latent-defect parts sit in the
+	// training lot labelled good — the situation the paper describes
+	// (a few returns against millions of passing parts).
+	known := trainRets
+	if len(known) > 3 {
+		known = known[:3]
+	}
+	y := make([]float64, len(train))
+	for _, i := range known {
+		y[i] = 1
+	}
+	d := dataset.MustNew(mfgtest.Matrix(train), y, scen.Model.Names)
+
+	res := &ImbalanceResult{TrainReturns: len(known), TestReturns: len(testRets)}
+	isTestReturn := map[int]bool{}
+	for _, i := range testRets {
+		isTestReturn[i] = true
+	}
+
+	// --- Framing 1: rebalance with SMOTE, then classify. ---------------
+	bal, err := imbalance.SMOTE(rng, d, 3)
+	if err != nil {
+		return nil, err
+	}
+	forest, err := tree.FitForest(rng, bal, tree.ForestConfig{NTrees: 30, MaxDepth: 10})
+	if err != nil {
+		return nil, err
+	}
+	fa, clean := 0, 0
+	for i := range test {
+		pred := forest.Predict(test[i].Meas)
+		if isTestReturn[i] {
+			if pred == 1 {
+				res.RebalanceDetected++
+			}
+		} else {
+			clean++
+			if pred == 1 {
+				fa++
+			}
+		}
+	}
+	if clean > 0 {
+		res.RebalanceFalseAlarm = float64(fa) / float64(clean)
+	}
+
+	// --- Framing 2: feature selection + population outlier model. ------
+	scores, err := featsel.OutlierSeparation(d, 1)
+	if err != nil {
+		return nil, err
+	}
+	top := featsel.TopK(scores, 3)
+	sub := d.SelectFeatures(top)
+	// Fit the one-class model on a population subsample (drop known
+	// returns).
+	var idx []int
+	for i := 0; i < sub.Len() && len(idx) < 500; i++ {
+		if y[i] == 0 {
+			idx = append(idx, i)
+		}
+	}
+	pop := sub.Subset(idx)
+	scaler := dataset.FitScaler(pop.X)
+	oc, err := svm.FitOneClass(scaler.Transform(pop.X), kernel.RBF{Gamma: 0.05},
+		svm.OneClassConfig{Nu: 0.02, MaxIters: 3000})
+	if err != nil {
+		return nil, err
+	}
+	fa, clean = 0, 0
+	for i := range test {
+		v := make([]float64, len(top))
+		for j, t := range top {
+			v[j] = test[i].Meas[t]
+		}
+		flagged := oc.Novel(scaler.TransformVec(v))
+		if isTestReturn[i] {
+			if flagged {
+				res.FeatselDetected++
+			}
+		} else {
+			clean++
+			if flagged {
+				fa++
+			}
+		}
+	}
+	if clean > 0 {
+		res.FeatselFalseAlarm = float64(fa) / float64(clean)
+	}
+	return res, nil
+}

@@ -1,0 +1,35 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestImbalanceStudyFeatselFramingWins(t *testing.T) {
+	res, err := ImbalanceStudy(1, 12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestReturns == 0 {
+		t.Fatal("no evaluation returns")
+	}
+	// Paper §2.4 claim: under extreme imbalance, the feature-selection
+	// framing detects more of the future returns than rebalancing +
+	// classification.
+	if res.FeatselDetected <= res.RebalanceDetected {
+		t.Fatalf("featsel framing (%d) should beat rebalancing (%d) of %d returns",
+			res.FeatselDetected, res.RebalanceDetected, res.TestReturns)
+	}
+	fRecall := float64(res.FeatselDetected) / float64(res.TestReturns)
+	if fRecall < 0.5 {
+		t.Fatalf("featsel recall %.2f too low", fRecall)
+	}
+	// Neither framing may flood the fab with false alarms.
+	if res.FeatselFalseAlarm > 0.08 || res.RebalanceFalseAlarm > 0.2 {
+		t.Fatalf("false alarms out of band: featsel=%.3f rebalance=%.3f",
+			res.FeatselFalseAlarm, res.RebalanceFalseAlarm)
+	}
+	if !strings.Contains(res.String(), "featsel") {
+		t.Fatal("render")
+	}
+}

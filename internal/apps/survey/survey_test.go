@@ -1,0 +1,81 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig3KernelTrick(t *testing.T) {
+	res, err := Fig3(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LinearAccuracy > 0.8 {
+		t.Fatalf("linear SVC should fail in input space: %.3f", res.LinearAccuracy)
+	}
+	if res.PerceptronMistakes == 0 {
+		t.Fatal("perceptron should not converge on the ring")
+	}
+	if res.QuadAccuracy < 0.98 {
+		t.Fatalf("quadratic kernel should separate: %.3f", res.QuadAccuracy)
+	}
+	if res.ExplicitAccuracy < 0.98 {
+		t.Fatalf("explicit feature map should separate: %.3f", res.ExplicitAccuracy)
+	}
+	if res.KernelIdentityErr > 1e-8 {
+		t.Fatalf("kernel identity violated: %g", res.KernelIdentityErr)
+	}
+	if !strings.Contains(res.String(), "kernel trick") {
+		t.Fatal("render")
+	}
+}
+
+func TestFig5OverfittingCurve(t *testing.T) {
+	res, err := Fig5(1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != 10 {
+		t.Fatalf("curve length %d", len(res.Curve))
+	}
+	// Training error decreases overall.
+	first, last := res.Curve[0], res.Curve[len(res.Curve)-1]
+	if last.TrainErr >= first.TrainErr {
+		t.Fatal("training error did not decrease")
+	}
+	if res.BestDegree <= 1 || res.BestDegree >= 18 {
+		t.Fatalf("validation optimum %d should be interior", res.BestDegree)
+	}
+	if !res.Overfitting {
+		t.Fatal("overfitting signature not detected")
+	}
+	if !strings.Contains(res.String(), "degree") {
+		t.Fatal("render")
+	}
+}
+
+func TestSec2RegressorsOrdering(t *testing.T) {
+	res, err := Sec2Regressors(1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 5 {
+		t.Fatalf("family count %d", len(res.Scores))
+	}
+	scores := map[string]RegressorScore{}
+	for _, s := range res.Scores {
+		scores[s.Name] = s
+		if s.R2 < 0.2 {
+			t.Fatalf("%s R2 %.3f too low", s.Name, s.R2)
+		}
+	}
+	// Friedman1 is nonlinear: the nonlinear families (GP, SVR) should beat
+	// plain least squares, as the study in [20] found for Fmax.
+	if scores["GP"].R2 <= scores["LSF"].R2 {
+		t.Fatalf("GP (%.3f) should beat LSF (%.3f) on a nonlinear task",
+			scores["GP"].R2, scores["LSF"].R2)
+	}
+	if !strings.Contains(res.String(), "RMSE") {
+		t.Fatal("render")
+	}
+}

@@ -1,0 +1,231 @@
+// Package template implements the paper's simulation-knowledge extraction
+// and reuse application (Table 1, ref [28]): rules learned from the
+// "special" tests that hit coverage points of interest are fed back into
+// the constrained-random test template, so that far fewer tests achieve
+// far more coverage.
+//
+// The loop mirrors the paper's three rows:
+//
+//	Original:     the engineer's first template, instantiated to 400
+//	              tests, covers only the easy points A0/A1.
+//	1st learning: the engineer widens the template (domain-knowledge
+//	              exploration) and instantiates 100 tests; CN2-SD then
+//	              learns which test properties make each hard point fire.
+//	2nd learning: the learned rules are folded back into the template
+//	              knobs, and 50 tests from the refined template hit every
+//	              point with high frequency.
+package template
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/isa"
+	"repro/internal/linalg"
+	"repro/internal/rules"
+)
+
+// StageResult is one row of the Table 1 reproduction.
+type StageResult struct {
+	Name      string
+	Tests     int
+	EventHits [isa.NumEvents]int // hits from this stage's tests only
+	Rules     []string           // rules learned from this stage's data
+}
+
+// Covered counts events with at least one hit.
+func (s *StageResult) Covered() int {
+	n := 0
+	for _, h := range s.EventHits {
+		if h > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Result is the full Table 1 reproduction.
+type Result struct {
+	Stages []StageResult
+}
+
+// String renders the table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %7s", "Stage", "#tests")
+	for e := isa.Event(0); e < isa.NumEvents; e++ {
+		fmt.Fprintf(&b, " %6s", fmt.Sprintf("A%d", int(e)))
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Stages {
+		fmt.Fprintf(&b, "%-14s %7d", s.Name, s.Tests)
+		for _, h := range s.EventHits {
+			fmt.Fprintf(&b, " %6d", h)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Config controls the experiment.
+type Config struct {
+	Seed        int64
+	Stage0Tests int // default 400
+	Stage1Tests int // default 100
+	Stage2Tests int // default 50
+}
+
+func (c *Config) defaults() {
+	if c.Stage0Tests <= 0 {
+		c.Stage0Tests = 400
+	}
+	if c.Stage1Tests <= 0 {
+		c.Stage1Tests = 100
+	}
+	if c.Stage2Tests <= 0 {
+		c.Stage2Tests = 50
+	}
+}
+
+// explorationTemplate is the engineer's widened second-cut template: it can
+// reach everything, but spreads probability thinly.
+func explorationTemplate() isa.Template {
+	t := isa.WideTemplate()
+	t.UnalignedProb = 0.15
+	t.PairProb = 0.15
+	t.BurstProb = 0.10
+	return t
+}
+
+// simulateStage runs tests, returning per-event hits and the per-test
+// feature/coverage records used for learning.
+func simulateStage(tpl isa.Template, seed int64, n int) (hits [isa.NumEvents]int,
+	feats [][]float64, perTest [][isa.NumEvents]int) {
+
+	gen := isa.NewGenerator(tpl, seed)
+	m := isa.NewMachine()
+	for i := 0; i < n; i++ {
+		p := gen.Next()
+		cov := m.Run(p)
+		feats = append(feats, isa.Features(p))
+		var evs [isa.NumEvents]int
+		for e := isa.Event(0); e < isa.NumEvents; e++ {
+			h := cov.EventHits(e)
+			evs[e] = h
+			hits[e] += h
+		}
+		perTest = append(perTest, evs)
+	}
+	return hits, feats, perTest
+}
+
+// learnEventRules learns CN2-SD rules for "this test hits event e" for
+// every event, returning rule strings and the union of learned conditions.
+func learnEventRules(feats [][]float64, perTest [][isa.NumEvents]int) (ruleStrs []string, conds []rules.Condition) {
+	x := linalg.FromRows(feats)
+	for e := isa.Event(0); e < isa.NumEvents; e++ {
+		y := make([]float64, len(feats))
+		pos := 0
+		for i, evs := range perTest {
+			if evs[e] > 0 {
+				y[i] = 1
+				pos++
+			}
+		}
+		if pos == 0 || pos == len(feats) {
+			continue // nothing to contrast
+		}
+		d := dataset.MustNew(x, y, isa.FeatureNames)
+		rs, err := rules.CN2SD(d, 1, rules.CN2SDConfig{
+			MaxRules: 2, MaxConditions: 2, Thresholds: 6, MinCoverage: 3,
+		})
+		if err != nil {
+			continue
+		}
+		for _, r := range rs {
+			ruleStrs = append(ruleStrs, fmt.Sprintf("%s: %s", e, r))
+			conds = append(conds, r.Conditions...)
+		}
+	}
+	return ruleStrs, conds
+}
+
+// RefineTemplate folds learned rule conditions back into template knobs —
+// the "feedback those properties to the verification engineer for
+// improving the test template" step of the paper.
+func RefineTemplate(base isa.Template, conds []rules.Condition) isa.Template {
+	t := base
+	bump := func(v *float64, to float64) {
+		if *v < to {
+			*v = to
+		}
+	}
+	for _, c := range conds {
+		if c.Op != rules.GT {
+			continue // "more of this property" is what a GT condition says
+		}
+		switch c.Name {
+		case "store_frac":
+			bump(&t.StoreWeight, 0.35)
+		case "load_frac":
+			bump(&t.LoadWeight, 0.4)
+		case "unaligned_frac":
+			bump(&t.UnalignedProb, 0.4)
+		case "pair_count":
+			bump(&t.PairProb, 0.5)
+		case "max_store_run":
+			bump(&t.BurstProb, 0.35)
+		case "base_regs", "max_base_reg":
+			if t.MaxBaseReg < 7 {
+				t.MaxBaseReg = 7
+			}
+		case "mean_offset", "max_offset":
+			if t.ImmRange < 512 {
+				t.ImmRange = 512
+			}
+		case "byte_frac":
+			bump(&t.WidthWeights[0], 0.3)
+		case "half_frac":
+			bump(&t.WidthWeights[1], 0.3)
+		}
+	}
+	return t
+}
+
+// Run executes the three-stage Table 1 experiment.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	res := &Result{}
+
+	// Stage 0: the engineer's original template.
+	hits0, feats0, per0 := simulateStage(isa.DefaultTemplate(), cfg.Seed, cfg.Stage0Tests)
+	rules0, _ := learnEventRules(feats0, per0)
+	res.Stages = append(res.Stages, StageResult{
+		Name: "Original", Tests: cfg.Stage0Tests, EventHits: hits0, Rules: rules0,
+	})
+
+	// Stage 1: widened exploration template; learn what makes hard events
+	// fire.
+	expl := explorationTemplate()
+	hits1, feats1, per1 := simulateStage(expl, cfg.Seed+1, cfg.Stage1Tests)
+	// Learn on the union of all data so far.
+	allFeats := append(append([][]float64{}, feats0...), feats1...)
+	allPer := append(append([][isa.NumEvents]int{}, per0...), per1...)
+	rules1, conds1 := learnEventRules(allFeats, allPer)
+	res.Stages = append(res.Stages, StageResult{
+		Name: "1st learning", Tests: cfg.Stage1Tests, EventHits: hits1, Rules: rules1,
+	})
+
+	// Stage 2: fold the rules back into the template and instantiate a
+	// small, concentrated batch.
+	refined := RefineTemplate(expl, conds1)
+	hits2, feats2, per2 := simulateStage(refined, cfg.Seed+2, cfg.Stage2Tests)
+	allFeats = append(allFeats, feats2...)
+	allPer = append(allPer, per2...)
+	rules2, _ := learnEventRules(allFeats, allPer)
+	res.Stages = append(res.Stages, StageResult{
+		Name: "2nd learning", Tests: cfg.Stage2Tests, EventHits: hits2, Rules: rules2,
+	})
+	return res, nil
+}

@@ -1,0 +1,114 @@
+package template
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/rules"
+)
+
+func TestRunTable1Shape(t *testing.T) {
+	res, err := Run(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 3 {
+		t.Fatalf("stage count %d", len(res.Stages))
+	}
+	orig, first, second := res.Stages[0], res.Stages[1], res.Stages[2]
+
+	// Row "Original": 400 tests, only the easy points (A0=load-hit,
+	// A1=load-miss) receive coverage.
+	if orig.Tests != 400 {
+		t.Fatalf("original tests %d", orig.Tests)
+	}
+	if orig.EventHits[isa.EvLoadHit] == 0 || orig.EventHits[isa.EvLoadMiss] == 0 {
+		t.Fatal("original should cover A0 and A1")
+	}
+	for e := isa.EvForward; e < isa.NumEvents; e++ {
+		if orig.EventHits[e] != 0 {
+			t.Fatalf("original unexpectedly covered %v", e)
+		}
+	}
+	if orig.Covered() != 2 {
+		t.Fatalf("original covered %d points", orig.Covered())
+	}
+
+	// Row "1st learning": 100 tests cover more points than the original.
+	if first.Tests != 100 {
+		t.Fatalf("first tests %d", first.Tests)
+	}
+	if first.Covered() <= orig.Covered() {
+		t.Fatalf("1st learning did not improve: %d vs %d", first.Covered(), orig.Covered())
+	}
+	if len(first.Rules) == 0 {
+		t.Fatal("1st learning produced no rules")
+	}
+
+	// Row "2nd learning": 50 tests cover ALL points.
+	if second.Tests != 50 {
+		t.Fatalf("second tests %d", second.Tests)
+	}
+	if second.Covered() != int(isa.NumEvents) {
+		t.Fatalf("2nd learning covered %d of %d points:\n%s",
+			second.Covered(), isa.NumEvents, res)
+	}
+	// Concentration: per-test hit rate on the hard points should rise
+	// from stage 1 to stage 2.
+	hard := []isa.Event{isa.EvForward, isa.EvSBFull, isa.EvPageCross}
+	for _, e := range hard {
+		r1 := float64(first.EventHits[e]) / float64(first.Tests)
+		r2 := float64(second.EventHits[e]) / float64(second.Tests)
+		if r2 <= r1 {
+			t.Fatalf("no concentration on %v: %.3f -> %.3f", e, r1, r2)
+		}
+	}
+	if !strings.Contains(res.String(), "2nd learning") {
+		t.Fatal("table render")
+	}
+}
+
+func TestRefineTemplateKnobMapping(t *testing.T) {
+	base := isa.DefaultTemplate()
+	conds := []rules.Condition{
+		{Name: "store_frac", Op: rules.GT},
+		{Name: "unaligned_frac", Op: rules.GT},
+		{Name: "pair_count", Op: rules.GT},
+		{Name: "max_store_run", Op: rules.GT},
+		{Name: "max_base_reg", Op: rules.GT},
+		{Name: "max_offset", Op: rules.GT},
+		{Name: "byte_frac", Op: rules.GT},
+		{Name: "load_frac", Op: rules.LE}, // LE conditions are ignored
+	}
+	ref := RefineTemplate(base, conds)
+	if ref.StoreWeight < 0.35 || ref.UnalignedProb < 0.4 || ref.PairProb < 0.5 ||
+		ref.BurstProb < 0.35 || ref.MaxBaseReg != 7 || ref.ImmRange != 512 ||
+		ref.WidthWeights[0] < 0.3 {
+		t.Fatalf("knobs not raised: %+v", ref)
+	}
+	if ref.LoadWeight != base.LoadWeight {
+		t.Fatal("LE condition should not change knobs")
+	}
+}
+
+func TestRulesMentionCausalFeatures(t *testing.T) {
+	res, err := Run(Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := strings.Join(res.Stages[1].Rules, "\n")
+	// The forwarding point is caused by store-load pairs; the learned
+	// rules should surface pair_count or store_frac for it.
+	if !strings.Contains(all, "pair_count") && !strings.Contains(all, "store_frac") {
+		t.Fatalf("rules miss causal features:\n%s", all)
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package testsel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestRunFig7Shape(t *testing.T) {
+	// The Figure 7 shape at reduced scale: the filtered flow reaches the
+	// stream's full coverage with far fewer simulations than the
+	// unfiltered flow.
+	res, err := Run(Config{Seed: 1, MaxTests: 1500, Nu: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TargetBins == 0 {
+		t.Fatal("no coverage target")
+	}
+	if res.SelectedBins < res.TargetBins {
+		t.Fatalf("selection reached %d of %d bins", res.SelectedBins, res.TargetBins)
+	}
+	if res.SelectedSimulated >= res.BaselineTests {
+		t.Fatalf("no saving: %d selected vs %d baseline", res.SelectedSimulated, res.BaselineTests)
+	}
+	if res.SavingFrac < 0.5 {
+		t.Fatalf("saving too small: %.2f (selected %d baseline %d)",
+			res.SavingFrac, res.SelectedSimulated, res.BaselineTests)
+	}
+	if res.SelectedCycles >= res.BaselineCycles {
+		t.Fatal("cycle accounting should show savings")
+	}
+	if len(res.BaselineCurve) == 0 || len(res.SelectedCurve) == 0 {
+		t.Fatal("coverage curves missing")
+	}
+	// Curves are monotone.
+	for i := 1; i < len(res.SelectedCurve); i++ {
+		if res.SelectedCurve[i].Bins < res.SelectedCurve[i-1].Bins {
+			t.Fatal("selected curve not monotone")
+		}
+	}
+	if !strings.Contains(res.String(), "saving") {
+		t.Fatal("summary render")
+	}
+}
+
+func TestRunDefaultsAndDegenerate(t *testing.T) {
+	// A template with no memory ops reaches no coverage: must error.
+	tpl := isa.Template{Len: 10, ALUWeight: 1}
+	if _, err := Run(Config{Template: tpl, MaxTests: 50}); err == nil {
+		t.Fatal("expected error for zero-coverage stream")
+	}
+}
+
+func TestNuTradeoff(t *testing.T) {
+	// Smaller nu accepts fewer tests (more aggressive filtering).
+	strict, err := Run(Config{Seed: 3, MaxTests: 800, Nu: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Run(Config{Seed: 3, MaxTests: 800, Nu: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.SelectedSimulated >= loose.SelectedSimulated {
+		t.Fatalf("nu ordering violated: strict=%d loose=%d",
+			strict.SelectedSimulated, loose.SelectedSimulated)
+	}
+}
+
+func TestKnowledgeInKernelAblation(t *testing.T) {
+	// Paper Section 5: the implementation challenge is the kernel, not the
+	// learner. With opcode-only tokens (no knowledge) the filter cannot
+	// see regions or boundary behaviour and must fall short on coverage
+	// relative to the annotated kernel at the same operating point.
+	full, err := Run(Config{Seed: 5, MaxTests: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(Config{Seed: 5, MaxTests: 800, PlainTokens: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.SelectedBins < full.TargetBins {
+		t.Fatalf("annotated kernel should reach target: %d/%d",
+			full.SelectedBins, full.TargetBins)
+	}
+	if plain.SelectedBins >= full.SelectedBins && plain.SelectedSimulated <= full.SelectedSimulated {
+		t.Fatalf("knowledge-free kernel should not dominate: plain %d bins/%d sims vs full %d bins/%d sims",
+			plain.SelectedBins, plain.SelectedSimulated, full.SelectedBins, full.SelectedSimulated)
+	}
+}
+
+func BenchmarkFig7Small(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Seed: 1, MaxTests: 400, Nu: 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package varpred implements the paper's layout-variability prediction
+// application (Figures 8-9, ref [13]): an SVM with a Histogram
+// Intersection kernel is trained against lithography-simulation labels and
+// then replaces the simulator for fast hotspot screening. The paper's
+// claim is shape, not absolute numbers: the learned model flags most of
+// the high-variability windows the simulation flags, orders of magnitude
+// faster.
+package varpred
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/litho"
+	"repro/internal/svm"
+	"repro/internal/validate"
+)
+
+// Config controls the experiment.
+type Config struct {
+	Seed     int64
+	Train    int     // training windows, default 300
+	Test     int     // evaluation windows, default 300
+	Sigma    float64 // optical kernel sigma, default 2.5
+	MinSlope float64 // weak-edge slope threshold, default 0.08
+	BadWeak  float64 // WeakEdgeFrac above which a window is "bad", default 0.25
+	Bins     int     // histogram bins per scale, default 8
+	KernelHI bool    // use histogram intersection (true) or RBF ablation
+	RBFGamma float64 // gamma for the RBF ablation, default 8
+	// OneClass trains a one-class SVM on the GOOD windows only and flags
+	// outliers as hotspots — the second learning mode [13] applied, for
+	// when bad examples are too scarce to train a binary classifier.
+	OneClass   bool
+	OneClassNu float64 // default 0.1
+}
+
+func (c *Config) defaults() {
+	if c.Train <= 0 {
+		c.Train = 300
+	}
+	if c.Test <= 0 {
+		c.Test = 300
+	}
+	if c.Sigma <= 0 {
+		c.Sigma = 2.5
+	}
+	if c.MinSlope <= 0 {
+		c.MinSlope = 0.08
+	}
+	if c.BadWeak <= 0 {
+		c.BadWeak = 0.25
+	}
+	if c.Bins <= 0 {
+		c.Bins = 8
+	}
+	if c.RBFGamma <= 0 {
+		c.RBFGamma = 8
+	}
+}
+
+// Result is the Figure 9 outcome.
+type Result struct {
+	KernelName   string
+	TrainBadFrac float64
+	Confusion    validate.ConfusionMatrix
+	Recall       float64 // fraction of simulator-flagged hotspots the model catches
+	FalseAlarm   float64 // fraction of good windows flagged
+	Accuracy     float64
+	// Cost accounting: mean wall time per window.
+	SimPerWindow   time.Duration
+	ModelPerWindow time.Duration
+	Speedup        float64
+}
+
+// String renders the summary.
+func (r *Result) String() string {
+	return fmt.Sprintf(
+		"kernel=%s hotspot recall=%.2f false-alarm=%.2f accuracy=%.2f speedup=%.0fx (sim %v vs model %v per window)",
+		r.KernelName, r.Recall, r.FalseAlarm, r.Accuracy, r.Speedup,
+		r.SimPerWindow, r.ModelPerWindow)
+}
+
+// genWindow draws a window from a mix of relaxed, medium, and aggressive
+// pitch populations so both classes are represented.
+func genWindow(rng *rand.Rand) *litho.Window {
+	switch rng.Intn(3) {
+	case 0: // aggressive: near resolution limit
+		return litho.Generate(rng, litho.GenConfig{N: 64, MinWidth: 2, MaxWidth: 3, MinSpace: 2, MaxSpace: 4, Jog: 0.3})
+	case 1: // medium
+		return litho.Generate(rng, litho.GenConfig{N: 64, MinWidth: 3, MaxWidth: 6, MinSpace: 3, MaxSpace: 7, Jog: 0.2})
+	default: // relaxed
+		return litho.Generate(rng, litho.GenConfig{N: 64, MinWidth: 6, MaxWidth: 10, MinSpace: 8, MaxSpace: 14, Jog: 0.1})
+	}
+}
+
+// label runs the golden lithography model.
+func label(w *litho.Window, cfg Config) (bad bool, simTime time.Duration, err error) {
+	start := time.Now()
+	v, err := litho.Variability(w, cfg.Sigma, cfg.MinSlope)
+	if err != nil {
+		return false, 0, err
+	}
+	return v.WeakEdgeFrac > cfg.BadWeak || math.IsInf(v.Score, 1), time.Since(start), nil
+}
+
+// Run executes the experiment.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	build := func(n int) (*dataset.Dataset, []*litho.Window, time.Duration, error) {
+		rows := make([][]float64, n)
+		y := make([]float64, n)
+		ws := make([]*litho.Window, n)
+		var simTotal time.Duration
+		for i := 0; i < n; i++ {
+			w := genWindow(rng)
+			bad, st, err := label(w, cfg)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			simTotal += st
+			rows[i] = litho.DensityHistogram(w, cfg.Bins)
+			if bad {
+				y[i] = 1
+			}
+			ws[i] = w
+		}
+		return dataset.FromRows(rows, y), ws, simTotal, nil
+	}
+
+	train, _, _, err := build(cfg.Train)
+	if err != nil {
+		return nil, err
+	}
+	test, testWs, simTotal, err := build(cfg.Test)
+	if err != nil {
+		return nil, err
+	}
+
+	var k kernel.Kernel = kernel.HistogramIntersection{}
+	name := "histogram-intersection"
+	if !cfg.KernelHI {
+		k = kernel.RBF{Gamma: cfg.RBFGamma}
+		name = "rbf-on-histograms"
+	}
+
+	var predict func(f []float64) float64
+	if cfg.OneClass {
+		name += "/one-class"
+		nu := cfg.OneClassNu
+		if nu <= 0 || nu > 1 {
+			nu = 0.1
+		}
+		// Train on good windows only.
+		var goodIdx []int
+		for i, v := range train.Y {
+			if v == 0 {
+				goodIdx = append(goodIdx, i)
+			}
+		}
+		good := train.Subset(goodIdx)
+		oc, err := svm.FitOneClass(good.X, k, svm.OneClassConfig{Nu: nu, MaxIters: 3000})
+		if err != nil {
+			return nil, err
+		}
+		predict = func(f []float64) float64 {
+			if oc.Novel(f) {
+				return 1
+			}
+			return 0
+		}
+	} else {
+		model, err := svm.FitSVC(train, k, svm.SVCConfig{C: 10, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		predict = model.Predict
+	}
+
+	// Timed model pass: feature extraction + prediction per window.
+	start := time.Now()
+	pred := make([]float64, test.Len())
+	for i := 0; i < test.Len(); i++ {
+		f := litho.DensityHistogram(testWs[i], cfg.Bins)
+		pred[i] = predict(f)
+	}
+	modelTotal := time.Since(start)
+
+	cm := validate.Confusion(pred, test.Y, 1)
+	nBadTrain := 0
+	for _, v := range train.Y {
+		if v == 1 {
+			nBadTrain++
+		}
+	}
+	res := &Result{
+		KernelName:   name,
+		TrainBadFrac: float64(nBadTrain) / float64(train.Len()),
+		Confusion:    cm,
+		Recall:       cm.Recall(),
+		FalseAlarm:   cm.FalsePositiveRate(),
+		Accuracy:     validate.Accuracy(pred, test.Y),
+	}
+	res.SimPerWindow = simTotal / time.Duration(test.Len())
+	res.ModelPerWindow = modelTotal / time.Duration(test.Len())
+	if res.ModelPerWindow > 0 {
+		res.Speedup = float64(res.SimPerWindow) / float64(res.ModelPerWindow)
+	}
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package varpred
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig9Shape(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Train: 250, Test: 250, KernelHI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both classes must be represented in training data.
+	if res.TrainBadFrac < 0.1 || res.TrainBadFrac > 0.9 {
+		t.Fatalf("degenerate class balance: %.2f", res.TrainBadFrac)
+	}
+	// Figure 9 shape: the model catches most simulator-flagged hotspots...
+	if res.Recall < 0.8 {
+		t.Fatalf("hotspot recall %.2f too low (%s)", res.Recall, res.Confusion)
+	}
+	// ...with limited false alarms...
+	if res.FalseAlarm > 0.3 {
+		t.Fatalf("false alarm rate %.2f too high", res.FalseAlarm)
+	}
+	// ...and is much faster than the simulation.
+	if res.Speedup < 3 {
+		t.Fatalf("speedup %.1fx too small", res.Speedup)
+	}
+	if !strings.Contains(res.String(), "recall") {
+		t.Fatal("render")
+	}
+}
+
+func TestHIBeatsOrMatchesRBFAblation(t *testing.T) {
+	hi, err := Run(Config{Seed: 2, Train: 250, Test: 250, KernelHI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbf, err := Run(Config{Seed: 2, Train: 250, Test: 250, KernelHI: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The knowledge-bearing kernel should not lose clearly to the generic
+	// one (paper Section 5: the challenge is the kernel, not the learner).
+	if hi.Accuracy < rbf.Accuracy-0.05 {
+		t.Fatalf("HI kernel (%.2f) much worse than RBF (%.2f)", hi.Accuracy, rbf.Accuracy)
+	}
+	if hi.KernelName == rbf.KernelName {
+		t.Fatal("ablation did not switch kernels")
+	}
+}
+
+func TestOneClassModeFlagsHotspots(t *testing.T) {
+	// [13] also trained one-class SVM on good layouts only: hotspots are
+	// then outliers. Detection is weaker than the supervised mode but must
+	// still clearly beat chance.
+	res, err := Run(Config{Seed: 3, Train: 250, Test: 250, KernelHI: true, OneClass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.KernelName, "one-class") {
+		t.Fatalf("mode not reported: %s", res.KernelName)
+	}
+	if res.Recall < 0.5 {
+		t.Fatalf("one-class recall %.2f too low", res.Recall)
+	}
+	if res.Recall <= res.FalseAlarm {
+		t.Fatalf("no discrimination: recall %.2f vs false alarm %.2f",
+			res.Recall, res.FalseAlarm)
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Seed: int64(i), Train: 120, Test: 120, KernelHI: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// AffinityPropagation clusters by message passing (Frey & Dueck):
+// responsibilities and availabilities are exchanged between points until a
+// set of exemplars emerges; every point is then assigned to its exemplar.
+// preference defaults to the median similarity when NaN is passed; damping
+// in (0,1) stabilizes updates. Returns labels (exemplar-indexed, compacted)
+// and the exemplar row indices.
+func AffinityPropagation(x *linalg.Matrix, preference float64, damping float64, maxIters int) ([]int, []int) {
+	n := x.Rows
+	if maxIters <= 0 {
+		maxIters = 200
+	}
+	if damping <= 0 || damping >= 1 {
+		damping = 0.7
+	}
+	// Similarities: negative squared distance.
+	s := make([][]float64, n)
+	var all []float64
+	for i := range s {
+		s[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			s[i][j] = -linalg.Dist2(x.Row(i), x.Row(j))
+			all = append(all, s[i][j])
+		}
+	}
+	if math.IsNaN(preference) {
+		sort.Float64s(all)
+		if len(all) > 0 {
+			preference = all[len(all)/2]
+		}
+	}
+	for i := 0; i < n; i++ {
+		s[i][i] = preference
+	}
+
+	r := make([][]float64, n)
+	a := make([][]float64, n)
+	for i := range r {
+		r[i] = make([]float64, n)
+		a[i] = make([]float64, n)
+	}
+
+	for it := 0; it < maxIters; it++ {
+		// Responsibilities.
+		for i := 0; i < n; i++ {
+			// top two of a[i][k] + s[i][k].
+			max1, max2, arg1 := math.Inf(-1), math.Inf(-1), -1
+			for k := 0; k < n; k++ {
+				v := a[i][k] + s[i][k]
+				if v > max1 {
+					max2 = max1
+					max1, arg1 = v, k
+				} else if v > max2 {
+					max2 = v
+				}
+			}
+			for k := 0; k < n; k++ {
+				sub := max1
+				if k == arg1 {
+					sub = max2
+				}
+				newR := s[i][k] - sub
+				r[i][k] = damping*r[i][k] + (1-damping)*newR
+			}
+		}
+		// Availabilities.
+		for k := 0; k < n; k++ {
+			sumPos := 0.0
+			for i := 0; i < n; i++ {
+				if i != k && r[i][k] > 0 {
+					sumPos += r[i][k]
+				}
+			}
+			for i := 0; i < n; i++ {
+				var newA float64
+				if i == k {
+					newA = sumPos
+				} else {
+					v := r[k][k] + sumPos
+					if r[i][k] > 0 {
+						v -= r[i][k]
+					}
+					if v > 0 {
+						v = 0
+					}
+					newA = v
+				}
+				a[i][k] = damping*a[i][k] + (1-damping)*newA
+			}
+		}
+	}
+
+	// Exemplars: points where r(k,k)+a(k,k) > 0.
+	var exemplars []int
+	for k := 0; k < n; k++ {
+		if r[k][k]+a[k][k] > 0 {
+			exemplars = append(exemplars, k)
+		}
+	}
+	if len(exemplars) == 0 {
+		// Degenerate: everything in one cluster around the best point.
+		best, bestV := 0, math.Inf(-1)
+		for k := 0; k < n; k++ {
+			if v := r[k][k] + a[k][k]; v > bestV {
+				best, bestV = k, v
+			}
+		}
+		exemplars = []int{best}
+	}
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		best, bestS := 0, math.Inf(-1)
+		for c, k := range exemplars {
+			if s[i][k] > bestS {
+				best, bestS = c, s[i][k]
+			}
+		}
+		labels[i] = best
+	}
+	// Exemplars label themselves.
+	for c, k := range exemplars {
+		labels[k] = c
+	}
+	return labels, exemplars
+}

@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+)
+
+// randIndex computes the fraction of point pairs whose co-membership
+// matches between the two labelings (Rand index).
+func randIndex(a []int, b []float64) float64 {
+	n := len(a)
+	agree, total := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameA := a[i] == a[j]
+			sameB := b[i] == b[j]
+			if sameA == sameB {
+				agree++
+			}
+			total++
+		}
+	}
+	return float64(agree) / float64(total)
+}
+
+func wellSeparatedBlobs(rng *rand.Rand, k, per int) *dataset.Dataset {
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}, {10, 10}, {-10, 5}}
+	rows := make([][]float64, 0, k*per)
+	y := make([]float64, 0, k*per)
+	for c := 0; c < k; c++ {
+		for i := 0; i < per; i++ {
+			rows = append(rows, []float64{
+				centers[c][0] + 0.5*rng.NormFloat64(),
+				centers[c][1] + 0.5*rng.NormFloat64(),
+			})
+			y = append(y, float64(c))
+		}
+	}
+	return dataset.FromRows(rows, y)
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := wellSeparatedBlobs(rng, 3, 40)
+	res, err := KMeans(rng, d.X, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri := randIndex(res.Labels, d.Y); ri < 0.99 {
+		t.Fatalf("kmeans rand index %g", ri)
+	}
+	if res.Inertia <= 0 {
+		t.Fatal("inertia should be positive with noise")
+	}
+	if res.Iters < 1 {
+		t.Fatal("iters not recorded")
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := linalg.NewMatrix(5, 2)
+	if _, err := KMeans(rng, x, 0, 10); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KMeans(rng, x, 6, 10); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestKMeansMoreClustersLowerInertia(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := wellSeparatedBlobs(rng, 4, 30)
+	r2, _ := KMeans(rng, d.X, 2, 100)
+	r8, _ := KMeans(rng, d.X, 8, 100)
+	if r8.Inertia >= r2.Inertia {
+		t.Fatalf("inertia should fall with k: k2=%g k8=%g", r2.Inertia, r8.Inertia)
+	}
+}
+
+func TestAssignMatchesTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := wellSeparatedBlobs(rng, 3, 20)
+	res, _ := KMeans(rng, d.X, 3, 100)
+	labels := Assign(d.X, res.Centers)
+	for i := range labels {
+		if labels[i] != res.Labels[i] {
+			t.Fatal("Assign disagrees with fitted labels")
+		}
+	}
+}
+
+func TestSilhouetteOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := wellSeparatedBlobs(rng, 3, 25)
+	good, _ := KMeans(rng, d.X, 3, 100)
+	sGood := SilhouetteScore(d.X, good.Labels)
+	// Random labels.
+	bad := make([]int, d.Len())
+	for i := range bad {
+		bad[i] = rng.Intn(3)
+	}
+	sBad := SilhouetteScore(d.X, bad)
+	if sGood <= sBad {
+		t.Fatalf("silhouette should prefer true structure: %g vs %g", sGood, sBad)
+	}
+	if sGood < 0.6 {
+		t.Fatalf("silhouette too low for separated blobs: %g", sGood)
+	}
+}
+
+func TestAgglomerativeLinkages(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := wellSeparatedBlobs(rng, 3, 15)
+	for _, link := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+		labels, err := Agglomerative(d.X, 3, link)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri := randIndex(labels, d.Y); ri < 0.97 {
+			t.Fatalf("linkage %d rand index %g", link, ri)
+		}
+	}
+	if _, err := Agglomerative(d.X, 0, SingleLinkage); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestDBSCANFindsClustersAndNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := wellSeparatedBlobs(rng, 2, 40)
+	// Add 3 far-away noise points.
+	rows := [][]float64{{100, 100}, {-100, 50}, {60, -80}}
+	x := linalg.NewMatrix(d.Len()+3, 2)
+	for i := 0; i < d.Len(); i++ {
+		copy(x.Row(i), d.Row(i))
+	}
+	for i, r := range rows {
+		copy(x.Row(d.Len()+i), r)
+	}
+	labels := DBSCAN(x, 2.0, 4)
+	if NumClusters(labels) != 2 {
+		t.Fatalf("expected 2 clusters, got %d", NumClusters(labels))
+	}
+	for i := 0; i < 3; i++ {
+		if labels[d.Len()+i] != Noise {
+			t.Fatalf("outlier %d not labelled noise", i)
+		}
+	}
+}
+
+func TestDBSCANAllNoiseWhenEpsTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := wellSeparatedBlobs(rng, 2, 10)
+	labels := DBSCAN(d.X, 1e-9, 3)
+	if NumClusters(labels) != 0 {
+		t.Fatal("tiny eps should yield only noise")
+	}
+}
+
+func TestMeanShiftFindsModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := wellSeparatedBlobs(rng, 3, 30)
+	labels, centers := MeanShift(d.X, 3.0, 100)
+	if centers.Rows != 3 {
+		t.Fatalf("expected 3 modes, got %d", centers.Rows)
+	}
+	if ri := randIndex(labels, d.Y); ri < 0.97 {
+		t.Fatalf("meanshift rand index %g", ri)
+	}
+}
+
+func TestEstimateBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := wellSeparatedBlobs(rng, 2, 20)
+	bw := EstimateBandwidth(d.X, 0.3)
+	if bw <= 0 {
+		t.Fatalf("bandwidth %g", bw)
+	}
+	if EstimateBandwidth(linalg.NewMatrix(1, 2), 0.3) != 1 {
+		t.Fatal("degenerate bandwidth should default to 1")
+	}
+}
+
+func TestSpectralSeparatesRings(t *testing.T) {
+	// Two concentric rings: k-means fails, spectral succeeds.
+	rng := rand.New(rand.NewSource(11))
+	n := 60
+	x := linalg.NewMatrix(2*n, 2)
+	truth := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		th := 2 * math.Pi * rng.Float64()
+		x.Set(i, 0, math.Cos(th)+0.05*rng.NormFloat64())
+		x.Set(i, 1, math.Sin(th)+0.05*rng.NormFloat64())
+		truth[i] = 0
+	}
+	for i := n; i < 2*n; i++ {
+		th := 2 * math.Pi * rng.Float64()
+		x.Set(i, 0, 5*math.Cos(th)+0.05*rng.NormFloat64())
+		x.Set(i, 1, 5*math.Sin(th)+0.05*rng.NormFloat64())
+		truth[i] = 1
+	}
+	spec, err := Spectral(rng, x, 2, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, _ := KMeans(rng, x, 2, 100)
+	riSpec := randIndex(spec, truth)
+	riKM := randIndex(km.Labels, truth)
+	if riSpec < 0.99 {
+		t.Fatalf("spectral should separate rings, rand index %g", riSpec)
+	}
+	if riKM > 0.8 {
+		t.Fatalf("kmeans should fail on rings, rand index %g", riKM)
+	}
+}
+
+func TestAffinityPropagationBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d := wellSeparatedBlobs(rng, 3, 15)
+	labels, exemplars := AffinityPropagation(d.X, math.NaN(), 0.7, 200)
+	if len(exemplars) < 2 || len(exemplars) > 6 {
+		t.Fatalf("exemplar count %d", len(exemplars))
+	}
+	if ri := randIndex(labels, d.Y); ri < 0.9 {
+		t.Fatalf("affinity propagation rand index %g", ri)
+	}
+	// Exemplars label themselves.
+	for c, k := range exemplars {
+		if labels[k] != c {
+			t.Fatal("exemplar not in own cluster")
+		}
+	}
+}
+
+func BenchmarkKMeans300(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	d := wellSeparatedBlobs(rng, 3, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(rng, d.X, 3, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"repro/internal/linalg"
+)
+
+// Noise is the DBSCAN label for points in no cluster.
+const Noise = -1
+
+// DBSCAN performs density-based clustering: points with at least minPts
+// neighbours within eps are core points; clusters are the connected
+// components of core points plus their border points. Returns labels with
+// Noise (-1) for outliers.
+func DBSCAN(x *linalg.Matrix, eps float64, minPts int) []int {
+	n := x.Rows
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -2 // unvisited
+	}
+	eps2 := eps * eps
+
+	neighbors := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if linalg.Dist2(x.Row(i), x.Row(j)) <= eps2 {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+
+	cluster := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != -2 {
+			continue
+		}
+		nb := neighbors(i)
+		if len(nb) < minPts {
+			labels[i] = Noise
+			continue
+		}
+		labels[i] = cluster
+		queue := append([]int(nil), nb...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == Noise {
+				labels[j] = cluster // border point
+			}
+			if labels[j] != -2 {
+				continue
+			}
+			labels[j] = cluster
+			nbj := neighbors(j)
+			if len(nbj) >= minPts {
+				queue = append(queue, nbj...)
+			}
+		}
+		cluster++
+	}
+	return labels
+}
+
+// NumClusters counts the distinct nonnegative labels.
+func NumClusters(labels []int) int {
+	seen := map[int]bool{}
+	for _, l := range labels {
+		if l >= 0 {
+			seen[l] = true
+		}
+	}
+	return len(seen)
+}

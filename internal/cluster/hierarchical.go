@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Linkage selects how agglomerative clustering measures inter-cluster
+// distance.
+type Linkage int
+
+// Supported linkages.
+const (
+	SingleLinkage Linkage = iota
+	CompleteLinkage
+	AverageLinkage
+)
+
+// Agglomerative performs bottom-up hierarchical clustering, merging the two
+// closest clusters until k remain, and returns the cluster labels.
+func Agglomerative(x *linalg.Matrix, k int, link Linkage) ([]int, error) {
+	n := x.Rows
+	if k <= 0 || k > n {
+		return nil, errors.New("cluster: k out of range")
+	}
+	// Pairwise distances.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			dist[i][j] = linalg.Dist(x.Row(i), x.Row(j))
+		}
+	}
+	// active clusters as index sets.
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	nAlive := n
+
+	clusterDist := func(a, b []int) float64 {
+		switch link {
+		case SingleLinkage:
+			best := math.Inf(1)
+			for _, i := range a {
+				for _, j := range b {
+					if dist[i][j] < best {
+						best = dist[i][j]
+					}
+				}
+			}
+			return best
+		case CompleteLinkage:
+			worst := 0.0
+			for _, i := range a {
+				for _, j := range b {
+					if dist[i][j] > worst {
+						worst = dist[i][j]
+					}
+				}
+			}
+			return worst
+		default:
+			s := 0.0
+			for _, i := range a {
+				for _, j := range b {
+					s += dist[i][j]
+				}
+			}
+			return s / float64(len(a)*len(b))
+		}
+	}
+
+	for nAlive > k {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !alive[j] {
+					continue
+				}
+				if d := clusterDist(clusters[i], clusters[j]); d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		alive[bj] = false
+		nAlive--
+	}
+
+	labels := make([]int, n)
+	next := 0
+	for i := 0; i < n; i++ {
+		if !alive[i] {
+			continue
+		}
+		for _, idx := range clusters[i] {
+			labels[idx] = next
+		}
+		next++
+	}
+	return labels, nil
+}

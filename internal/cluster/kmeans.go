@@ -1,0 +1,201 @@
+// Package cluster implements the unsupervised clustering algorithms the
+// paper lists as the most widely used data mining methods (Section 2.4):
+// K-means(++), agglomerative hierarchical clustering, DBSCAN, mean-shift,
+// spectral clustering, and affinity propagation. The DSTC application
+// (Figure 10) clusters timing-mismatch paths before rule learning.
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// KMeansResult holds a fitted k-means clustering.
+type KMeansResult struct {
+	Centers *linalg.Matrix
+	Labels  []int
+	Inertia float64 // total within-cluster squared distance
+	Iters   int
+}
+
+// KMeans runs k-means with k-means++ seeding until convergence or maxIters.
+func KMeans(rng *rand.Rand, x *linalg.Matrix, k, maxIters int) (*KMeansResult, error) {
+	n, d := x.Rows, x.Cols
+	if k <= 0 || k > n {
+		return nil, errors.New("cluster: k out of range")
+	}
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	centers := kmeansPPInit(rng, x, k)
+	labels := make([]int, n)
+	for it := 1; it <= maxIters; it++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				dd := linalg.Dist2(x.Row(i), centers.Row(c))
+				if dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		// Recompute centers.
+		counts := make([]int, k)
+		newC := linalg.NewMatrix(k, d)
+		for i := 0; i < n; i++ {
+			c := labels[i]
+			counts[c]++
+			linalg.AXPY(1, x.Row(i), newC.Row(c))
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the farthest point.
+				far, farD := 0, -1.0
+				for i := 0; i < n; i++ {
+					dd := linalg.Dist2(x.Row(i), centers.Row(labels[i]))
+					if dd > farD {
+						far, farD = i, dd
+					}
+				}
+				copy(newC.Row(c), x.Row(far))
+				labels[far] = c
+				changed = true
+				continue
+			}
+			linalg.ScaleVec(1/float64(counts[c]), newC.Row(c))
+		}
+		centers = newC
+		if !changed {
+			return &KMeansResult{Centers: centers, Labels: labels,
+				Inertia: inertia(x, centers, labels), Iters: it}, nil
+		}
+	}
+	return &KMeansResult{Centers: centers, Labels: labels,
+		Inertia: inertia(x, centers, labels), Iters: maxIters}, nil
+}
+
+func inertia(x, centers *linalg.Matrix, labels []int) float64 {
+	s := 0.0
+	for i := 0; i < x.Rows; i++ {
+		s += linalg.Dist2(x.Row(i), centers.Row(labels[i]))
+	}
+	return s
+}
+
+// kmeansPPInit seeds centers with k-means++ (D² sampling).
+func kmeansPPInit(rng *rand.Rand, x *linalg.Matrix, k int) *linalg.Matrix {
+	n, d := x.Rows, x.Cols
+	centers := linalg.NewMatrix(k, d)
+	first := rng.Intn(n)
+	copy(centers.Row(0), x.Row(first))
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = linalg.Dist2(x.Row(i), centers.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		total := 0.0
+		for _, v := range dist {
+			total += v
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			for i, v := range dist {
+				acc += v
+				if r < acc {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centers.Row(c), x.Row(pick))
+		for i := range dist {
+			if dd := linalg.Dist2(x.Row(i), centers.Row(c)); dd < dist[i] {
+				dist[i] = dd
+			}
+		}
+	}
+	return centers
+}
+
+// Assign labels each row of x with its nearest center.
+func Assign(x, centers *linalg.Matrix) []int {
+	labels := make([]int, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < centers.Rows; c++ {
+			if dd := linalg.Dist2(x.Row(i), centers.Row(c)); dd < bestD {
+				best, bestD = c, dd
+			}
+		}
+		labels[i] = best
+	}
+	return labels
+}
+
+// SilhouetteScore returns the mean silhouette coefficient of a labelling —
+// a standard internal quality measure in [-1, 1].
+func SilhouetteScore(x *linalg.Matrix, labels []int) float64 {
+	n := x.Rows
+	if n == 0 {
+		return 0
+	}
+	k := 0
+	for _, l := range labels {
+		if l+1 > k {
+			k = l + 1
+		}
+	}
+	if k < 2 {
+		return 0
+	}
+	total, counted := 0.0, 0
+	for i := 0; i < n; i++ {
+		sumByCluster := make([]float64, k)
+		countByCluster := make([]int, k)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sumByCluster[labels[j]] += linalg.Dist(x.Row(i), x.Row(j))
+			countByCluster[labels[j]]++
+		}
+		own := labels[i]
+		if countByCluster[own] == 0 {
+			continue
+		}
+		a := sumByCluster[own] / float64(countByCluster[own])
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || countByCluster[c] == 0 {
+				continue
+			}
+			if m := sumByCluster[c] / float64(countByCluster[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}

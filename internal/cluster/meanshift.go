@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// MeanShift runs mean-shift clustering with a flat kernel of the given
+// bandwidth: every point hill-climbs to the mean of its bandwidth
+// neighbourhood until convergence, and modes closer than bandwidth/2 merge.
+// Returns labels and the mode locations.
+func MeanShift(x *linalg.Matrix, bandwidth float64, maxIters int) ([]int, *linalg.Matrix) {
+	n, d := x.Rows, x.Cols
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	b2 := bandwidth * bandwidth
+	modes := x.Clone()
+	for i := 0; i < n; i++ {
+		p := linalg.CopyVec(modes.Row(i))
+		for it := 0; it < maxIters; it++ {
+			mean := make([]float64, d)
+			cnt := 0
+			for j := 0; j < n; j++ {
+				if linalg.Dist2(p, x.Row(j)) <= b2 {
+					linalg.AXPY(1, x.Row(j), mean)
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				break
+			}
+			linalg.ScaleVec(1/float64(cnt), mean)
+			if linalg.Dist2(mean, p) < 1e-12 {
+				p = mean
+				break
+			}
+			p = mean
+		}
+		copy(modes.Row(i), p)
+	}
+
+	// Merge modes within bandwidth/2.
+	var centers [][]float64
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		m := modes.Row(i)
+		found := -1
+		for c, ctr := range centers {
+			if linalg.Dist(m, ctr) < bandwidth/2 {
+				found = c
+				break
+			}
+		}
+		if found < 0 {
+			centers = append(centers, linalg.CopyVec(m))
+			found = len(centers) - 1
+		}
+		labels[i] = found
+	}
+	cm := linalg.NewMatrix(len(centers), d)
+	for c, ctr := range centers {
+		copy(cm.Row(c), ctr)
+	}
+	return labels, cm
+}
+
+// EstimateBandwidth returns a heuristic bandwidth: the mean distance of
+// each point to its q-quantile nearest neighbour distance across the set.
+func EstimateBandwidth(x *linalg.Matrix, frac float64) float64 {
+	n := x.Rows
+	if n < 2 {
+		return 1
+	}
+	kth := int(frac * float64(n))
+	if kth < 1 {
+		kth = 1
+	}
+	total := 0.0
+	dists := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dists[j] = linalg.Dist(x.Row(i), x.Row(j))
+		}
+		sort.Float64s(dists)
+		idx := kth
+		if idx >= n {
+			idx = n - 1
+		}
+		total += dists[idx]
+	}
+	bw := total / float64(n)
+	if bw <= 0 {
+		bw = 1
+	}
+	return bw
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// Spectral performs normalized spectral clustering (Ng-Jordan-Weiss): build
+// an RBF affinity with the given gamma, form the symmetric-normalized
+// Laplacian, embed each point with the top-k eigenvectors (row-normalized),
+// and run k-means in the embedding. The performance of clustering "largely
+// depends on the definition of the learning space" (paper Section 2.4) —
+// spectral clustering is the canonical example of learning that space.
+func Spectral(rng *rand.Rand, x *linalg.Matrix, k int, gamma float64) ([]int, error) {
+	n := x.Rows
+	if k <= 0 || k > n {
+		return nil, errors.New("cluster: k out of range")
+	}
+	// Affinity and degree.
+	a := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := math.Exp(-gamma * linalg.Dist2(x.Row(i), x.Row(j)))
+			a.Set(i, j, w)
+			a.Set(j, i, w)
+		}
+	}
+	dinv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += a.At(i, j)
+		}
+		if s <= 0 {
+			s = 1e-12
+		}
+		dinv[i] = 1 / math.Sqrt(s)
+	}
+	// Normalized affinity M = D^-1/2 A D^-1/2; its top eigenvectors are the
+	// bottom eigenvectors of the normalized Laplacian.
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, dinv[i]*a.At(i, j)*dinv[j])
+		}
+	}
+	vals, vecs, err := linalg.EigenSym(m)
+	if err != nil {
+		return nil, err
+	}
+	_ = vals
+	// Embedding: top-k eigenvector columns, rows normalized to unit length.
+	emb := linalg.NewMatrix(n, k)
+	for i := 0; i < n; i++ {
+		row := emb.Row(i)
+		for c := 0; c < k; c++ {
+			row[c] = vecs.At(i, c)
+		}
+		nrm := linalg.Norm2(row)
+		if nrm > 0 {
+			linalg.ScaleVec(1/nrm, row)
+		}
+	}
+	res, err := KMeans(rng, emb, k, 100)
+	if err != nil {
+		return nil, err
+	}
+	return res.Labels, nil
+}

@@ -1,0 +1,220 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+func TestNewValidatesShapes(t *testing.T) {
+	x := linalg.NewMatrix(3, 2)
+	if _, err := New(x, []float64{1, 2}, nil); err == nil {
+		t.Fatal("expected label-length error")
+	}
+	if _, err := New(x, nil, []string{"a"}); err == nil {
+		t.Fatal("expected name-length error")
+	}
+	d, err := New(x, []float64{1, 2, 3}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 || d.Dim() != 2 {
+		t.Fatalf("shape %d/%d", d.Len(), d.Dim())
+	}
+	if d.FeatureName(1) != "b" {
+		t.Fatalf("name %q", d.FeatureName(1))
+	}
+	if FromRows([][]float64{{1}}, nil).FeatureName(0) != "f0" {
+		t.Fatal("default feature name")
+	}
+}
+
+func TestSubsetAndSelectFeatures(t *testing.T) {
+	d := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}, []float64{0, 1, 2})
+	s := d.Subset([]int{2, 0})
+	if s.Len() != 2 || s.Row(0)[0] != 7 || s.Y[1] != 0 {
+		t.Fatalf("subset wrong: %v %v", s.Row(0), s.Y)
+	}
+	// Mutating the subset must not touch the parent.
+	s.Row(0)[0] = -1
+	if d.Row(2)[0] != 7 {
+		t.Fatal("Subset aliased parent")
+	}
+	f := d.SelectFeatures([]int{2, 0})
+	if f.Dim() != 2 || f.Row(1)[0] != 6 || f.Row(1)[1] != 4 {
+		t.Fatalf("select features wrong: %v", f.Row(1))
+	}
+}
+
+func TestClassesAndCounts(t *testing.T) {
+	d := FromRows([][]float64{{0}, {0}, {0}, {0}}, []float64{2, 0, 2, 1})
+	cls := d.Classes()
+	if len(cls) != 3 || cls[0] != 0 || cls[2] != 2 {
+		t.Fatalf("classes %v", cls)
+	}
+	cc := d.ClassCounts()
+	if cc[2] != 2 || cc[0] != 1 {
+		t.Fatalf("counts %v", cc)
+	}
+}
+
+func TestSplitSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := TwoGaussians(rng, 50, 3, 2, 1)
+	tr, te := d.Split(rng, 0.8)
+	if tr.Len() != 80 || te.Len() != 20 {
+		t.Fatalf("split sizes %d/%d", tr.Len(), te.Len())
+	}
+}
+
+func TestStratifiedSplitPreservesRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// 90/10 imbalanced dataset.
+	rows := make([][]float64, 200)
+	y := make([]float64, 200)
+	for i := range rows {
+		rows[i] = []float64{float64(i)}
+		if i < 20 {
+			y[i] = 1
+		}
+	}
+	d := FromRows(rows, y)
+	tr, te := d.StratifiedSplit(rng, 0.5)
+	if tr.ClassCounts()[1] != 10 || te.ClassCounts()[1] != 10 {
+		t.Fatalf("stratification broken: %v %v", tr.ClassCounts(), te.ClassCounts())
+	}
+}
+
+func TestKFoldPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr, te := KFold(rng, 10, 3)
+	if len(tr) != 3 || len(te) != 3 {
+		t.Fatal("wrong fold count")
+	}
+	seen := map[int]int{}
+	for f := 0; f < 3; f++ {
+		if len(tr[f])+len(te[f]) != 10 {
+			t.Fatalf("fold %d does not cover dataset", f)
+		}
+		for _, i := range te[f] {
+			seen[i]++
+		}
+		// train and test disjoint
+		inTest := map[int]bool{}
+		for _, i := range te[f] {
+			inTest[i] = true
+		}
+		for _, i := range tr[f] {
+			if inTest[i] {
+				t.Fatalf("fold %d train/test overlap at %d", f, i)
+			}
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("sample %d in %d test folds", i, seen[i])
+		}
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := TwoGaussians(rng, 100, 4, 3, 2)
+	sc := FitScaler(d.X)
+	z := sc.Transform(d.X)
+	for j := 0; j < z.Cols; j++ {
+		col := z.Col(j)
+		if math.Abs(stats.Mean(col)) > 1e-9 {
+			t.Fatalf("col %d mean %g", j, stats.Mean(col))
+		}
+		if math.Abs(stats.StdDev(col)-1) > 1e-9 {
+			t.Fatalf("col %d std %g", j, stats.StdDev(col))
+		}
+	}
+	v := d.Row(3)
+	back := sc.Inverse(sc.TransformVec(v))
+	for j := range v {
+		if math.Abs(back[j]-v[j]) > 1e-9 {
+			t.Fatal("scaler inverse mismatch")
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := RingAndCore(rng, 10, 1, 3, 0.1)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != d.Len() || d2.Dim() != d.Dim() {
+		t.Fatalf("shape mismatch after roundtrip")
+	}
+	for i := 0; i < d.Len(); i++ {
+		if d2.Y[i] != d.Y[i] {
+			t.Fatalf("label %d mismatch", i)
+		}
+		for j := 0; j < d.Dim(); j++ {
+			if math.Abs(d2.Row(i)[j]-d.Row(i)[j]) > 1e-12 {
+				t.Fatalf("value (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+	if d2.Names[0] != "f1" {
+		t.Fatalf("names lost: %v", d2.Names)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("")); err == nil {
+		t.Fatal("expected error for empty CSV")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("a,y\nnope,1\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestRingAndCoreNotLinearlySeparableButRadiusSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := RingAndCore(rng, 100, 1, 3, 0.05)
+	// Radius separates the classes.
+	miscls := 0
+	for i := 0; i < d.Len(); i++ {
+		r := linalg.Norm2(d.Row(i))
+		pred := 0.0
+		if r > 2 {
+			pred = 1
+		}
+		if pred != d.Y[i] {
+			miscls++
+		}
+	}
+	if miscls > 0 {
+		t.Fatalf("radius rule should separate ring/core, got %d errors", miscls)
+	}
+}
+
+func TestSyntheticShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if d := XOR(rng, 5, 0.1); d.Len() != 20 {
+		t.Fatal("XOR size")
+	}
+	if d := NoisySine(rng, 30, 0.1); d.Len() != 30 || d.Dim() != 1 {
+		t.Fatal("NoisySine shape")
+	}
+	if d := Friedman1(rng, 40, 3, 0.1); d.Dim() != 5 {
+		t.Fatal("Friedman1 must pad to 5 dims")
+	}
+	d := Blobs(rng, 4, 10, 2, 5, 0.2)
+	if d.Len() != 40 || len(d.Classes()) != 4 {
+		t.Fatal("Blobs shape")
+	}
+}

@@ -1,0 +1,125 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+// Property: KFold is a partition for any (n, k) with 1 <= k <= n.
+func TestQuickKFoldPartition(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%50 + 2
+		k := int(kRaw)%n + 1
+		rng := rand.New(rand.NewSource(seed))
+		trainIdx, testIdx := KFold(rng, n, k)
+		seen := make([]int, n)
+		for f := 0; f < k; f++ {
+			if len(trainIdx[f])+len(testIdx[f]) != n {
+				return false
+			}
+			for _, i := range testIdx[f] {
+				seen[i]++
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Scaler.Inverse ∘ Scaler.TransformVec is the identity for any
+// finite data.
+func TestQuickScalerRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw, dRaw uint8) bool {
+		n := int(nRaw)%30 + 2
+		d := int(dRaw)%6 + 1
+		rng := rand.New(rand.NewSource(seed))
+		x := linalg.NewMatrix(n, d)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64() * 100
+		}
+		sc := FitScaler(x)
+		for i := 0; i < n; i++ {
+			v := x.Row(i)
+			back := sc.Inverse(sc.TransformVec(v))
+			for j := range v {
+				if math.Abs(back[j]-v[j]) > 1e-6*(1+math.Abs(v[j])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Subset preserves labels and values at the selected indices.
+func TestQuickSubsetConsistency(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 3
+		rng := rand.New(rand.NewSource(seed))
+		rows := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range rows {
+			rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+			y[i] = float64(rng.Intn(3))
+		}
+		d := FromRows(rows, y)
+		idx := rng.Perm(n)[:n/2+1]
+		s := d.Subset(idx)
+		for r, i := range idx {
+			if s.Y[r] != d.Y[i] {
+				return false
+			}
+			for j := 0; j < d.Dim(); j++ {
+				if s.Row(r)[j] != d.Row(i)[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stratified split leaves per-class counts intact overall.
+func TestQuickStratifiedSplitConservation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%60 + 10
+		rng := rand.New(rand.NewSource(seed))
+		rows := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range rows {
+			rows[i] = []float64{float64(i)}
+			y[i] = float64(rng.Intn(2))
+		}
+		d := FromRows(rows, y)
+		tr, te := d.StratifiedSplit(rng, 0.6)
+		cc := d.ClassCounts()
+		ctr := tr.ClassCounts()
+		cte := te.ClassCounts()
+		for c, total := range cc {
+			if ctr[c]+cte[c] != total {
+				return false
+			}
+		}
+		return tr.Len()+te.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

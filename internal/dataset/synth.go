@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// Synthetic dataset generators used throughout the tests, examples, and the
+// Figure 3 / Figure 5 experiments.
+
+// TwoGaussians generates a binary classification dataset with two spherical
+// Gaussian blobs of n samples each, centred at ±sep/2 on every axis.
+// Labels are 0 and 1.
+func TwoGaussians(rng *rand.Rand, n, dim int, sep, sigma float64) *Dataset {
+	x := linalg.NewMatrix(2*n, dim)
+	y := make([]float64, 2*n)
+	for i := 0; i < 2*n; i++ {
+		c := 0.0
+		if i >= n {
+			c = 1
+		}
+		y[i] = c
+		off := -sep / 2
+		if c == 1 {
+			off = sep / 2
+		}
+		row := x.Row(i)
+		for j := range row {
+			row[j] = off + sigma*rng.NormFloat64()
+		}
+	}
+	return MustNew(x, y, nil)
+}
+
+// RingAndCore generates the Figure 3 dataset: class 0 is a compact core at
+// the origin, class 1 is a ring around it. The classes are not linearly
+// separable in the input space but are separable by the squared-feature map
+// Φ(x) = (x1², x2², √2·x1x2) of the quadratic kernel.
+func RingAndCore(rng *rand.Rand, n int, coreR, ringR, noise float64) *Dataset {
+	x := linalg.NewMatrix(2*n, 2)
+	y := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		r := coreR * math.Sqrt(rng.Float64())
+		th := 2 * math.Pi * rng.Float64()
+		x.Set(i, 0, r*math.Cos(th)+noise*rng.NormFloat64())
+		x.Set(i, 1, r*math.Sin(th)+noise*rng.NormFloat64())
+		y[i] = 0
+	}
+	for i := n; i < 2*n; i++ {
+		th := 2 * math.Pi * rng.Float64()
+		r := ringR + noise*rng.NormFloat64()
+		x.Set(i, 0, r*math.Cos(th))
+		x.Set(i, 1, r*math.Sin(th))
+		y[i] = 1
+	}
+	return MustNew(x, y, []string{"f1", "f2"})
+}
+
+// XOR generates the classic XOR pattern: four Gaussian blobs at (±1, ±1)
+// with labels equal to the sign product. Not linearly separable.
+func XOR(rng *rand.Rand, nPerBlob int, sigma float64) *Dataset {
+	centers := [][2]float64{{1, 1}, {-1, -1}, {1, -1}, {-1, 1}}
+	labels := []float64{0, 0, 1, 1}
+	x := linalg.NewMatrix(4*nPerBlob, 2)
+	y := make([]float64, 4*nPerBlob)
+	i := 0
+	for b, c := range centers {
+		for k := 0; k < nPerBlob; k++ {
+			x.Set(i, 0, c[0]+sigma*rng.NormFloat64())
+			x.Set(i, 1, c[1]+sigma*rng.NormFloat64())
+			y[i] = labels[b]
+			i++
+		}
+	}
+	return MustNew(x, y, nil)
+}
+
+// NoisySine generates a 1-D regression dataset y = sin(2πx) + noise on
+// [0, 1]; the Figure 5 overfitting experiment fits polynomials of rising
+// degree to it.
+func NoisySine(rng *rand.Rand, n int, noise float64) *Dataset {
+	x := linalg.NewMatrix(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		x.Set(i, 0, v)
+		y[i] = math.Sin(2*math.Pi*v) + noise*rng.NormFloat64()
+	}
+	return MustNew(x, y, []string{"x"})
+}
+
+// Friedman1 is the classic nonlinear regression benchmark
+// y = 10 sin(π x1 x2) + 20 (x3 - 0.5)² + 10 x4 + 5 x5 + noise
+// with 5 informative and dim-5 noise features; it stands in for the Fmax
+// prediction task when comparing the five regressor families ([20]).
+func Friedman1(rng *rand.Rand, n, dim int, noise float64) *Dataset {
+	if dim < 5 {
+		dim = 5
+	}
+	x := linalg.NewMatrix(n, dim)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		y[i] = 10*math.Sin(math.Pi*row[0]*row[1]) + 20*(row[2]-0.5)*(row[2]-0.5) +
+			10*row[3] + 5*row[4] + noise*rng.NormFloat64()
+	}
+	return MustNew(x, y, nil)
+}
+
+// Blobs generates k Gaussian clusters in dim dimensions with the given
+// per-cluster count and spread; centers are drawn uniformly in
+// [-centerBox, centerBox]^dim. Labels record the generating cluster.
+func Blobs(rng *rand.Rand, k, perCluster, dim int, centerBox, sigma float64) *Dataset {
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = centerBox * (2*rng.Float64() - 1)
+		}
+	}
+	n := k * perCluster
+	x := linalg.NewMatrix(n, dim)
+	y := make([]float64, n)
+	i := 0
+	for c := 0; c < k; c++ {
+		for s := 0; s < perCluster; s++ {
+			row := x.Row(i)
+			for j := range row {
+				row[j] = centers[c][j] + sigma*rng.NormFloat64()
+			}
+			y[i] = float64(c)
+			i++
+		}
+	}
+	return MustNew(x, y, nil)
+}

@@ -1,0 +1,157 @@
+// Package featsel implements feature selection. The paper observes that
+// under extreme imbalance (a handful of customer returns among millions of
+// passing parts) the learning task "becomes more like a feature selection
+// problem than a traditional classification problem" ([16],[17],[18]):
+// find the few tests in which the returns stand apart, then model the
+// population in that small space. The customer-return application (Fig 11)
+// uses OutlierSeparation to pick its 3-D test space.
+package featsel
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Score pairs a feature index with a selection score (higher = better).
+type Score struct {
+	Feature int
+	Name    string
+	Value   float64
+}
+
+// rank sorts scores descending with deterministic ties.
+func rank(scores []Score) []Score {
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Value != scores[j].Value {
+			return scores[i].Value > scores[j].Value
+		}
+		return scores[i].Feature < scores[j].Feature
+	})
+	return scores
+}
+
+// FisherScores ranks features by the Fisher criterion
+// (m1-m0)² / (v0 + v1) for a binary dataset.
+func FisherScores(d *dataset.Dataset) ([]Score, error) {
+	classes := d.Classes()
+	if len(classes) != 2 {
+		return nil, errors.New("featsel: binary datasets only")
+	}
+	var i0, i1 []int
+	for i, y := range d.Y {
+		if int(y) == classes[0] {
+			i0 = append(i0, i)
+		} else {
+			i1 = append(i1, i)
+		}
+	}
+	d0, d1 := d.Subset(i0), d.Subset(i1)
+	out := make([]Score, d.Dim())
+	for j := 0; j < d.Dim(); j++ {
+		c0, c1 := d0.X.Col(j), d1.X.Col(j)
+		m0, m1 := stats.Mean(c0), stats.Mean(c1)
+		v0, v1 := stats.Variance(c0), stats.Variance(c1)
+		den := v0 + v1
+		if den < 1e-12 {
+			den = 1e-12
+		}
+		out[j] = Score{j, d.FeatureName(j), (m1 - m0) * (m1 - m0) / den}
+	}
+	return rank(out), nil
+}
+
+// CorrelationScores ranks features by |Pearson correlation| with the label
+// (classification or regression).
+func CorrelationScores(d *dataset.Dataset) []Score {
+	out := make([]Score, d.Dim())
+	for j := 0; j < d.Dim(); j++ {
+		out[j] = Score{j, d.FeatureName(j), math.Abs(stats.Correlation(d.X.Col(j), d.Y))}
+	}
+	return rank(out)
+}
+
+// OutlierSeparation ranks features by how far the rare positive samples sit
+// from the bulk of the negatives, in robust (median/MAD) units. This is the
+// extreme-imbalance framing: with only a handful of positives, per-feature
+// separation is statistically meaningful where a trained classifier is not.
+func OutlierSeparation(d *dataset.Dataset, positive int) ([]Score, error) {
+	var posIdx, negIdx []int
+	for i, y := range d.Y {
+		if int(y) == positive {
+			posIdx = append(posIdx, i)
+		} else {
+			negIdx = append(negIdx, i)
+		}
+	}
+	if len(posIdx) == 0 {
+		return nil, errors.New("featsel: no positive samples")
+	}
+	neg := d.Subset(negIdx)
+	out := make([]Score, d.Dim())
+	for j := 0; j < d.Dim(); j++ {
+		col := neg.X.Col(j)
+		med := stats.Median(col)
+		mad := stats.MAD(col)
+		if mad < 1e-12 {
+			mad = 1e-12
+		}
+		// Minimum robust z-score across the positives: the feature must
+		// separate every return, not just one.
+		minZ := math.Inf(1)
+		for _, i := range posIdx {
+			z := math.Abs(d.X.At(i, j)-med) / (1.4826 * mad)
+			if z < minZ {
+				minZ = z
+			}
+		}
+		out[j] = Score{j, d.FeatureName(j), minZ}
+	}
+	return rank(out), nil
+}
+
+// TopK returns the feature indices of the k best scores.
+func TopK(scores []Score, k int) []int {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = scores[i].Feature
+	}
+	return out
+}
+
+// GreedyForward selects up to k features by greedily adding the feature
+// that most improves the supplied evaluation function (higher = better),
+// stopping early when no feature improves it.
+func GreedyForward(d *dataset.Dataset, k int,
+	eval func(sub *dataset.Dataset) float64) []int {
+
+	var selected []int
+	inSel := make([]bool, d.Dim())
+	best := math.Inf(-1)
+	for len(selected) < k {
+		bestJ, bestV := -1, best
+		for j := 0; j < d.Dim(); j++ {
+			if inSel[j] {
+				continue
+			}
+			cand := append(append([]int(nil), selected...), j)
+			v := eval(d.SelectFeatures(cand))
+			if v > bestV {
+				bestJ, bestV = j, v
+			}
+		}
+		if bestJ < 0 {
+			break
+		}
+		selected = append(selected, bestJ)
+		inSel[bestJ] = true
+		best = bestV
+	}
+	return selected
+}

@@ -1,0 +1,147 @@
+package featsel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/validate"
+)
+
+// informativeData builds a dataset where feature 0 separates the classes,
+// feature 1 is weakly informative, feature 2 is noise.
+func informativeData(rng *rand.Rand, n int) *dataset.Dataset {
+	rows := make([][]float64, 2*n)
+	y := make([]float64, 2*n)
+	for i := 0; i < 2*n; i++ {
+		c := 0.0
+		if i >= n {
+			c = 1
+		}
+		y[i] = c
+		rows[i] = []float64{
+			c*6 + rng.NormFloat64(),
+			c*1 + rng.NormFloat64(),
+			rng.NormFloat64(),
+		}
+	}
+	return dataset.MustNew(dataset.FromRows(rows, y).X, y, []string{"strong", "weak", "noise"})
+}
+
+func TestFisherScoresOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := informativeData(rng, 200)
+	scores, err := FisherScores(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0].Feature != 0 || scores[0].Name != "strong" {
+		t.Fatalf("top feature %+v", scores[0])
+	}
+	if scores[2].Feature != 2 {
+		t.Fatalf("noise should rank last: %+v", scores)
+	}
+}
+
+func TestFisherBinaryOnly(t *testing.T) {
+	d := dataset.FromRows([][]float64{{1}, {2}, {3}}, []float64{0, 1, 2})
+	if _, err := FisherScores(d); err == nil {
+		t.Fatal("multiclass accepted")
+	}
+}
+
+func TestCorrelationScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := informativeData(rng, 200)
+	scores := CorrelationScores(d)
+	if scores[0].Feature != 0 {
+		t.Fatalf("top feature %+v", scores[0])
+	}
+	if TopK(scores, 2)[0] != 0 {
+		t.Fatal("TopK order")
+	}
+	if len(TopK(scores, 99)) != 3 {
+		t.Fatal("TopK clamp")
+	}
+}
+
+func TestOutlierSeparationFindsReturnTests(t *testing.T) {
+	// Extreme imbalance: 1000 passing parts, 3 returns. The returns are
+	// outliers only in feature 1.
+	rng := rand.New(rand.NewSource(3))
+	n := 1000
+	rows := make([][]float64, n+3)
+	y := make([]float64, n+3)
+	for i := 0; i < n; i++ {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	for i := n; i < n+3; i++ {
+		rows[i] = []float64{rng.NormFloat64(), 8 + rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = 1
+	}
+	d := dataset.MustNew(dataset.FromRows(rows, y).X, y, []string{"t1", "t2", "t3"})
+	scores, err := OutlierSeparation(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0].Feature != 1 {
+		t.Fatalf("should pick the separating test: %+v", scores)
+	}
+	if scores[0].Value < 3 {
+		t.Fatalf("separation score too low: %+v", scores[0])
+	}
+	if _, err := OutlierSeparation(d, 7); err == nil {
+		t.Fatal("missing positive class accepted")
+	}
+}
+
+func TestGreedyForwardImprovesAndStops(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := informativeData(rng, 150)
+	evalCalls := 0
+	eval := func(sub *dataset.Dataset) float64 {
+		evalCalls++
+		// Score a nearest-centroid classifier's training accuracy.
+		pred := make([]float64, sub.Len())
+		c0 := make([]float64, sub.Dim())
+		c1 := make([]float64, sub.Dim())
+		n0, n1 := 0.0, 0.0
+		for i := 0; i < sub.Len(); i++ {
+			row := sub.Row(i)
+			if sub.Y[i] == 0 {
+				for j := range row {
+					c0[j] += row[j]
+				}
+				n0++
+			} else {
+				for j := range row {
+					c1[j] += row[j]
+				}
+				n1++
+			}
+		}
+		for j := range c0 {
+			c0[j] /= n0
+			c1[j] /= n1
+		}
+		for i := 0; i < sub.Len(); i++ {
+			row := sub.Row(i)
+			d0, d1 := 0.0, 0.0
+			for j := range row {
+				d0 += (row[j] - c0[j]) * (row[j] - c0[j])
+				d1 += (row[j] - c1[j]) * (row[j] - c1[j])
+			}
+			if d1 < d0 {
+				pred[i] = 1
+			}
+		}
+		return validate.Accuracy(pred, sub.Y)
+	}
+	sel := GreedyForward(d, 3, eval)
+	if len(sel) == 0 || sel[0] != 0 {
+		t.Fatalf("greedy should pick the strong feature first: %v", sel)
+	}
+	if evalCalls == 0 {
+		t.Fatal("eval never called")
+	}
+}

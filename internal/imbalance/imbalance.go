@@ -1,0 +1,170 @@
+// Package imbalance implements dataset rebalancing for skewed class
+// distributions (paper Section 2.4, [15]): random oversampling, random
+// undersampling, and SMOTE-style synthetic minority oversampling. The
+// paper's caveat — "if the imbalance is quite extreme, rebalancing will
+// not solve the problem" — is demonstrated by the customer-return
+// experiments, which switch to the feature-selection framing of
+// internal/featsel instead ([16],[17]).
+package imbalance
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+)
+
+// minorityMajority returns (minority class, majority class) by count, with
+// deterministic tie-breaking toward the smaller label.
+func minorityMajority(d *dataset.Dataset) (int, int, error) {
+	counts := d.ClassCounts()
+	if len(counts) != 2 {
+		return 0, 0, errors.New("imbalance: binary datasets only")
+	}
+	classes := d.Classes()
+	a, b := classes[0], classes[1]
+	if counts[a] <= counts[b] {
+		return a, b, nil
+	}
+	return b, a, nil
+}
+
+// Oversample duplicates random minority samples until classes are balanced.
+func Oversample(rng *rand.Rand, d *dataset.Dataset) (*dataset.Dataset, error) {
+	minC, majC, err := minorityMajority(d)
+	if err != nil {
+		return nil, err
+	}
+	var minIdx []int
+	idx := make([]int, 0, d.Len())
+	for i, y := range d.Y {
+		idx = append(idx, i)
+		if int(y) == minC {
+			minIdx = append(minIdx, i)
+		}
+	}
+	need := d.ClassCounts()[majC] - len(minIdx)
+	for k := 0; k < need; k++ {
+		idx = append(idx, minIdx[rng.Intn(len(minIdx))])
+	}
+	return d.Subset(idx), nil
+}
+
+// Undersample removes random majority samples until classes are balanced.
+func Undersample(rng *rand.Rand, d *dataset.Dataset) (*dataset.Dataset, error) {
+	minC, majC, err := minorityMajority(d)
+	if err != nil {
+		return nil, err
+	}
+	var minIdx, majIdx []int
+	for i, y := range d.Y {
+		if int(y) == minC {
+			minIdx = append(minIdx, i)
+		} else {
+			majIdx = append(majIdx, i)
+		}
+	}
+	rng.Shuffle(len(majIdx), func(i, j int) { majIdx[i], majIdx[j] = majIdx[j], majIdx[i] })
+	keep := append(append([]int(nil), minIdx...), majIdx[:len(minIdx)]...)
+	sort.Ints(keep)
+	_ = majC
+	return d.Subset(keep), nil
+}
+
+// SMOTE synthesizes minority samples by interpolating between each minority
+// point and one of its k nearest minority neighbours until balanced.
+func SMOTE(rng *rand.Rand, d *dataset.Dataset, k int) (*dataset.Dataset, error) {
+	minC, majC, err := minorityMajority(d)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		k = 5
+	}
+	var minIdx []int
+	for i, y := range d.Y {
+		if int(y) == minC {
+			minIdx = append(minIdx, i)
+		}
+	}
+	if len(minIdx) < 2 {
+		return nil, errors.New("imbalance: SMOTE needs at least 2 minority samples")
+	}
+	if k >= len(minIdx) {
+		k = len(minIdx) - 1
+	}
+	need := d.ClassCounts()[majC] - len(minIdx)
+	if need <= 0 {
+		return d.Subset(rangeInts(d.Len())), nil
+	}
+
+	// Precompute minority-to-minority neighbours.
+	nn := make([][]int, len(minIdx))
+	for a, ia := range minIdx {
+		type nd struct {
+			idx int
+			d   float64
+		}
+		ds := make([]nd, 0, len(minIdx)-1)
+		for b, ib := range minIdx {
+			if a == b {
+				continue
+			}
+			ds = append(ds, nd{ib, linalg.Dist2(d.Row(ia), d.Row(ib))})
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+		nn[a] = make([]int, k)
+		for j := 0; j < k; j++ {
+			nn[a][j] = ds[j].idx
+		}
+	}
+
+	total := d.Len() + need
+	x := linalg.NewMatrix(total, d.Dim())
+	y := make([]float64, total)
+	for i := 0; i < d.Len(); i++ {
+		copy(x.Row(i), d.Row(i))
+		y[i] = d.Y[i]
+	}
+	for s := 0; s < need; s++ {
+		a := rng.Intn(len(minIdx))
+		ia := minIdx[a]
+		ib := nn[a][rng.Intn(k)]
+		t := rng.Float64()
+		row := x.Row(d.Len() + s)
+		ra, rb := d.Row(ia), d.Row(ib)
+		for j := range row {
+			row[j] = ra[j] + t*(rb[j]-ra[j])
+		}
+		y[d.Len()+s] = float64(minC)
+	}
+	return dataset.MustNew(x, y, d.Names), nil
+}
+
+func rangeInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// ImbalanceRatio returns majority/minority count ratio.
+func ImbalanceRatio(d *dataset.Dataset) float64 {
+	counts := d.ClassCounts()
+	minN, maxN := -1, -1
+	for _, c := range counts {
+		if minN < 0 || c < minN {
+			minN = c
+		}
+		if c > maxN {
+			maxN = c
+		}
+	}
+	if minN <= 0 {
+		return 0
+	}
+	return float64(maxN) / float64(minN)
+}

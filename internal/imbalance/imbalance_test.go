@@ -1,0 +1,107 @@
+package imbalance
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func skewed(rng *rand.Rand, nMaj, nMin int) *dataset.Dataset {
+	rows := make([][]float64, 0, nMaj+nMin)
+	y := make([]float64, 0, nMaj+nMin)
+	for i := 0; i < nMaj; i++ {
+		rows = append(rows, []float64{rng.NormFloat64(), rng.NormFloat64()})
+		y = append(y, 0)
+	}
+	for i := 0; i < nMin; i++ {
+		rows = append(rows, []float64{5 + rng.NormFloat64(), 5 + rng.NormFloat64()})
+		y = append(y, 1)
+	}
+	return dataset.FromRows(rows, y)
+}
+
+func TestOversampleBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := skewed(rng, 100, 10)
+	b, err := Oversample(rng, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := b.ClassCounts()
+	if cc[0] != cc[1] {
+		t.Fatalf("not balanced: %v", cc)
+	}
+	if b.Len() != 200 {
+		t.Fatalf("size %d", b.Len())
+	}
+}
+
+func TestUndersampleBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := skewed(rng, 100, 10)
+	b, err := Undersample(rng, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := b.ClassCounts()
+	if cc[0] != 10 || cc[1] != 10 {
+		t.Fatalf("not balanced: %v", cc)
+	}
+}
+
+func TestSMOTEGeneratesInteriorPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := skewed(rng, 80, 8)
+	b, err := SMOTE(rng, d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := b.ClassCounts()
+	if cc[0] != cc[1] {
+		t.Fatalf("not balanced: %v", cc)
+	}
+	// Synthetic minority points must stay within the minority bounding box
+	// (interpolation property).
+	loX, hiX := 1e18, -1e18
+	for i := 0; i < d.Len(); i++ {
+		if d.Y[i] == 1 {
+			v := d.Row(i)[0]
+			if v < loX {
+				loX = v
+			}
+			if v > hiX {
+				hiX = v
+			}
+		}
+	}
+	for i := d.Len(); i < b.Len(); i++ {
+		if b.Y[i] != 1 {
+			t.Fatal("synthetic sample not minority")
+		}
+		v := b.Row(i)[0]
+		if v < loX-1e-9 || v > hiX+1e-9 {
+			t.Fatalf("synthetic point outside minority hull: %g not in [%g,%g]", v, loX, hiX)
+		}
+	}
+}
+
+func TestSMOTEValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	one := dataset.FromRows([][]float64{{0}, {1}, {2}}, []float64{0, 0, 1})
+	if _, err := SMOTE(rng, one, 3); err == nil {
+		t.Fatal("SMOTE should require 2+ minority samples")
+	}
+	multi := dataset.FromRows([][]float64{{0}, {1}, {2}}, []float64{0, 1, 2})
+	if _, err := Oversample(rng, multi); err == nil {
+		t.Fatal("multiclass accepted")
+	}
+}
+
+func TestImbalanceRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := skewed(rng, 90, 9)
+	if r := ImbalanceRatio(d); r != 10 {
+		t.Fatalf("ratio %g", r)
+	}
+}

@@ -1,0 +1,165 @@
+package isa
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the assembly text format produced by Program.String:
+// one instruction per line, with ';' or '#' comments and blank lines
+// ignored. Supported forms:
+//
+//	nop
+//	add r1, r2, r3          (and sub/mul/and/or/xor/shl/shr)
+//	addi r1, r2, -5
+//	lw r3, 12(r5)           (and lb/lh/sb/sh/sw)
+func Assemble(r io.Reader) (Program, error) {
+	var p Program
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		in, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineNo, err)
+		}
+		p = append(p, in)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// AssembleString parses a program from a string.
+func AssembleString(s string) (Program, error) {
+	return Assemble(strings.NewReader(s))
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op)
+	for op := NOP; op < numOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func parseLine(line string) (Instruction, error) {
+	fields := strings.Fields(line)
+	mn := strings.ToLower(fields[0])
+	op, ok := opByName[mn]
+	if !ok {
+		return Instruction{}, fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	args := splitArgs(rest)
+	switch {
+	case op == NOP:
+		if len(args) != 0 {
+			return Instruction{}, fmt.Errorf("nop takes no operands")
+		}
+		return Instruction{Op: NOP}, nil
+	case op == ADDI:
+		if len(args) != 3 {
+			return Instruction{}, fmt.Errorf("addi needs rd, rs1, imm")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Instruction{}, err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return Instruction{}, err
+		}
+		imm, err := strconv.ParseInt(args[2], 10, 32)
+		if err != nil {
+			return Instruction{}, fmt.Errorf("bad immediate %q", args[2])
+		}
+		return Instruction{Op: ADDI, Rd: rd, Rs1: rs1, Imm: int32(imm)}, nil
+	case op.IsMem():
+		if len(args) != 2 {
+			return Instruction{}, fmt.Errorf("%s needs reg, offset(base)", mn)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Instruction{}, err
+		}
+		imm, base, err := parseMemOperand(args[1])
+		if err != nil {
+			return Instruction{}, err
+		}
+		return Instruction{Op: op, Rd: rd, Rs1: base, Imm: imm}, nil
+	default: // three-register ALU
+		if len(args) != 3 {
+			return Instruction{}, fmt.Errorf("%s needs rd, rs1, rs2", mn)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Instruction{}, err
+		}
+		rs1, err := parseReg(args[1])
+		if err != nil {
+			return Instruction{}, err
+		}
+		rs2, err := parseReg(args[2])
+		if err != nil {
+			return Instruction{}, err
+		}
+		return Instruction{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+	}
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (int, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+// parseMemOperand parses "offset(rN)".
+func parseMemOperand(s string) (int32, int, error) {
+	open := strings.IndexByte(s, '(')
+	close := strings.IndexByte(s, ')')
+	if open < 0 || close < open || close != len(s)-1 {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, err := strconv.ParseInt(offStr, 10, 32)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad offset %q", offStr)
+	}
+	base, err := parseReg(strings.TrimSpace(s[open+1 : close]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return int32(off), base, nil
+}

@@ -1,0 +1,101 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssembleBasicForms(t *testing.T) {
+	src := `
+; a comment
+nop
+add r9, r2, r3   # trailing comment
+addi r8, r0, -5
+lw r10, 12(r5)
+sb r2, (r1)
+`
+	p, err := AssembleString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 5 {
+		t.Fatalf("instruction count %d", len(p))
+	}
+	if p[0].Op != NOP {
+		t.Fatal("nop")
+	}
+	if p[1].Op != ADD || p[1].Rd != 9 || p[1].Rs1 != 2 || p[1].Rs2 != 3 {
+		t.Fatalf("add parse %+v", p[1])
+	}
+	if p[2].Op != ADDI || p[2].Imm != -5 {
+		t.Fatalf("addi parse %+v", p[2])
+	}
+	if p[3].Op != LW || p[3].Rd != 10 || p[3].Rs1 != 5 || p[3].Imm != 12 {
+		t.Fatalf("lw parse %+v", p[3])
+	}
+	if p[4].Op != SB || p[4].Imm != 0 || p[4].Rs1 != 1 {
+		t.Fatalf("sb parse %+v", p[4])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for _, bad := range []string{
+		"frobnicate r1, r2, r3",
+		"add r1, r2",
+		"addi r1, r2, xyz",
+		"lw r1, 12[r5]",
+		"lw r1, 12(r99)",
+		"add r1, r2, r99",
+		"nop r1",
+	} {
+		if _, err := AssembleString(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+		if _, err := AssembleString(bad); err != nil && !strings.Contains(err.Error(), "line 1") {
+			t.Fatalf("error for %q missing line number: %v", bad, err)
+		}
+	}
+}
+
+// Property: Assemble(Program.String()) round-trips every generated test.
+func TestQuickAssembleRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		gen := NewGenerator(WideTemplate(), seed)
+		p := gen.Next()
+		q, err := AssembleString(p.String())
+		if err != nil {
+			return false
+		}
+		if len(q) != len(p) {
+			return false
+		}
+		for i := range p {
+			if p[i] != q[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembledProgramRunsIdentically(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+	gen := NewGenerator(WideTemplate(), 42)
+	p := gen.Next()
+	q, err := AssembleString(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine()
+	c1 := m.Run(p)
+	c2 := m.Run(q)
+	if *c1 != *c2 {
+		t.Fatal("assembled program diverges from original")
+	}
+}

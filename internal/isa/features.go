@@ -1,0 +1,94 @@
+package isa
+
+// FeatureNames lists, in order, the interpretable per-test features used by
+// feature-based rule learning (paper Section 5: in feature-based learning,
+// domain knowledge is incorporated into the definition of the features).
+var FeatureNames = []string{
+	"load_frac",      // fraction of load instructions
+	"store_frac",     // fraction of store instructions
+	"byte_frac",      // fraction of 1-byte memory ops
+	"half_frac",      // fraction of 2-byte memory ops
+	"word_frac",      // fraction of 4-byte memory ops
+	"unaligned_frac", // memory ops with width-misaligned offsets
+	"base_regs",      // distinct base registers used
+	"max_base_reg",   // highest base register index used
+	"mean_offset",    // mean |offset| of memory ops
+	"max_offset",     // max offset of memory ops
+	"pair_count",     // store immediately followed by load on same base
+	"max_store_run",  // longest consecutive store run
+}
+
+// Features extracts the interpretable feature vector of a test.
+func Features(p Program) []float64 {
+	n := float64(len(p))
+	if n == 0 {
+		n = 1
+	}
+	var loads, stores, byteOps, halfOps, wordOps, unaligned float64
+	baseSeen := map[int]bool{}
+	maxBase := 0
+	var sumOff, maxOff float64
+	var pairs float64
+	run, maxRun := 0, 0
+	for i, in := range p {
+		if !in.Op.IsMem() {
+			run = 0
+			continue
+		}
+		w := in.Op.Width()
+		switch w {
+		case 1:
+			byteOps++
+		case 2:
+			halfOps++
+		default:
+			wordOps++
+		}
+		if w > 1 && int(in.Imm)%w != 0 {
+			unaligned++
+		}
+		baseSeen[in.Rs1] = true
+		if in.Rs1 > maxBase {
+			maxBase = in.Rs1
+		}
+		off := float64(in.Imm)
+		if off < 0 {
+			off = -off
+		}
+		sumOff += off
+		if off > maxOff {
+			maxOff = off
+		}
+		if in.Op.IsStore() {
+			stores++
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+			if i+1 < len(p) && p[i+1].Op.IsLoad() && p[i+1].Rs1 == in.Rs1 {
+				pairs++
+			}
+		} else {
+			loads++
+			run = 0
+		}
+	}
+	mem := loads + stores
+	if mem == 0 {
+		mem = 1
+	}
+	return []float64{
+		loads / n,
+		stores / n,
+		byteOps / mem,
+		halfOps / mem,
+		wordOps / mem,
+		unaligned / mem,
+		float64(len(baseSeen)),
+		float64(maxBase),
+		sumOff / mem,
+		maxOff,
+		pairs,
+		float64(maxRun),
+	}
+}

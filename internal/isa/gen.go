@@ -1,0 +1,231 @@
+package isa
+
+import (
+	"math/rand"
+)
+
+// Template is the constrained-random test template: the knobs a
+// verification engineer writes and the randomizer instantiates. The
+// template-refinement application (paper Table 1) works by learning rules
+// from simulated tests and turning them back into knob adjustments.
+type Template struct {
+	Len int // instructions per test
+
+	// Category weights.
+	ALUWeight   float64
+	LoadWeight  float64
+	StoreWeight float64
+
+	// Memory-access shaping.
+	WidthWeights  [3]float64 // byte, half, word
+	MaxBaseReg    int        // base registers drawn from 1..MaxBaseReg (region reach)
+	ImmRange      int32      // offsets drawn from [0, ImmRange)
+	UnalignedProb float64    // probability an offset is misaligned for its width
+	PairProb      float64    // probability a store is followed by a load near the same address
+	BurstProb     float64    // probability of a store burst (fills the store buffer)
+}
+
+// DefaultTemplate is the kind of first-cut template an engineer writes:
+// word-aligned loads through a single base register in a narrow region.
+// It reaches only the easy coverage (A0/A1), as in the paper's Table 1 row
+// "Original".
+func DefaultTemplate() Template {
+	return Template{
+		Len:           24,
+		ALUWeight:     0.6,
+		LoadWeight:    0.4,
+		StoreWeight:   0,
+		WidthWeights:  [3]float64{0, 0, 1},
+		MaxBaseReg:    1,
+		ImmRange:      64,
+		UnalignedProb: 0,
+		PairProb:      0,
+		BurstProb:     0,
+	}
+}
+
+// WideTemplate is a generic "try everything" template: it can reach all
+// coverage eventually but spreads probability so thinly that most tests
+// are redundant — the regime where the paper's novel test selection
+// (Figure 7) pays off.
+func WideTemplate() Template {
+	return Template{
+		Len:           24,
+		ALUWeight:     0.45,
+		LoadWeight:    0.30,
+		StoreWeight:   0.25,
+		WidthWeights:  [3]float64{0.2, 0.2, 0.6},
+		MaxBaseReg:    7,
+		ImmRange:      512,
+		UnalignedProb: 0.08,
+		PairProb:      0.05,
+		BurstProb:     0.03,
+	}
+}
+
+// Generator is the randomizer: it instantiates tests from a template.
+type Generator struct {
+	T   Template
+	rng *rand.Rand
+}
+
+// NewGenerator seeds a randomizer.
+func NewGenerator(t Template, seed int64) *Generator {
+	return &Generator{T: t, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (g *Generator) pickWidth() Op {
+	w := g.T.WidthWeights
+	total := w[0] + w[1] + w[2]
+	if total <= 0 {
+		return LW
+	}
+	r := g.rng.Float64() * total
+	switch {
+	case r < w[0]:
+		return LB
+	case r < w[0]+w[1]:
+		return LH
+	default:
+		return LW
+	}
+}
+
+// baseReg picks an addressing register. Bases live in r1..r7 (preserved by
+// the generator) so each base deterministically selects an address region.
+func (g *Generator) baseReg() int {
+	maxR := g.T.MaxBaseReg
+	if maxR < 1 {
+		maxR = 1
+	}
+	if maxR > 7 {
+		maxR = 7
+	}
+	return 1 + g.rng.Intn(maxR)
+}
+
+// scratchReg picks a destination register that never serves as a base.
+func (g *Generator) scratchReg() int { return 8 + g.rng.Intn(8) }
+
+func (g *Generator) offset(width int) int32 {
+	rng := g.T.ImmRange
+	if rng < 1 {
+		rng = 1
+	}
+	off := int32(g.rng.Intn(int(rng)))
+	if width > 1 {
+		if g.rng.Float64() < g.T.UnalignedProb {
+			// Force misalignment for this width.
+			off = off - off%int32(width) + 1 + int32(g.rng.Intn(width-1))
+		} else {
+			off -= off % int32(width)
+		}
+	}
+	return off
+}
+
+func (g *Generator) loadOpFor(width int) Op {
+	switch width {
+	case 1:
+		return LB
+	case 2:
+		return LH
+	default:
+		return LW
+	}
+}
+
+func (g *Generator) storeOpFor(width int) Op {
+	switch width {
+	case 1:
+		return SB
+	case 2:
+		return SH
+	default:
+		return SW
+	}
+}
+
+// Next instantiates one test.
+func (g *Generator) Next() Program {
+	t := g.T
+	n := t.Len
+	if n <= 0 {
+		n = 24
+	}
+	p := make(Program, 0, n)
+	total := t.ALUWeight + t.LoadWeight + t.StoreWeight
+	if total <= 0 {
+		total = 1
+		t.ALUWeight = 1
+	}
+	aluOps := []Op{ADD, SUB, MUL, AND, OR, XOR, SHL, SHR, ADDI}
+	for len(p) < n {
+		r := g.rng.Float64() * total
+		switch {
+		case r < t.ALUWeight:
+			op := aluOps[g.rng.Intn(len(aluOps))]
+			in := Instruction{Op: op,
+				Rd:  g.scratchReg(),
+				Rs1: g.rng.Intn(NumRegs),
+				Rs2: g.rng.Intn(NumRegs),
+			}
+			if op == ADDI {
+				in.Imm = int32(g.rng.Intn(256)) - 128
+				in.Rs2 = 0 // unused by addi; keep the encoding canonical
+			}
+			p = append(p, in)
+		case r < t.ALUWeight+t.LoadWeight:
+			wop := g.pickWidth()
+			w := wop.Width()
+			p = append(p, Instruction{
+				Op: g.loadOpFor(w), Rd: g.scratchReg(),
+				Rs1: g.baseReg(), Imm: g.offset(w),
+			})
+		default:
+			wop := g.pickWidth()
+			w := wop.Width()
+			base := g.baseReg()
+			off := g.offset(w)
+			p = append(p, Instruction{
+				Op: g.storeOpFor(w), Rd: g.rng.Intn(NumRegs),
+				Rs1: base, Imm: off,
+			})
+			// Store burst to stress the store buffer.
+			if g.rng.Float64() < t.BurstProb {
+				for b := 0; b < sbDepth+1 && len(p) < n; b++ {
+					p = append(p, Instruction{
+						Op: g.storeOpFor(w), Rd: g.rng.Intn(NumRegs),
+						Rs1: base, Imm: g.offset(w),
+					})
+				}
+			}
+			// Store→load pair to provoke forwarding (same or overlapping
+			// address, possibly different width for the blocked case).
+			if g.rng.Float64() < t.PairProb && len(p) < n {
+				lw := w
+				if g.rng.Float64() < 0.4 {
+					lw = []int{1, 2, 4}[g.rng.Intn(3)]
+				}
+				d := off + int32(g.rng.Intn(3)) - 1
+				if d < 0 {
+					d = 0
+				}
+				p = append(p, Instruction{
+					Op: g.loadOpFor(lw), Rd: g.scratchReg(),
+					Rs1: base, Imm: d,
+				})
+			}
+		}
+	}
+	return p[:n]
+}
+
+// Batch instantiates k tests.
+func (g *Generator) Batch(k int) []Program {
+	out := make([]Program, k)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

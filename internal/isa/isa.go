@@ -1,0 +1,176 @@
+// Package isa implements the processor-verification substrate standing in
+// for the commercial constrained-random environment of the paper's
+// Section 3 case studies ([14],[28]): a small RISC instruction set, a
+// template-driven constrained-random test generator (the "randomizer"),
+// and a load-store-unit micro-architecture simulator with a functional
+// coverage model (points A0..A7 as in the paper's Table 1).
+//
+// A functional test is a sequence of instructions — exactly the non-vector
+// sample form the paper uses to motivate kernel-based learning: tests are
+// compared with an n-gram spectrum kernel over their token streams, never
+// converted to a fixed vector by hand.
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is an instruction opcode.
+type Op int
+
+// Opcodes. Loads/stores come in byte/half/word widths so that alignment
+// and line/page crossing behaviour differs per width.
+const (
+	NOP Op = iota
+	ADD
+	SUB
+	MUL
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+	ADDI
+	LB
+	LH
+	LW
+	SB
+	SH
+	SW
+	numOps
+)
+
+var opNames = [...]string{
+	NOP: "nop", ADD: "add", SUB: "sub", MUL: "mul", AND: "and", OR: "or",
+	XOR: "xor", SHL: "shl", SHR: "shr", ADDI: "addi",
+	LB: "lb", LH: "lh", LW: "lw", SB: "sb", SH: "sh", SW: "sw",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return fmt.Sprintf("op%d", int(o))
+	}
+	return opNames[o]
+}
+
+// IsLoad reports whether the op reads memory.
+func (o Op) IsLoad() bool { return o == LB || o == LH || o == LW }
+
+// IsStore reports whether the op writes memory.
+func (o Op) IsStore() bool { return o == SB || o == SH || o == SW }
+
+// IsMem reports whether the op accesses memory.
+func (o Op) IsMem() bool { return o.IsLoad() || o.IsStore() }
+
+// Width returns the access width in bytes for memory ops (0 otherwise).
+func (o Op) Width() int {
+	switch o {
+	case LB, SB:
+		return 1
+	case LH, SH:
+		return 2
+	case LW, SW:
+		return 4
+	}
+	return 0
+}
+
+// NumRegs is the architectural register count.
+const NumRegs = 16
+
+// Instruction is one decoded instruction.
+type Instruction struct {
+	Op  Op
+	Rd  int   // destination (ALU/load) or source data (store)
+	Rs1 int   // first source / base register
+	Rs2 int   // second source
+	Imm int32 // immediate / address offset
+}
+
+// String renders assembly text.
+func (in Instruction) String() string {
+	switch {
+	case in.Op == NOP:
+		return "nop"
+	case in.Op == ADDI:
+		return fmt.Sprintf("addi r%d, r%d, %d", in.Rd, in.Rs1, in.Imm)
+	case in.Op.IsLoad():
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case in.Op.IsStore():
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+}
+
+// Program is a functional test: a sequence of instructions.
+type Program []Instruction
+
+// String renders the whole program.
+func (p Program) String() string {
+	var b strings.Builder
+	for _, in := range p {
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Tokens returns the token stream consumed by the sequence kernels. Memory
+// tokens are annotated with the micro-architecturally meaningful facets of
+// the access — alignment class, base register (which selects the address
+// region), and cache-line/page boundary proximity — so that the kernel
+// measures similarity in terms the load-store unit cares about. This is
+// the "domain knowledge in the kernel module" of paper Section 5: the
+// learning algorithm itself never changes, only this encoding does.
+func (p Program) Tokens() []string {
+	out := make([]string, len(p))
+	for i, in := range p {
+		if !in.Op.IsMem() {
+			out[i] = in.Op.String()
+			continue
+		}
+		w := in.Op.Width()
+		t := in.Op.String()
+		if w > 1 && int(in.Imm)%w != 0 {
+			t += ".u" // unaligned for its width
+		} else {
+			t += ".a"
+		}
+		t += ".r" + itoa(in.Rs1)
+		off := int(in.Imm)
+		if off >= 0 {
+			if off%lineBytes+w > lineBytes {
+				t += ".l" // straddles a cache line
+			}
+			if off%pageBytes+w > pageBytes {
+				t += ".p" // straddles a page
+			}
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// TokensPlain returns the naive token stream: opcodes only, no
+// micro-architectural annotation. It exists as the ablation baseline for
+// the paper's Section 5 claim that the kernel module — not the learning
+// algorithm — is where the domain knowledge must go.
+func (p Program) TokensPlain() []string {
+	out := make([]string, len(p))
+	for i, in := range p {
+		out[i] = in.Op.String()
+	}
+	return out
+}
+
+// itoa is a tiny non-negative integer formatter (avoids fmt in the hot
+// tokenization path).
+func itoa(v int) string {
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}

@@ -1,0 +1,322 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpProperties(t *testing.T) {
+	if !LW.IsLoad() || !LW.IsMem() || LW.IsStore() {
+		t.Fatal("LW classification")
+	}
+	if !SB.IsStore() || SB.IsLoad() {
+		t.Fatal("SB classification")
+	}
+	if ADD.IsMem() {
+		t.Fatal("ADD is not memory")
+	}
+	if LB.Width() != 1 || SH.Width() != 2 || SW.Width() != 4 || ADD.Width() != 0 {
+		t.Fatal("widths")
+	}
+	if LW.String() != "lw" || Op(99).String() == "" {
+		t.Fatal("names")
+	}
+}
+
+func TestInstructionRendering(t *testing.T) {
+	in := Instruction{Op: LW, Rd: 3, Rs1: 5, Imm: 12}
+	if got := in.String(); got != "lw r3, 12(r5)" {
+		t.Fatalf("render %q", got)
+	}
+	if got := (Instruction{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}).String(); got != "add r1, r2, r3" {
+		t.Fatalf("render %q", got)
+	}
+	if got := (Instruction{Op: ADDI, Rd: 1, Rs1: 0, Imm: -5}).String(); got != "addi r1, r0, -5" {
+		t.Fatalf("render %q", got)
+	}
+	if (Instruction{Op: NOP}).String() != "nop" {
+		t.Fatal("nop render")
+	}
+	p := Program{in, {Op: NOP}}
+	if !strings.Contains(p.String(), "lw r3") {
+		t.Fatal("program render")
+	}
+}
+
+func TestTokensAnnotateAlignmentRegionAndBoundaries(t *testing.T) {
+	p := Program{
+		{Op: LW, Rd: 8, Rs1: 1, Imm: 4},   // aligned, base r1
+		{Op: LW, Rd: 8, Rs1: 3, Imm: 3},   // unaligned, base r3
+		{Op: LB, Rd: 8, Rs1: 1, Imm: 3},   // byte always aligned
+		{Op: LW, Rd: 8, Rs1: 2, Imm: 14},  // crosses a 16B line
+		{Op: LH, Rd: 8, Rs1: 2, Imm: 255}, // crosses line and page
+		{Op: ADD, Rd: 8, Rs1: 2, Rs2: 3},  // non-mem
+	}
+	toks := p.Tokens()
+	want := []string{"lw.a.r1", "lw.u.r3", "lb.a.r1", "lw.u.r2.l", "lh.u.r2.l.p", "add"}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("token %d: %q want %q", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestMachineALUAndMemory(t *testing.T) {
+	m := NewMachine()
+	p := Program{
+		{Op: ADDI, Rd: 1, Rs1: 0, Imm: 100},        // r1 = 100
+		{Op: ADDI, Rd: 2, Rs1: 0, Imm: 23},         // r2 = 23
+		{Op: ADD, Rd: 3, Rs1: 1, Rs2: 2},           // r3 = 123
+		{Op: SW, Rd: 3, Rs1: 1, Imm: 0},            // mem[100] = 123
+		{Op: NOP}, {Op: NOP}, {Op: NOP}, {Op: NOP}, // drain store buffer
+		{Op: LW, Rd: 4, Rs1: 1, Imm: 0}, // r4 = mem[100]
+	}
+	m.Run(p)
+	if m.Regs[3] != 123 {
+		t.Fatalf("r3=%d", m.Regs[3])
+	}
+	if m.Regs[4] != 123 {
+		t.Fatalf("r4=%d", m.Regs[4])
+	}
+}
+
+func TestR0IsHardwiredZero(t *testing.T) {
+	m := NewMachine()
+	m.Run(Program{{Op: ADDI, Rd: 0, Rs1: 0, Imm: 55}})
+	if m.Regs[0] != 0 {
+		t.Fatal("r0 must stay 0")
+	}
+}
+
+func TestCoverageEvents(t *testing.T) {
+	m := NewMachine()
+
+	// Load miss then hit on the same line (destination registers are kept
+	// distinct from the base register, which a load overwrites).
+	cov := m.Run(Program{
+		{Op: LW, Rd: 5, Rs1: 1, Imm: 0},
+		{Op: LW, Rd: 6, Rs1: 1, Imm: 4},
+	})
+	if cov.EventHits(EvLoadMiss) != 1 || cov.EventHits(EvLoadHit) != 1 {
+		t.Fatalf("miss/hit: %d/%d", cov.EventHits(EvLoadMiss), cov.EventHits(EvLoadHit))
+	}
+
+	// Store-to-load forwarding: load fully covered by pending store.
+	cov = m.Run(Program{
+		{Op: SW, Rd: 2, Rs1: 1, Imm: 0},
+		{Op: LW, Rd: 3, Rs1: 1, Imm: 0},
+	})
+	if cov.EventHits(EvForward) != 1 {
+		t.Fatalf("forward hits %d", cov.EventHits(EvForward))
+	}
+
+	// Forward blocked: partial overlap (word store, halfword load at +2
+	// would be contained; use overlapping but not contained: store half at
+	// 0, load word at 0 -> load wider than store).
+	cov = m.Run(Program{
+		{Op: SH, Rd: 2, Rs1: 1, Imm: 0},
+		{Op: LW, Rd: 3, Rs1: 1, Imm: 0},
+	})
+	if cov.EventHits(EvForwardBlock) != 1 {
+		t.Fatalf("forward-block hits %d", cov.EventHits(EvForwardBlock))
+	}
+
+	// Line crossing: word access at offset 14 of a 16-byte line.
+	cov = m.Run(Program{{Op: LW, Rd: 1, Rs1: 1, Imm: 14}})
+	if cov.EventHits(EvLineCross) != 1 {
+		t.Fatalf("line-cross hits %d", cov.EventHits(EvLineCross))
+	}
+
+	// Page crossing: word access at offset 254 of a 256-byte page.
+	cov = m.Run(Program{{Op: LW, Rd: 1, Rs1: 1, Imm: 254}})
+	if cov.EventHits(EvPageCross) != 1 {
+		t.Fatalf("page-cross hits %d", cov.EventHits(EvPageCross))
+	}
+
+	// Store-buffer full: 5 back-to-back stores (depth 4, one drains).
+	cov = m.Run(Program{
+		{Op: SW, Rd: 1, Rs1: 1, Imm: 0},
+		{Op: SW, Rd: 1, Rs1: 1, Imm: 16},
+		{Op: SW, Rd: 1, Rs1: 1, Imm: 32},
+		{Op: SW, Rd: 1, Rs1: 1, Imm: 48},
+		{Op: SW, Rd: 1, Rs1: 1, Imm: 64},
+		{Op: SW, Rd: 1, Rs1: 1, Imm: 80},
+	})
+	if cov.EventHits(EvSBFull) == 0 {
+		t.Fatal("sb-full never hit")
+	}
+
+	// TLB conflict miss: r1 and r2 bases live on pages that share a TLB
+	// slot; alternating them evicts the entry (cold misses do not count).
+	cov = m.Run(Program{
+		{Op: LW, Rd: 8, Rs1: 1, Imm: 0},
+		{Op: LW, Rd: 9, Rs1: 2, Imm: 0},
+		{Op: LW, Rd: 10, Rs1: 1, Imm: 0},
+	})
+	if cov.EventHits(EvTLBMiss) == 0 {
+		t.Fatal("tlb conflict miss never hit")
+	}
+}
+
+func TestCoverageBinsAndNames(t *testing.T) {
+	var c Coverage
+	c.Hit(EvLoadHit, 4, 0)
+	c.Hit(EvLoadHit, 4, 0)
+	c.Hit(EvLoadMiss, 1, MemSize-1)
+	if c.Count() != 2 {
+		t.Fatalf("count %d", c.Count())
+	}
+	if c.EventHits(EvLoadHit) != 2 {
+		t.Fatal("event hits")
+	}
+	var d Coverage
+	d.Hit(EvForward, 2, 0)
+	c.Merge(&d)
+	if c.Count() != 3 {
+		t.Fatal("merge")
+	}
+	name := BinName(BinID(EvLoadHit, 4, 0))
+	if !strings.Contains(name, "A0:load-hit") || !strings.Contains(name, "w4") {
+		t.Fatalf("bin name %q", name)
+	}
+}
+
+func TestMachineDeterministic(t *testing.T) {
+	g := NewGenerator(WideTemplate(), 7)
+	p := g.Next()
+	m := NewMachine()
+	c1 := m.Run(p)
+	c2 := m.Run(p)
+	if *c1 != *c2 {
+		t.Fatal("same program must give identical coverage")
+	}
+}
+
+func TestGeneratorRespectsTemplate(t *testing.T) {
+	// Default template: only aligned word loads through base r1; scratch
+	// destinations never clobber base registers.
+	g := NewGenerator(DefaultTemplate(), 1)
+	for trial := 0; trial < 20; trial++ {
+		p := g.Next()
+		if len(p) != 24 {
+			t.Fatalf("length %d", len(p))
+		}
+		for _, in := range p {
+			if in.Op.IsStore() {
+				t.Fatal("default template emitted a store")
+			}
+			if in.Op.IsMem() {
+				if in.Op.Width() != 4 {
+					t.Fatalf("default template emitted width %d", in.Op.Width())
+				}
+				if int(in.Imm)%4 != 0 {
+					t.Fatalf("default template emitted unaligned offset %d", in.Imm)
+				}
+				if in.Rs1 != 1 {
+					t.Fatalf("default template used base r%d", in.Rs1)
+				}
+			}
+			if in.Op == ADDI || (!in.Op.IsMem() && in.Op != NOP) {
+				if in.Rd < 8 {
+					t.Fatalf("generator clobbered low register r%d", in.Rd)
+				}
+			}
+			if in.Op.IsLoad() && in.Rd < 8 {
+				t.Fatalf("load destination clobbers base r%d", in.Rd)
+			}
+		}
+	}
+}
+
+func TestDefaultTemplateOnlyEasyCoverage(t *testing.T) {
+	// The paper's Table 1 "Original" row: the first-cut template reaches
+	// only A0/A1 (plus unavoidable cold TLB misses).
+	g := NewGenerator(DefaultTemplate(), 2)
+	m := NewMachine()
+	var total Coverage
+	for i := 0; i < 100; i++ {
+		total.Merge(m.Run(g.Next()))
+	}
+	if total.EventHits(EvLoadHit) == 0 || total.EventHits(EvLoadMiss) == 0 {
+		t.Fatal("easy coverage missing")
+	}
+	for _, ev := range []Event{EvForward, EvForwardBlock, EvLineCross, EvPageCross, EvSBFull} {
+		if total.EventHits(ev) != 0 {
+			t.Fatalf("default template should not hit %v", ev)
+		}
+	}
+}
+
+func TestWideTemplateEventuallyHitsAllEvents(t *testing.T) {
+	g := NewGenerator(WideTemplate(), 3)
+	m := NewMachine()
+	var total Coverage
+	for i := 0; i < 3000; i++ {
+		total.Merge(m.Run(g.Next()))
+	}
+	for ev := Event(0); ev < NumEvents; ev++ {
+		if total.EventHits(ev) == 0 {
+			t.Fatalf("wide template never hit %v in 3000 tests", ev)
+		}
+	}
+}
+
+func TestFeaturesExtraction(t *testing.T) {
+	p := Program{
+		{Op: SW, Rd: 2, Rs1: 3, Imm: 8},
+		{Op: LW, Rd: 1, Rs1: 3, Imm: 8}, // pair with previous store
+		{Op: LH, Rd: 1, Rs1: 5, Imm: 3}, // unaligned half
+		{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+	}
+	f := Features(p)
+	get := func(name string) float64 {
+		for i, n := range FeatureNames {
+			if n == name {
+				return f[i]
+			}
+		}
+		t.Fatalf("feature %q missing", name)
+		return 0
+	}
+	if got := get("load_frac"); got != 0.5 {
+		t.Fatalf("load_frac %g", got)
+	}
+	if got := get("store_frac"); got != 0.25 {
+		t.Fatalf("store_frac %g", got)
+	}
+	if got := get("unaligned_frac"); got != 1.0/3.0 {
+		t.Fatalf("unaligned_frac %g", got)
+	}
+	if got := get("pair_count"); got != 1 {
+		t.Fatalf("pair_count %g", got)
+	}
+	if got := get("base_regs"); got != 2 {
+		t.Fatalf("base_regs %g", got)
+	}
+	if got := get("max_base_reg"); got != 5 {
+		t.Fatalf("max_base_reg %g", got)
+	}
+	if len(f) != len(FeatureNames) {
+		t.Fatal("feature vector length mismatch")
+	}
+	// Empty program should not panic.
+	_ = Features(Program{})
+}
+
+func BenchmarkSimulateTest(b *testing.B) {
+	g := NewGenerator(WideTemplate(), 4)
+	p := g.Next()
+	m := NewMachine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Run(p)
+	}
+}
+
+func BenchmarkGenerateTest(b *testing.B) {
+	g := NewGenerator(WideTemplate(), 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}

@@ -1,0 +1,323 @@
+package isa
+
+// Machine simulates a single-issue core with a load-store unit detailed
+// enough to carry a functional coverage model: a direct-mapped data cache,
+// a draining store buffer with store-to-load forwarding, and a small TLB.
+// This is the "unit under test" of the paper's Figure 7 experiment.
+type Machine struct {
+	Regs [NumRegs]uint32
+	Mem  []byte
+
+	cacheTag   [cacheLines]uint32
+	cacheValid [cacheLines]bool
+
+	sb    []sbEntry
+	tlb   [tlbEntries]uint32
+	tlbOK [tlbEntries]bool
+
+	Cycles int64
+}
+
+type sbEntry struct {
+	addr  uint32
+	width int
+}
+
+// Memory geometry. Addresses wrap inside MemSize.
+const (
+	MemSize    = 1 << 16 // 64 KiB
+	lineBytes  = 16
+	cacheLines = 64
+	pageBytes  = 256
+	tlbEntries = 8
+	sbDepth    = 4
+)
+
+// Event is a load-store-unit coverage event.
+type Event int
+
+// Coverage events observed by the LSU.
+const (
+	EvLoadHit Event = iota
+	EvLoadMiss
+	EvForward      // store-to-load forwarding succeeded
+	EvForwardBlock // partial overlap blocked forwarding
+	EvLineCross    // access straddles a cache line
+	EvTLBMiss
+	EvSBFull // store issued into a full store buffer
+	EvPageCross
+	NumEvents
+)
+
+var eventNames = [...]string{
+	"A0:load-hit", "A1:load-miss", "A2:forward", "A3:forward-block",
+	"A4:line-cross", "A5:tlb-miss", "A6:sb-full", "A7:page-cross",
+}
+
+// String names the event with its paper-style A-number.
+func (e Event) String() string {
+	if e < 0 || int(e) >= len(eventNames) {
+		return "A?:unknown"
+	}
+	return eventNames[e]
+}
+
+// Coverage bins cross event × access width × address region, giving the
+// multi-thousand-test saturation behaviour of a real unit's cross coverage.
+const (
+	numWidths  = 3 // 1, 2, 4 bytes
+	numRegions = 4 // 16 KiB quadrants of the address space
+	// NumBins is the total number of coverage bins.
+	NumBins = int(NumEvents) * numWidths * numRegions
+)
+
+func widthIdx(w int) int {
+	switch w {
+	case 1:
+		return 0
+	case 2:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// BinID composes a coverage bin identifier.
+func BinID(e Event, width int, addr uint32) int {
+	region := int(addr%MemSize) / (MemSize / numRegions)
+	return (int(e)*numWidths+widthIdx(width))*numRegions + region
+}
+
+// BinName renders a bin id readably.
+func BinName(id int) string {
+	region := id % numRegions
+	rest := id / numRegions
+	w := []int{1, 2, 4}[rest%numWidths]
+	e := Event(rest / numWidths)
+	return e.String() + widthRegion(w, region)
+}
+
+func widthRegion(w, region int) string {
+	return "/w" + string(rune('0'+w)) + "/r" + string(rune('0'+region))
+}
+
+// Coverage is a hit count per coverage bin.
+type Coverage [NumBins]int
+
+// Merge adds other's hits into c.
+func (c *Coverage) Merge(other *Coverage) {
+	for i, v := range other {
+		c[i] += v
+	}
+}
+
+// Count returns the number of distinct bins hit.
+func (c *Coverage) Count() int {
+	n := 0
+	for _, v := range c {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Hit records one hit.
+func (c *Coverage) Hit(e Event, width int, addr uint32) { c[BinID(e, width, addr)]++ }
+
+// EventHits sums hits across widths and regions for one event — the
+// paper's Table 1 reports coverage at this granularity (A0..A7).
+func (c *Coverage) EventHits(e Event) int {
+	s := 0
+	for w := 0; w < numWidths; w++ {
+		for r := 0; r < numRegions; r++ {
+			s += c[(int(e)*numWidths+w)*numRegions+r]
+		}
+	}
+	return s
+}
+
+// NewMachine returns a reset machine.
+func NewMachine() *Machine {
+	m := &Machine{Mem: make([]byte, MemSize)}
+	m.Reset()
+	return m
+}
+
+// Reset restores the architectural and micro-architectural state. Base
+// registers r1..r7 are spread across the full address space so that a
+// test's choice of base register selects the region it exercises; the
+// generator reserves r8..r15 as scratch destinations.
+func (m *Machine) Reset() {
+	for i := range m.Regs {
+		m.Regs[i] = (uint32(i) * (MemSize / 8)) % MemSize
+	}
+	m.Regs[0] = 0
+	for i := range m.cacheValid {
+		m.cacheValid[i] = false
+	}
+	for i := range m.tlbOK {
+		m.tlbOK[i] = false
+	}
+	m.sb = m.sb[:0]
+	m.Cycles = 0
+}
+
+// Run executes the program from reset and returns the coverage it hits.
+func (m *Machine) Run(p Program) *Coverage {
+	m.Reset()
+	cov := &Coverage{}
+	for _, in := range p {
+		m.step(in, cov)
+	}
+	return cov
+}
+
+func (m *Machine) step(in Instruction, cov *Coverage) {
+	m.Cycles++
+	switch {
+	case in.Op == NOP:
+		m.drainOne()
+	case in.Op == ADDI:
+		m.setReg(in.Rd, m.Regs[in.Rs1]+uint32(in.Imm))
+		m.drainOne()
+	case in.Op.IsLoad():
+		m.load(in, cov)
+	case in.Op.IsStore():
+		m.store(in, cov)
+	default:
+		m.alu(in)
+		m.drainOne()
+	}
+}
+
+func (m *Machine) alu(in Instruction) {
+	a, b := m.Regs[in.Rs1], m.Regs[in.Rs2]
+	var v uint32
+	switch in.Op {
+	case ADD:
+		v = a + b
+	case SUB:
+		v = a - b
+	case MUL:
+		v = a * b
+	case AND:
+		v = a & b
+	case OR:
+		v = a | b
+	case XOR:
+		v = a ^ b
+	case SHL:
+		v = a << (b & 31)
+	case SHR:
+		v = a >> (b & 31)
+	}
+	m.setReg(in.Rd, v)
+}
+
+func (m *Machine) setReg(r int, v uint32) {
+	if r != 0 {
+		m.Regs[r] = v
+	}
+}
+
+func (m *Machine) effAddr(in Instruction) uint32 {
+	return (m.Regs[in.Rs1] + uint32(in.Imm)) % MemSize
+}
+
+// common memory-event checks (alignment, paging).
+func (m *Machine) memCommon(addr uint32, w int, cov *Coverage) {
+	if w > 1 {
+		if addr/lineBytes != (addr+uint32(w)-1)/lineBytes {
+			cov.Hit(EvLineCross, w, addr)
+			m.Cycles++ // second cache access
+		}
+		if addr/pageBytes != (addr+uint32(w)-1)/pageBytes {
+			cov.Hit(EvPageCross, w, addr)
+			m.Cycles++ // second translation
+		}
+	}
+	page := addr / pageBytes
+	slot := page % tlbEntries
+	if !m.tlbOK[slot] {
+		// Cold miss: inevitable after reset, costs cycles but is not an
+		// interesting coverage event.
+		m.tlb[slot] = page
+		m.tlbOK[slot] = true
+		m.Cycles += 8 // page walk
+	} else if m.tlb[slot] != page {
+		// Conflict miss: a valid entry is evicted — the coverage event.
+		cov.Hit(EvTLBMiss, w, addr)
+		m.tlb[slot] = page
+		m.Cycles += 8
+	}
+}
+
+func (m *Machine) load(in Instruction, cov *Coverage) {
+	w := in.Op.Width()
+	addr := m.effAddr(in)
+	m.memCommon(addr, w, cov)
+
+	// Store-buffer interaction.
+	forwarded := false
+	for _, e := range m.sb {
+		if addr >= e.addr && addr+uint32(w) <= e.addr+uint32(e.width) {
+			cov.Hit(EvForward, w, addr)
+			forwarded = true
+			break
+		}
+		if addr < e.addr+uint32(e.width) && e.addr < addr+uint32(w) {
+			cov.Hit(EvForwardBlock, w, addr)
+			m.flushSB()
+			m.Cycles += 3
+			break
+		}
+	}
+
+	if !forwarded {
+		line := (addr / lineBytes) % cacheLines
+		tag := addr / lineBytes / cacheLines
+		if m.cacheValid[line] && m.cacheTag[line] == tag {
+			cov.Hit(EvLoadHit, w, addr)
+		} else {
+			cov.Hit(EvLoadMiss, w, addr)
+			m.cacheValid[line] = true
+			m.cacheTag[line] = tag
+			m.Cycles += 10 // miss penalty
+		}
+	}
+
+	var v uint32
+	for b := 0; b < w; b++ {
+		v |= uint32(m.Mem[(addr+uint32(b))%MemSize]) << (8 * b)
+	}
+	m.setReg(in.Rd, v)
+	m.drainOne()
+}
+
+func (m *Machine) store(in Instruction, cov *Coverage) {
+	w := in.Op.Width()
+	addr := m.effAddr(in)
+	m.memCommon(addr, w, cov)
+
+	if len(m.sb) >= sbDepth {
+		cov.Hit(EvSBFull, w, addr)
+		m.drainOne()
+		m.Cycles += 2
+	}
+	m.sb = append(m.sb, sbEntry{addr: addr, width: w})
+
+	v := m.Regs[in.Rd]
+	for b := 0; b < w; b++ {
+		m.Mem[(addr+uint32(b))%MemSize] = byte(v >> (8 * b))
+	}
+}
+
+// drainOne retires the oldest store-buffer entry.
+func (m *Machine) drainOne() {
+	if len(m.sb) > 0 {
+		m.sb = m.sb[1:]
+	}
+}
+
+func (m *Machine) flushSB() { m.sb = m.sb[:0] }

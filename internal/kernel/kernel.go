@@ -1,0 +1,195 @@
+// Package kernel implements the kernel functions and kernel-matrix
+// machinery of Section 2.2 of the paper. The kernel is the place where
+// domain knowledge enters a kernel-based learning flow (paper Section 5):
+// the learning algorithm never touches the sample matrix X directly, only
+// pairwise similarities k(x, x').
+//
+// Besides the standard vector kernels (linear, polynomial, RBF, sigmoid,
+// histogram intersection), the package provides kernels over non-vector
+// samples — n-gram spectrum kernels over assembly programs (used by the
+// novel-test-selection application, paper ref [14]) and histogram kernels
+// over layout windows (paper ref [13]) — demonstrating the paper's point
+// that with a kernel the samples "can be represented in any form".
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Kernel measures the similarity of two vector samples.
+type Kernel interface {
+	// Eval returns k(a, b).
+	Eval(a, b []float64) float64
+	// Name identifies the kernel in reports.
+	Name() string
+}
+
+// Linear is k(a,b) = <a,b>.
+type Linear struct{}
+
+// Eval implements Kernel.
+func (Linear) Eval(a, b []float64) float64 { return linalg.Dot(a, b) }
+
+// Name implements Kernel.
+func (Linear) Name() string { return "linear" }
+
+// Poly is k(a,b) = (gamma*<a,b> + coef0)^degree. With Degree=2, Gamma=1,
+// Coef0=0 it is exactly the quadratic kernel of the paper's Figure 3 whose
+// feature map is Φ(x) = (x1², x2², √2·x1·x2).
+type Poly struct {
+	Degree int
+	Gamma  float64
+	Coef0  float64
+}
+
+// Eval implements Kernel.
+func (p Poly) Eval(a, b []float64) float64 {
+	return math.Pow(p.Gamma*linalg.Dot(a, b)+p.Coef0, float64(p.Degree))
+}
+
+// Name implements Kernel.
+func (p Poly) Name() string { return fmt.Sprintf("poly%d", p.Degree) }
+
+// RBF is the Gaussian kernel k(a,b) = exp(-gamma*||a-b||²).
+type RBF struct{ Gamma float64 }
+
+// Eval implements Kernel.
+func (r RBF) Eval(a, b []float64) float64 {
+	return math.Exp(-r.Gamma * linalg.Dist2(a, b))
+}
+
+// Name implements Kernel.
+func (r RBF) Name() string { return fmt.Sprintf("rbf(g=%g)", r.Gamma) }
+
+// Sigmoid is k(a,b) = tanh(gamma*<a,b> + coef0).
+type Sigmoid struct {
+	Gamma float64
+	Coef0 float64
+}
+
+// Eval implements Kernel.
+func (s Sigmoid) Eval(a, b []float64) float64 {
+	return math.Tanh(s.Gamma*linalg.Dot(a, b) + s.Coef0)
+}
+
+// Name implements Kernel.
+func (Sigmoid) Name() string { return "sigmoid" }
+
+// HistogramIntersection is k(a,b) = Σ min(a_i, b_i), the kernel used by the
+// layout-variability work ([13]); inputs are nonnegative histograms.
+type HistogramIntersection struct{}
+
+// Eval implements Kernel.
+func (HistogramIntersection) Eval(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		if a[i] < b[i] {
+			s += a[i]
+		} else {
+			s += b[i]
+		}
+	}
+	return s
+}
+
+// Name implements Kernel.
+func (HistogramIntersection) Name() string { return "histogram-intersection" }
+
+// QuadFeatureMap is the explicit feature map Φ of the paper's Figure 3 for
+// 2-D inputs: Φ(x1,x2) = (x1², x2², √2·x1·x2). It exists to demonstrate the
+// kernel trick: Poly{Degree:2,Gamma:1}.Eval(a,b) == <Φ(a), Φ(b)>.
+func QuadFeatureMap(x []float64) []float64 {
+	if len(x) != 2 {
+		panic("kernel: QuadFeatureMap requires 2-D input")
+	}
+	return []float64{x[0] * x[0], x[1] * x[1], math.Sqrt2 * x[0] * x[1]}
+}
+
+// Gram computes the full kernel matrix K_ij = k(x_i, x_j) for the rows of x.
+func Gram(k Kernel, x *linalg.Matrix) *linalg.Matrix {
+	n := x.Rows
+	g := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		xi := x.Row(i)
+		g.Set(i, i, k.Eval(xi, xi))
+		for j := i + 1; j < n; j++ {
+			v := k.Eval(xi, x.Row(j))
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	}
+	return g
+}
+
+// CrossGram computes K_ij = k(a_i, b_j) between the rows of a and b.
+func CrossGram(k Kernel, a, b *linalg.Matrix) *linalg.Matrix {
+	g := linalg.NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			g.Set(i, j, k.Eval(ai, b.Row(j)))
+		}
+	}
+	return g
+}
+
+// Center double-centers a Gram matrix in feature space:
+// K' = K - 1K/n - K1/n + 1K1/n². Kernel PCA and several kernel methods
+// require a centered Gram matrix.
+func Center(k *linalg.Matrix) *linalg.Matrix {
+	n := k.Rows
+	rowMean := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += k.At(i, j)
+		}
+		rowMean[i] = s / float64(n)
+		total += s
+	}
+	grand := total / float64(n*n)
+	out := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, k.At(i, j)-rowMean[i]-rowMean[j]+grand)
+		}
+	}
+	return out
+}
+
+// Normalize returns the cosine-normalized kernel value
+// k(a,b)/sqrt(k(a,a)k(b,b)) so that every sample has unit self-similarity.
+type Normalize struct{ K Kernel }
+
+// Eval implements Kernel.
+func (n Normalize) Eval(a, b []float64) float64 {
+	kaa := n.K.Eval(a, a)
+	kbb := n.K.Eval(b, b)
+	if kaa <= 0 || kbb <= 0 {
+		return 0
+	}
+	return n.K.Eval(a, b) / math.Sqrt(kaa*kbb)
+}
+
+// Name implements Kernel.
+func (n Normalize) Name() string { return "normalized-" + n.K.Name() }
+
+// IsPSD reports whether a symmetric kernel matrix is positive semidefinite
+// within tolerance (all eigenvalues >= -tol). Used by property tests to
+// certify that our kernels are valid (Mercer) kernels on sampled data.
+func IsPSD(k *linalg.Matrix, tol float64) bool {
+	vals, _, err := linalg.EigenSym(k)
+	if err != nil {
+		return false
+	}
+	for _, v := range vals {
+		if v < -tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,284 @@
+package kernel
+
+import (
+	"math"
+	"sort"
+)
+
+// SequenceKernel measures the similarity of two token sequences. It is the
+// abstraction behind the paper's observation that a functional test (an
+// assembly program) need not be converted into a vector: the kernel module
+// encodes the domain knowledge of what makes two programs similar ([14]).
+type SequenceKernel interface {
+	// EvalSeq returns k(a, b) for two token sequences.
+	EvalSeq(a, b []string) float64
+	// Name identifies the kernel in reports.
+	Name() string
+}
+
+// Spectrum is the n-gram spectrum kernel: each sequence is implicitly
+// mapped to its histogram of contiguous n-grams and the kernel is the dot
+// product of the histograms. Normalize makes it a cosine similarity, which
+// keeps long programs from dominating short ones.
+type Spectrum struct {
+	N         int
+	Normalize bool
+}
+
+// ngramCounts builds the n-gram histogram of a token sequence.
+func (s Spectrum) ngramCounts(a []string) map[string]float64 {
+	n := s.N
+	if n < 1 {
+		n = 1
+	}
+	m := make(map[string]float64)
+	if len(a) < n {
+		return m
+	}
+	for i := 0; i+n <= len(a); i++ {
+		key := ""
+		for j := 0; j < n; j++ {
+			key += a[i+j] + "\x00"
+		}
+		m[key]++
+	}
+	return m
+}
+
+func dotCounts(a, b map[string]float64) float64 {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	s := 0.0
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			s += va * vb
+		}
+	}
+	return s
+}
+
+// EvalSeq implements SequenceKernel.
+func (s Spectrum) EvalSeq(a, b []string) float64 {
+	ca := s.ngramCounts(a)
+	cb := s.ngramCounts(b)
+	v := dotCounts(ca, cb)
+	if !s.Normalize {
+		return v
+	}
+	na := dotCounts(ca, ca)
+	nb := dotCounts(cb, cb)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return v / math.Sqrt(na*nb)
+}
+
+// Name implements SequenceKernel.
+func (s Spectrum) Name() string {
+	if s.Normalize {
+		return "spectrum-norm"
+	}
+	return "spectrum"
+}
+
+// BlendedSpectrum sums spectrum kernels for n = 1..MaxN with geometric decay
+// lambda^n, capturing both instruction-mix and short-idiom similarity.
+type BlendedSpectrum struct {
+	MaxN      int
+	Lambda    float64
+	Normalize bool
+}
+
+// EvalSeq implements SequenceKernel.
+func (b BlendedSpectrum) EvalSeq(x, y []string) float64 {
+	raw := b.raw(x, y)
+	if !b.Normalize {
+		return raw
+	}
+	nx := b.raw(x, x)
+	ny := b.raw(y, y)
+	if nx == 0 || ny == 0 {
+		return 0
+	}
+	return raw / math.Sqrt(nx*ny)
+}
+
+func (b BlendedSpectrum) raw(x, y []string) float64 {
+	total := 0.0
+	w := b.Lambda
+	for n := 1; n <= b.MaxN; n++ {
+		k := Spectrum{N: n}
+		total += w * k.EvalSeq(x, y)
+		w *= b.Lambda
+	}
+	return total
+}
+
+// Name implements SequenceKernel.
+func (b BlendedSpectrum) Name() string { return "blended-spectrum" }
+
+// MultiCounts caches the n-gram histograms of one sequence for n=1..MaxN.
+type MultiCounts []Counts
+
+// CountsMulti precomputes histograms for EvalMulti.
+func (b BlendedSpectrum) CountsMulti(seq []string) MultiCounts {
+	out := make(MultiCounts, b.MaxN)
+	for n := 1; n <= b.MaxN; n++ {
+		out[n-1] = Counts(Spectrum{N: n}.ngramCounts(seq))
+	}
+	return out
+}
+
+// EvalMulti evaluates the blended kernel on precomputed histograms,
+// honoring the Normalize flag.
+func (b BlendedSpectrum) EvalMulti(x, y MultiCounts) float64 {
+	raw := b.rawMulti(x, y)
+	if !b.Normalize {
+		return raw
+	}
+	nx := b.rawMulti(x, x)
+	ny := b.rawMulti(y, y)
+	if nx == 0 || ny == 0 {
+		return 0
+	}
+	return raw / math.Sqrt(nx*ny)
+}
+
+func (b BlendedSpectrum) rawMulti(x, y MultiCounts) float64 {
+	total := 0.0
+	w := b.Lambda
+	for n := 0; n < b.MaxN && n < len(x) && n < len(y); n++ {
+		total += w * dotCounts(map[string]float64(x[n]), map[string]float64(y[n]))
+		w *= b.Lambda
+	}
+	return total
+}
+
+// Counts is a precomputed n-gram histogram of one sequence, used to batch
+// spectrum-kernel evaluations without re-tokenizing.
+type Counts map[string]float64
+
+// Counts precomputes the n-gram histogram of a sequence for EvalCounts.
+func (s Spectrum) Counts(a []string) Counts { return Counts(s.ngramCounts(a)) }
+
+// EvalCounts evaluates the kernel on precomputed histograms, honoring the
+// Normalize flag.
+func (s Spectrum) EvalCounts(a, b Counts) float64 {
+	v := dotCounts(a, b)
+	if !s.Normalize {
+		return v
+	}
+	na := dotCounts(a, a)
+	nb := dotCounts(b, b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return v / math.Sqrt(na*nb)
+}
+
+// SeqGram computes the kernel matrix of a set of sequences. For Spectrum
+// kernels the n-gram histograms are precomputed so each sequence is
+// tokenized only once.
+func SeqGram(k SequenceKernel, seqs [][]string) [][]float64 {
+	n := len(seqs)
+	g := make([][]float64, n)
+	for i := range g {
+		g[i] = make([]float64, n)
+	}
+	if sp, ok := k.(Spectrum); ok {
+		counts := make([]Counts, n)
+		for i, s := range seqs {
+			counts[i] = sp.Counts(s)
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := sp.EvalCounts(counts[i], counts[j])
+				g[i][j] = v
+				g[j][i] = v
+			}
+		}
+		return g
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := k.EvalSeq(seqs[i], seqs[j])
+			g[i][j] = v
+			g[j][i] = v
+		}
+	}
+	return g
+}
+
+// Vocabulary returns the sorted distinct tokens across sequences; useful for
+// building explicit feature views when a rule learner needs named features.
+func Vocabulary(seqs [][]string) []string {
+	set := map[string]bool{}
+	for _, s := range seqs {
+		for _, t := range s {
+			set[t] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NGramFeatures maps each sequence to an explicit (dense) n-gram count
+// vector over the n-gram vocabulary of the corpus; feature names are the
+// n-grams joined by "·". This is the "feature-based" view of the same
+// knowledge the spectrum kernel encodes implicitly.
+func NGramFeatures(seqs [][]string, n int) (x [][]float64, names []string) {
+	sp := Spectrum{N: n}
+	counts := make([]map[string]float64, len(seqs))
+	vocab := map[string]bool{}
+	for i, s := range seqs {
+		counts[i] = sp.ngramCounts(s)
+		for k := range counts[i] {
+			vocab[k] = true
+		}
+	}
+	keys := make([]string, 0, len(vocab))
+	for k := range vocab {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	names = make([]string, len(keys))
+	for i, k := range keys {
+		name := ""
+		for j, tok := range splitNulls(k) {
+			if j > 0 {
+				name += "·"
+			}
+			name += tok
+		}
+		names[i] = name
+	}
+	x = make([][]float64, len(seqs))
+	for i := range seqs {
+		row := make([]float64, len(keys))
+		for j, k := range keys {
+			row[j] = counts[i][k]
+		}
+		x[i] = row
+	}
+	return x, names
+}
+
+func splitNulls(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0 {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is
+// not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// ErrSingular is returned by solvers when the system is singular.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// Cholesky computes the lower-triangular factor L with A = L Lᵀ.
+// A must be symmetric positive definite.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Cholesky requires a square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		djj := math.Sqrt(d)
+		l.Set(j, j, djj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/djj)
+		}
+	}
+	return l, nil
+}
+
+// CholSolve solves A x = b given the Cholesky factor L of A.
+func CholSolve(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	// Forward substitution: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution: Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// CholLogDet returns log det(A) = 2*sum(log L_ii) given the factor L.
+func CholLogDet(l *Matrix) float64 {
+	s := 0.0
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s
+}
+
+// SolveSPD solves A x = b for symmetric positive definite A.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return CholSolve(l, b), nil
+}
+
+// LU holds an LU factorization with partial pivoting: P A = L U.
+type LU struct {
+	lu    *Matrix
+	pivot []int
+	sign  float64
+}
+
+// NewLU factors a square matrix with partial pivoting.
+func NewLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: LU requires a square matrix")
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Pick pivot.
+		p, maxAbs := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.At(i, k)); a > maxAbs {
+				p, maxAbs = i, a
+			}
+		}
+		if maxAbs < 1e-300 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk := lu.Row(k)
+			rp := lu.Row(p)
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pk := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pk
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Set(i, j, lu.At(i, j)-m*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: piv, sign: sign}, nil
+}
+
+// Solve solves A x = b using the factorization.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.lu.Rows
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.pivot[i]]
+	}
+	// L y = Pb (unit diagonal).
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= f.lu.At(i, k) * x[k]
+		}
+		x[i] = s
+	}
+	// U x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= f.lu.At(i, k) * x[k]
+		}
+		x[i] = s / f.lu.At(i, i)
+	}
+	return x
+}
+
+// Det returns det(A).
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve solves the square system A x = b with partial pivoting.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Inverse returns A⁻¹ for a square nonsingular matrix.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col := f.Solve(e)
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// QR computes a thin QR factorization A = Q R via modified Gram-Schmidt.
+// A must have Rows >= Cols; Q is Rows x Cols with orthonormal columns and
+// R is Cols x Cols upper triangular.
+func QR(a *Matrix) (q, r *Matrix, err error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, nil, errors.New("linalg: QR requires rows >= cols")
+	}
+	q = a.Clone()
+	r = NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		// Orthogonalize column j against previous columns (twice for stability).
+		for pass := 0; pass < 2; pass++ {
+			for k := 0; k < j; k++ {
+				s := 0.0
+				for i := 0; i < m; i++ {
+					s += q.At(i, k) * q.At(i, j)
+				}
+				r.Set(k, j, r.At(k, j)+s)
+				for i := 0; i < m; i++ {
+					q.Set(i, j, q.At(i, j)-s*q.At(i, k))
+				}
+			}
+		}
+		nrm := 0.0
+		for i := 0; i < m; i++ {
+			nrm += q.At(i, j) * q.At(i, j)
+		}
+		nrm = math.Sqrt(nrm)
+		if nrm < 1e-14 {
+			return nil, nil, ErrSingular
+		}
+		r.Set(j, j, nrm)
+		for i := 0; i < m; i++ {
+			q.Set(i, j, q.At(i, j)/nrm)
+		}
+	}
+	return q, r, nil
+}
+
+// LstSq solves min ||A x - b||₂ via QR for A with full column rank.
+func LstSq(a *Matrix, b []float64) ([]float64, error) {
+	q, r, err := QR(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Cols
+	// qtb = Qᵀ b
+	qtb := make([]float64, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < a.Rows; i++ {
+			s += q.At(i, j) * b[i]
+		}
+		qtb[j] = s
+	}
+	// Back substitution R x = qtb.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := qtb[i]
+		for k := i + 1; k < n; k++ {
+			s -= r.At(i, k) * x[k]
+		}
+		x[i] = s / r.At(i, i)
+	}
+	return x, nil
+}

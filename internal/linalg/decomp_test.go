@@ -1,0 +1,271 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 5, 12} {
+		a := randomSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		rec := l.Mul(l.T())
+		if diff := rec.Sub(a).MaxAbs(); diff > 1e-8*(1+a.MaxAbs()) {
+			t.Fatalf("n=%d: reconstruction error %g", n, diff)
+		}
+		// Lower triangular check.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("upper part nonzero at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected failure for indefinite matrix")
+	}
+	if _, err := Cholesky(FromRows([][]float64{{1, 2, 3}})); err == nil {
+		t.Fatal("expected failure for non-square")
+	}
+}
+
+func TestCholSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSPD(rng, 8)
+	xTrue := randomVec(rng, 8)
+	b := a.MulVec(xTrue)
+	x, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		approx(t, x[i], xTrue[i], 1e-6, "SolveSPD")
+	}
+}
+
+func TestCholLogDet(t *testing.T) {
+	a := FromRows([][]float64{{4, 0}, {0, 9}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, CholLogDet(l), math.Log(36), 1e-10, "logdet")
+}
+
+func TestLUSolveAndDet(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomMatrix(rng, 7, 7)
+	xTrue := randomVec(rng, 7)
+	b := a.MulVec(xTrue)
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		approx(t, x[i], xTrue[i], 1e-8, "Solve")
+	}
+	// Determinant sanity on a known matrix.
+	k := FromRows([][]float64{{2, 0}, {0, 3}})
+	f, err := NewLU(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, f.Det(), 6, 1e-12, "Det")
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 1}); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomMatrix(rng, 5, 5).AddDiag(3)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := a.Mul(inv)
+	if diff := prod.Sub(Identity(5)).MaxAbs(); diff > 1e-8 {
+		t.Fatalf("A*A^-1 != I, err=%g", diff)
+	}
+}
+
+func TestQROrthonormalAndReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomMatrix(rng, 10, 4)
+	q, r, err := QR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qtq := q.T().Mul(q)
+	if diff := qtq.Sub(Identity(4)).MaxAbs(); diff > 1e-10 {
+		t.Fatalf("QᵀQ != I, err=%g", diff)
+	}
+	rec := q.Mul(r)
+	if diff := rec.Sub(a).MaxAbs(); diff > 1e-10 {
+		t.Fatalf("QR != A, err=%g", diff)
+	}
+	// R upper-triangular.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < i; j++ {
+			if math.Abs(r.At(i, j)) > 1e-12 {
+				t.Fatalf("R not upper triangular at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestLstSqRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomMatrix(rng, 50, 3)
+	w := []float64{1.5, -2.0, 0.25}
+	b := a.MulVec(w)
+	got, err := LstSq(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w {
+		approx(t, got[i], w[i], 1e-8, "LstSq exact")
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i := range want {
+		approx(t, vals[i], want[i], 1e-10, "eigenvalues sorted desc")
+	}
+	// Eigenvector of the top value should be e0.
+	v0 := vecs.Col(0)
+	if math.Abs(math.Abs(v0[0])-1) > 1e-8 {
+		t.Fatalf("top eigenvector %v", v0)
+	}
+}
+
+func TestEigenSymReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{2, 4, 9} {
+		a := randomSPD(rng, n)
+		vals, vecs, err := EigenSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A v_i = lambda_i v_i.
+		for i := 0; i < n; i++ {
+			v := vecs.Col(i)
+			av := a.MulVec(v)
+			for j := range v {
+				approx(t, av[j], vals[i]*v[j], 1e-6*(1+a.MaxAbs()), "Av=lv")
+			}
+		}
+		// Orthonormality.
+		vtv := vecs.T().Mul(vecs)
+		if diff := vtv.Sub(Identity(n)).MaxAbs(); diff > 1e-8 {
+			t.Fatalf("VᵀV != I: %g", diff)
+		}
+		// Trace preserved.
+		sum := 0.0
+		for _, l := range vals {
+			sum += l
+		}
+		approx(t, sum, a.Trace(), 1e-6*(1+math.Abs(a.Trace())), "trace")
+	}
+}
+
+func TestEigenSymRejectsAsymmetric(t *testing.T) {
+	if _, _, err := EigenSym(FromRows([][]float64{{1, 2}, {0, 1}})); err == nil {
+		t.Fatal("expected asymmetric rejection")
+	}
+}
+
+func TestSVDThin(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, shape := range [][2]int{{8, 3}, {3, 8}, {5, 5}} {
+		a := randomMatrix(rng, shape[0], shape[1])
+		u, s, v, err := SVDThin(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := len(s)
+		// Reconstruct A = U diag(s) Vᵀ.
+		us := NewMatrix(u.Rows, k)
+		for i := 0; i < u.Rows; i++ {
+			for j := 0; j < k; j++ {
+				us.Set(i, j, u.At(i, j)*s[j])
+			}
+		}
+		rec := us.Mul(v.T())
+		if diff := rec.Sub(a).MaxAbs(); diff > 1e-6 {
+			t.Fatalf("shape %v: SVD reconstruction error %g", shape, diff)
+		}
+		// Singular values nonneg descending.
+		for i := 1; i < k; i++ {
+			if s[i] > s[i-1]+1e-10 {
+				t.Fatalf("singular values not descending: %v", s)
+			}
+		}
+		if s[k-1] < -1e-12 {
+			t.Fatalf("negative singular value: %v", s)
+		}
+	}
+}
+
+func TestPowerIteration(t *testing.T) {
+	a := FromRows([][]float64{{4, 1}, {1, 3}})
+	lambda, v := PowerIteration(a, nil, 200)
+	// Exact top eigenvalue of [[4,1],[1,3]] is (7+sqrt(5))/2.
+	approx(t, lambda, (7+math.Sqrt(5))/2, 1e-8, "power iteration eigenvalue")
+	av := a.MulVec(v)
+	for i := range v {
+		approx(t, av[i], lambda*v[i], 1e-6, "power iteration vector")
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 64, 64)
+	c := randomMatrix(rng, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Mul(c)
+	}
+}
+
+func BenchmarkCholesky64(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomSPD(rng, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigenSym32(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSPD(rng, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EigenSym(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

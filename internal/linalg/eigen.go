@@ -1,0 +1,161 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// EigenSym computes all eigenvalues and eigenvectors of a symmetric matrix
+// using the cyclic Jacobi method. It returns eigenvalues in descending order
+// and a matrix whose columns are the corresponding orthonormal eigenvectors.
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, errors.New("linalg: EigenSym requires a square matrix")
+	}
+	n := a.Rows
+	if !a.IsSymmetric(1e-8 * (1 + a.MaxAbs())) {
+		return nil, nil, errors.New("linalg: EigenSym requires a symmetric matrix")
+	}
+	w := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if math.Sqrt(2*off) <= 1e-12*(1+w.MaxAbs()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				// Compute rotation.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply rotation J(p,q,theta): W = Jᵀ W J.
+				for k := 0; k < n; k++ {
+					wkp, wkq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk, wqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	// Extract and sort descending.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{w.At(i, i), i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+	values = make([]float64, n)
+	vectors = NewMatrix(n, n)
+	for c, p := range pairs {
+		values[c] = p.val
+		for r := 0; r < n; r++ {
+			vectors.Set(r, c, v.At(r, p.idx))
+		}
+	}
+	return values, vectors, nil
+}
+
+// SVDThin computes a thin singular value decomposition A = U diag(s) Vᵀ for
+// an m x n matrix via the symmetric eigendecomposition of AᵀA (when m >= n)
+// or AAᵀ (when m < n). Singular values are returned in descending order.
+// It is accurate enough for the PCA/whitening uses in this repository.
+func SVDThin(a *Matrix) (u *Matrix, s []float64, v *Matrix, err error) {
+	m, n := a.Rows, a.Cols
+	if m >= n {
+		ata := a.T().Mul(a)
+		vals, vecs, err := EigenSym(ata)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		s = make([]float64, n)
+		for i, l := range vals {
+			if l < 0 {
+				l = 0
+			}
+			s[i] = math.Sqrt(l)
+		}
+		v = vecs
+		u = NewMatrix(m, n)
+		for j := 0; j < n; j++ {
+			col := a.MulVec(v.Col(j))
+			if s[j] > 1e-12 {
+				ScaleVec(1/s[j], col)
+			}
+			for i := 0; i < m; i++ {
+				u.Set(i, j, col[i])
+			}
+		}
+		return u, s, v, nil
+	}
+	// m < n: decompose the transpose and swap factors.
+	ut, st, vt, err := SVDThin(a.T())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return vt, st, ut, nil
+}
+
+// PowerIteration returns the dominant eigenvalue/eigenvector estimate of a
+// symmetric matrix using at most iters iterations starting from v0 (which
+// may be nil for a default start).
+func PowerIteration(a *Matrix, v0 []float64, iters int) (float64, []float64) {
+	n := a.Rows
+	v := v0
+	if v == nil {
+		v = make([]float64, n)
+		for i := range v {
+			v[i] = 1 / math.Sqrt(float64(n))
+		}
+	} else {
+		v = CopyVec(v)
+		if nrm := Norm2(v); nrm > 0 {
+			ScaleVec(1/nrm, v)
+		}
+	}
+	lambda := 0.0
+	for it := 0; it < iters; it++ {
+		w := a.MulVec(v)
+		nrm := Norm2(w)
+		if nrm == 0 {
+			return 0, v
+		}
+		ScaleVec(1/nrm, w)
+		lambda = Dot(w, a.MulVec(w))
+		v = w
+	}
+	return lambda, v
+}

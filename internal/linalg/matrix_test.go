@@ -1,0 +1,173 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g, want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.Rows != 2 || m.Cols != 2 {
+		t.Fatalf("shape: %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0)=%v", m.At(1, 0))
+	}
+	m.Set(1, 0, 7)
+	if m.At(1, 0) != 7 {
+		t.Fatalf("Set failed")
+	}
+	if got := m.Trace(); got != 1+4 {
+		t.Fatalf("Trace=%v", got)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone aliased data")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	c := a.Mul(b)
+	want := FromRows([][]float64{{58, 64}, {139, 154}})
+	for i := range c.Data {
+		approx(t, c.Data[i], want.Data[i], 1e-12, "Mul")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 5, 3)
+	tt := a.T().T()
+	for i := range a.Data {
+		approx(t, tt.Data[i], a.Data[i], 0, "T(T(A)) == A")
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 4, 4)
+	i4 := Identity(4)
+	left := i4.Mul(a)
+	right := a.Mul(i4)
+	for i := range a.Data {
+		approx(t, left.Data[i], a.Data[i], 1e-12, "I*A")
+		approx(t, right.Data[i], a.Data[i], 1e-12, "A*I")
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 6, 4)
+	v := randomVec(rng, 4)
+	got := a.MulVec(v)
+	b := NewMatrix(4, 1)
+	copy(b.Data, v)
+	want := a.Mul(b)
+	for i := range got {
+		approx(t, got[i], want.Data[i], 1e-12, "MulVec")
+	}
+}
+
+func TestDotAndNorms(t *testing.T) {
+	a := []float64{3, 4}
+	approx(t, Norm2(a), 5, 1e-12, "Norm2")
+	approx(t, Dot(a, a), 25, 1e-12, "Dot")
+	approx(t, Dist([]float64{0, 0}, a), 5, 1e-12, "Dist")
+	approx(t, Dist2([]float64{0, 0}, a), 25, 1e-12, "Dist2")
+}
+
+func TestVectorOps(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	s := AddVec(a, b)
+	d := SubVec(b, a)
+	for i := range a {
+		approx(t, s[i], a[i]+b[i], 0, "AddVec")
+		approx(t, d[i], b[i]-a[i], 0, "SubVec")
+	}
+	y := CopyVec(a)
+	AXPY(2, b, y)
+	for i := range a {
+		approx(t, y[i], a[i]+2*b[i], 0, "AXPY")
+	}
+	ScaleVec(0.5, y)
+	approx(t, y[0], (1+8)*0.5, 0, "ScaleVec")
+}
+
+func TestDotSymmetryProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw) / 2
+		a, b := raw[:n], raw[n:2*n]
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		return math.Abs(Dot(a, b)-Dot(b, a)) <= 1e-9*(1+math.Abs(Dot(a, b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for it := 0; it < 200; it++ {
+		n := 1 + rng.Intn(8)
+		a, b, c := randomVec(rng, n), randomVec(rng, n), randomVec(rng, n)
+		if Dist(a, c) > Dist(a, b)+Dist(b, c)+1e-9 {
+			t.Fatalf("triangle inequality violated")
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}})
+	if !a.IsSymmetric(1e-12) {
+		t.Fatal("expected symmetric")
+	}
+	a.Set(0, 1, 3)
+	if a.IsSymmetric(1e-12) {
+		t.Fatal("expected asymmetric")
+	}
+	if FromRows([][]float64{{1, 2, 3}}).IsSymmetric(1) {
+		t.Fatal("non-square cannot be symmetric")
+	}
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randomVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	a := randomMatrix(rng, n, n)
+	s := a.T().Mul(a)
+	return s.AddDiag(float64(n) * 0.1)
+}

@@ -1,0 +1,318 @@
+// Package litho implements the lithography substrate of the paper's
+// layout-variability case study ([13], Figures 8-9). It provides a layout
+// window generator (Manhattan line/space patterns), a first-principles
+// aerial-image model (Gaussian optical kernel convolution — the standard
+// low-order approximation of a partially coherent imaging system), and an
+// edge-slope variability metric used as the golden reference that the
+// learned model must approximate at a fraction of the cost.
+//
+// The physics that matters for the learning problem survives the
+// simplification: printability degrades where the local pattern density
+// and pitch approach the optical resolution, so a classifier over density
+// histograms with a Histogram Intersection kernel faces the same task as
+// in the paper.
+package litho
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Window is an N×N layout clip; Mask[y*N+x] is 1 where metal is drawn.
+type Window struct {
+	N    int
+	Mask []float64
+}
+
+// NewWindow allocates an empty window.
+func NewWindow(n int) *Window {
+	return &Window{N: n, Mask: make([]float64, n*n)}
+}
+
+// At returns the mask value at (x, y).
+func (w *Window) At(x, y int) float64 { return w.Mask[y*w.N+x] }
+
+// Set writes the mask value at (x, y).
+func (w *Window) Set(x, y int, v float64) { w.Mask[y*w.N+x] = v }
+
+// FillRect draws a rectangle [x0,x1)×[y0,y1), clipped to the window.
+func (w *Window) FillRect(x0, y0, x1, y1 int) {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > w.N {
+		x1 = w.N
+	}
+	if y1 > w.N {
+		y1 = w.N
+	}
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			w.Set(x, y, 1)
+		}
+	}
+}
+
+// Density returns the drawn-area fraction.
+func (w *Window) Density() float64 {
+	s := 0.0
+	for _, v := range w.Mask {
+		s += v
+	}
+	return s / float64(len(w.Mask))
+}
+
+// GenConfig shapes random layout windows.
+type GenConfig struct {
+	N        int     // window size, default 64
+	MinWidth int     // minimum line width, default 2
+	MaxWidth int     // maximum line width, default 8
+	MinSpace int     // minimum spacing, default 2
+	MaxSpace int     // maximum spacing, default 10
+	Jog      float64 // probability a line carries a jog/cut feature
+}
+
+func (c *GenConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 64
+	}
+	if c.MinWidth <= 0 {
+		c.MinWidth = 2
+	}
+	if c.MaxWidth < c.MinWidth {
+		c.MaxWidth = c.MinWidth + 6
+	}
+	if c.MinSpace <= 0 {
+		c.MinSpace = 2
+	}
+	if c.MaxSpace < c.MinSpace {
+		c.MaxSpace = c.MinSpace + 8
+	}
+}
+
+// Generate creates a random line/space window: parallel lines of random
+// width and pitch, randomly oriented, with optional jogs. Tight
+// width/space combinations are what the optical model will flag as
+// high-variability.
+func Generate(rng *rand.Rand, cfg GenConfig) *Window {
+	cfg.defaults()
+	w := NewWindow(cfg.N)
+	width := cfg.MinWidth + rng.Intn(cfg.MaxWidth-cfg.MinWidth+1)
+	space := cfg.MinSpace + rng.Intn(cfg.MaxSpace-cfg.MinSpace+1)
+	vertical := rng.Intn(2) == 0
+	phase := rng.Intn(width + space)
+	for start := -phase; start < cfg.N; start += width + space {
+		if vertical {
+			w.FillRect(start, 0, start+width, cfg.N)
+		} else {
+			w.FillRect(0, start, cfg.N, start+width)
+		}
+		// Jogs: cut a notch out of the line to create 2-D corners.
+		if rng.Float64() < cfg.Jog {
+			cut := rng.Intn(cfg.N - 4)
+			if vertical {
+				for y := cut; y < cut+3 && y < cfg.N; y++ {
+					for x := start; x < start+width && x < cfg.N; x++ {
+						if x >= 0 {
+							w.Set(x, y, 0)
+						}
+					}
+				}
+			} else {
+				for x := cut; x < cut+3 && x < cfg.N; x++ {
+					for y := start; y < start+width && y < cfg.N; y++ {
+						if y >= 0 {
+							w.Set(x, y, 0)
+						}
+					}
+				}
+			}
+		}
+	}
+	return w
+}
+
+// AerialImage convolves the mask with a Gaussian optical kernel of the
+// given sigma (in grid units) and returns the normalized intensity in
+// [0, 1]. Convolution is separable for speed.
+func AerialImage(w *Window, sigma float64) []float64 {
+	if sigma <= 0 {
+		sigma = 2
+	}
+	n := w.N
+	radius := int(3*sigma + 1)
+	k := make([]float64, 2*radius+1)
+	sum := 0.0
+	for i := range k {
+		d := float64(i - radius)
+		k[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += k[i]
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	// Horizontal pass.
+	tmp := make([]float64, n*n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			s := 0.0
+			for i, kv := range k {
+				xx := x + i - radius
+				if xx < 0 {
+					xx = 0
+				}
+				if xx >= n {
+					xx = n - 1
+				}
+				s += kv * w.Mask[y*n+xx]
+			}
+			tmp[y*n+x] = s
+		}
+	}
+	// Vertical pass.
+	out := make([]float64, n*n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			s := 0.0
+			for i, kv := range k {
+				yy := y + i - radius
+				if yy < 0 {
+					yy = 0
+				}
+				if yy >= n {
+					yy = n - 1
+				}
+				s += kv * tmp[yy*n+x]
+			}
+			out[y*n+x] = s
+		}
+	}
+	return out
+}
+
+// PrintThreshold is the dose-to-clear intensity at which resist prints.
+const PrintThreshold = 0.5
+
+// VariabilityResult is the golden-reference assessment of one window.
+type VariabilityResult struct {
+	Score        float64 // mean edge-placement sensitivity (higher = worse)
+	WeakEdgeFrac float64 // fraction of contour pixels with low image slope
+	Contour      int     // number of contour pixels examined
+}
+
+// Variability runs the "lithography simulation": compute the aerial image
+// and measure the image slope along the print contour. Edge placement
+// error under dose variation scales with 1/slope, so the score is the mean
+// inverse slope over contour pixels; WeakEdgeFrac counts contour pixels
+// whose slope falls below minSlope.
+func Variability(w *Window, sigma, minSlope float64) (VariabilityResult, error) {
+	if w.N < 4 {
+		return VariabilityResult{}, errors.New("litho: window too small")
+	}
+	img := AerialImage(w, sigma)
+	n := w.N
+	var sumInv float64
+	weak, contour := 0, 0
+	for y := 1; y < n-1; y++ {
+		for x := 1; x < n-1; x++ {
+			c := img[y*n+x]
+			// Contour pixel: intensity brackets the print threshold among
+			// the 4-neighbourhood.
+			lo, hi := c, c
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				v := img[(y+d[1])*n+x+d[0]]
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if lo > PrintThreshold || hi < PrintThreshold {
+				continue
+			}
+			gx := (img[y*n+x+1] - img[y*n+x-1]) / 2
+			gy := (img[(y+1)*n+x] - img[(y-1)*n+x]) / 2
+			slope := math.Hypot(gx, gy)
+			contour++
+			sumInv += 1 / (slope + 1e-6)
+			if slope < minSlope {
+				weak++
+			}
+		}
+	}
+	if contour == 0 {
+		// Nothing prints: the pattern is entirely sub-resolution, the
+		// worst possible variability.
+		return VariabilityResult{Score: math.Inf(1), WeakEdgeFrac: 1, Contour: 0}, nil
+	}
+	return VariabilityResult{
+		Score:        sumInv / float64(contour),
+		WeakEdgeFrac: float64(weak) / float64(contour),
+		Contour:      contour,
+	}, nil
+}
+
+// DensityHistogram extracts the HI-kernel feature vector: local pattern
+// densities over blocks at two scales, each histogrammed into bins and
+// concatenated, then normalized to unit mass. This is the knowledge-in-
+// the-kernel representation of [13]: the learner never sees raw pixels.
+func DensityHistogram(w *Window, bins int) []float64 {
+	if bins <= 0 {
+		bins = 8
+	}
+	feat := make([]float64, 0, 2*bins)
+	for _, block := range []int{4, 8} {
+		ds := localDensities(w, block)
+		h := histogram(ds, bins)
+		feat = append(feat, h...)
+	}
+	// Normalize to unit mass so histogram intersection is a proper
+	// similarity in [0, 1].
+	total := 0.0
+	for _, v := range feat {
+		total += v
+	}
+	if total > 0 {
+		for i := range feat {
+			feat[i] /= total
+		}
+	}
+	return feat
+}
+
+func localDensities(w *Window, block int) []float64 {
+	nb := w.N / block
+	out := make([]float64, 0, nb*nb)
+	for by := 0; by < nb; by++ {
+		for bx := 0; bx < nb; bx++ {
+			s := 0.0
+			for y := by * block; y < (by+1)*block; y++ {
+				for x := bx * block; x < (bx+1)*block; x++ {
+					s += w.At(x, y)
+				}
+			}
+			out = append(out, s/float64(block*block))
+		}
+	}
+	return out
+}
+
+func histogram(xs []float64, bins int) []float64 {
+	h := make([]float64, bins)
+	for _, v := range xs {
+		b := int(v * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h[b]++
+	}
+	return h
+}

@@ -1,0 +1,175 @@
+package litho
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWindowPrimitives(t *testing.T) {
+	w := NewWindow(8)
+	w.FillRect(2, 2, 4, 4)
+	if w.At(2, 2) != 1 || w.At(3, 3) != 1 || w.At(4, 4) != 0 {
+		t.Fatal("FillRect bounds")
+	}
+	if got := w.Density(); math.Abs(got-4.0/64.0) > 1e-12 {
+		t.Fatalf("density %g", got)
+	}
+	// Clipping must not panic or wrap.
+	w.FillRect(-5, -5, 100, 1)
+	if w.At(0, 0) != 1 {
+		t.Fatal("clipped fill missing")
+	}
+}
+
+func TestGenerateProducesLines(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		w := Generate(rng, GenConfig{N: 64, Jog: 0.3})
+		d := w.Density()
+		if d <= 0.05 || d >= 0.95 {
+			t.Fatalf("degenerate density %g", d)
+		}
+	}
+}
+
+func TestAerialImageProperties(t *testing.T) {
+	w := NewWindow(32)
+	w.FillRect(8, 8, 24, 24) // big fat square
+	img := AerialImage(w, 2)
+	// Intensity in [0,1]; high inside the shape, low far outside.
+	for _, v := range img {
+		if v < -1e-9 || v > 1+1e-9 {
+			t.Fatalf("intensity out of range: %g", v)
+		}
+	}
+	center := img[16*32+16]
+	corner := img[1*32+1]
+	if center < 0.9 {
+		t.Fatalf("center intensity %g", center)
+	}
+	if corner > 0.1 {
+		t.Fatalf("corner intensity %g", corner)
+	}
+	// Blur monotonicity: larger sigma lowers the max of a small feature.
+	small := NewWindow(32)
+	small.FillRect(15, 15, 18, 18)
+	i1 := AerialImage(small, 1.5)
+	i2 := AerialImage(small, 3.5)
+	if maxOf(i2) >= maxOf(i1) {
+		t.Fatal("more blur should reduce small-feature contrast")
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func TestVariabilityTightPitchWorse(t *testing.T) {
+	// Golden-model physics: tight width/space prints with lower edge slope
+	// than relaxed patterns, hence higher variability score.
+	rng := rand.New(rand.NewSource(2))
+	tight := Generate(rng, GenConfig{N: 64, MinWidth: 2, MaxWidth: 2, MinSpace: 2, MaxSpace: 2})
+	relaxed := Generate(rng, GenConfig{N: 64, MinWidth: 10, MaxWidth: 10, MinSpace: 12, MaxSpace: 12})
+	vt, err := Variability(tight, 2.5, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := Variability(relaxed, 2.5, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vt.Score <= vr.Score {
+		t.Fatalf("tight pitch should be worse: tight=%g relaxed=%g", vt.Score, vr.Score)
+	}
+	if vr.Contour == 0 {
+		t.Fatal("relaxed pattern should print a contour")
+	}
+}
+
+func TestVariabilitySubResolutionIsWorst(t *testing.T) {
+	// A pattern below the resolution limit never reaches the print
+	// threshold: infinite score.
+	w := NewWindow(32)
+	for x := 2; x < 30; x += 4 {
+		w.FillRect(x, 2, x+1, 30) // 1-wide lines away from the border, heavy blur
+	}
+	v, err := Variability(w, 6, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(v.Score, 1) || v.WeakEdgeFrac != 1 {
+		t.Fatalf("sub-resolution should be worst case: %+v", v)
+	}
+}
+
+func TestVariabilityValidation(t *testing.T) {
+	if _, err := Variability(NewWindow(2), 2, 0.05); err == nil {
+		t.Fatal("tiny window accepted")
+	}
+}
+
+func TestDensityHistogramIsNormalizedAndDiscriminative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dense := Generate(rng, GenConfig{N: 64, MinWidth: 2, MaxWidth: 3, MinSpace: 2, MaxSpace: 3})
+	sparse := Generate(rng, GenConfig{N: 64, MinWidth: 3, MaxWidth: 4, MinSpace: 14, MaxSpace: 16})
+	hd := DensityHistogram(dense, 8)
+	hs := DensityHistogram(sparse, 8)
+	sum := 0.0
+	for _, v := range hd {
+		if v < 0 {
+			t.Fatal("negative histogram mass")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("histogram mass %g", sum)
+	}
+	if len(hd) != 16 {
+		t.Fatalf("feature length %d", len(hd))
+	}
+	// Histogram intersection of dissimilar patterns should be clearly
+	// below self-similarity (1.0).
+	hi := 0.0
+	for i := range hd {
+		hi += math.Min(hd[i], hs[i])
+	}
+	if hi > 0.9 {
+		t.Fatalf("dense/sparse windows too similar: %g", hi)
+	}
+}
+
+func BenchmarkAerialImage64(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	w := Generate(rng, GenConfig{N: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = AerialImage(w, 2.5)
+	}
+}
+
+func BenchmarkVariability64(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	w := Generate(rng, GenConfig{N: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Variability(w, 2.5, 0.08); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDensityHistogram(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	w := Generate(rng, GenConfig{N: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DensityHistogram(w, 8)
+	}
+}

@@ -1,0 +1,170 @@
+// Package mfgtest implements the manufacturing-test substrate of the
+// paper's Section 3-4 test-data case studies ([16],[32],[33]): a factor-
+// model generator of correlated parametric test measurements with wafer
+// structure, production test limits, a latent-defect mechanism that
+// produces customer returns (Figure 11), and a phase-dependent failure
+// mode that defeats test-elimination mining (Figure 12).
+package mfgtest
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// Chip is one tested unit.
+type Chip struct {
+	ID           int
+	Wafer        int
+	Meas         []float64 // one value per parametric test
+	LatentDefect bool      // will fail in the field if shipped
+}
+
+// Model is a linear factor model of parametric tests:
+//
+//	meas_j = mean_j + Σ_k Loadings[j][k]·factor_k + noise_j·ε
+//
+// Chips on the same wafer share a wafer-level factor offset.
+type Model struct {
+	Names    []string
+	Mean     []float64
+	Loadings [][]float64 // tests × factors
+	Noise    []float64   // per-test residual sigma
+	WaferSD  float64     // sigma of the shared wafer offset on factor 0
+	PerWafer int         // chips per wafer, default 500
+}
+
+// Validate checks internal consistency.
+func (m *Model) Validate() error {
+	nt := len(m.Mean)
+	if nt == 0 {
+		return errors.New("mfgtest: model has no tests")
+	}
+	if len(m.Loadings) != nt || len(m.Noise) != nt {
+		return errors.New("mfgtest: loadings/noise length mismatch")
+	}
+	if m.Names != nil && len(m.Names) != nt {
+		return errors.New("mfgtest: names length mismatch")
+	}
+	return nil
+}
+
+// NumTests returns the number of parametric tests.
+func (m *Model) NumTests() int { return len(m.Mean) }
+
+// NumFactors returns the number of latent factors.
+func (m *Model) NumFactors() int {
+	if len(m.Loadings) == 0 {
+		return 0
+	}
+	return len(m.Loadings[0])
+}
+
+// Sample draws n chips. The defect hook, when non-nil, may mutate each
+// chip after the parametric draw (inject shifts, mark latent defects).
+func (m *Model) Sample(rng *rand.Rand, n int, startID int,
+	defect func(rng *rand.Rand, c *Chip)) []Chip {
+
+	perWafer := m.PerWafer
+	if perWafer <= 0 {
+		perWafer = 500
+	}
+	nf := m.NumFactors()
+	chips := make([]Chip, n)
+	waferOffset := 0.0
+	for i := 0; i < n; i++ {
+		id := startID + i
+		wafer := id / perWafer
+		if id%perWafer == 0 || i == 0 {
+			waferOffset = m.WaferSD * rng.NormFloat64()
+		}
+		f := make([]float64, nf)
+		for k := range f {
+			f[k] = rng.NormFloat64()
+		}
+		if nf > 0 {
+			f[0] += waferOffset
+		}
+		meas := make([]float64, m.NumTests())
+		for j := range meas {
+			v := m.Mean[j]
+			for k := 0; k < nf; k++ {
+				v += m.Loadings[j][k] * f[k]
+			}
+			v += m.Noise[j] * rng.NormFloat64()
+			meas[j] = v
+		}
+		chips[i] = Chip{ID: id, Wafer: wafer, Meas: meas}
+		if defect != nil {
+			defect(rng, &chips[i])
+		}
+	}
+	return chips
+}
+
+// Limits are per-test pass windows.
+type Limits struct {
+	Lo, Hi []float64
+}
+
+// LimitsFromModel sets symmetric k-sigma limits around the model means,
+// using the marginal sigma implied by loadings and noise.
+func LimitsFromModel(m *Model, k float64) Limits {
+	nt := m.NumTests()
+	lo := make([]float64, nt)
+	hi := make([]float64, nt)
+	for j := 0; j < nt; j++ {
+		v := m.Noise[j] * m.Noise[j]
+		for _, l := range m.Loadings[j] {
+			v += l * l
+		}
+		if len(m.Loadings[j]) > 0 {
+			v += m.Loadings[j][0] * m.Loadings[j][0] * m.WaferSD * m.WaferSD
+		}
+		sd := math.Sqrt(v)
+		lo[j] = m.Mean[j] - k*sd
+		hi[j] = m.Mean[j] + k*sd
+	}
+	return Limits{Lo: lo, Hi: hi}
+}
+
+// Pass reports whether the chip is inside every limit.
+func (l Limits) Pass(c *Chip) bool {
+	for j, v := range c.Meas {
+		if v < l.Lo[j] || v > l.Hi[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// FailsTest reports whether the chip violates the limits of test j.
+func (l Limits) FailsTest(c *Chip, j int) bool {
+	return c.Meas[j] < l.Lo[j] || c.Meas[j] > l.Hi[j]
+}
+
+// Matrix packs chip measurements into a dataset matrix (rows = chips).
+func Matrix(chips []Chip) *linalg.Matrix {
+	if len(chips) == 0 {
+		return linalg.NewMatrix(0, 0)
+	}
+	x := linalg.NewMatrix(len(chips), len(chips[0].Meas))
+	for i := range chips {
+		copy(x.Row(i), chips[i].Meas)
+	}
+	return x
+}
+
+// Correlation returns the Pearson correlation of two tests across chips.
+func Correlation(chips []Chip, a, b int) float64 {
+	va := make([]float64, len(chips))
+	vb := make([]float64, len(chips))
+	for i := range chips {
+		va[i] = chips[i].Meas[a]
+		vb[i] = chips[i].Meas[b]
+	}
+	return stats.Correlation(va, vb)
+}

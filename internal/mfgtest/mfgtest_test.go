@@ -1,0 +1,215 @@
+package mfgtest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestModelValidate(t *testing.T) {
+	m := &Model{Mean: []float64{0}, Loadings: [][]float64{{1}}, Noise: []float64{1}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (&Model{}).Validate() == nil {
+		t.Fatal("empty model accepted")
+	}
+	bad := &Model{Mean: []float64{0, 1}, Loadings: [][]float64{{1}}, Noise: []float64{1, 1}}
+	if bad.Validate() == nil {
+		t.Fatal("mismatched loadings accepted")
+	}
+}
+
+func TestSampleStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := &Model{
+		Mean:     []float64{5, -3},
+		Loadings: [][]float64{{1}, {1}},
+		Noise:    []float64{0.1, 0.1},
+		WaferSD:  0,
+	}
+	chips := m.Sample(rng, 20000, 0, nil)
+	c0 := make([]float64, len(chips))
+	c1 := make([]float64, len(chips))
+	for i, c := range chips {
+		c0[i] = c.Meas[0]
+		c1[i] = c.Meas[1]
+	}
+	if math.Abs(stats.Mean(c0)-5) > 0.05 || math.Abs(stats.Mean(c1)+3) > 0.05 {
+		t.Fatalf("means %g %g", stats.Mean(c0), stats.Mean(c1))
+	}
+	// Shared factor with small noise -> very high correlation.
+	if r := stats.Correlation(c0, c1); r < 0.97 {
+		t.Fatalf("correlation %g", r)
+	}
+}
+
+func TestWaferStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := &Model{
+		Mean:     []float64{0},
+		Loadings: [][]float64{{1}},
+		Noise:    []float64{0.01},
+		WaferSD:  2.0,
+		PerWafer: 100,
+	}
+	chips := m.Sample(rng, 1000, 0, nil)
+	// Chips on the same wafer should be much closer than across wafers.
+	var within, across []float64
+	for i := 1; i < len(chips); i++ {
+		d := math.Abs(chips[i].Meas[0] - chips[i-1].Meas[0])
+		if chips[i].Wafer == chips[i-1].Wafer {
+			within = append(within, d)
+		} else {
+			across = append(across, d)
+		}
+	}
+	if stats.Mean(within) >= stats.Mean(across) {
+		t.Fatalf("wafer structure absent: within=%g across=%g",
+			stats.Mean(within), stats.Mean(across))
+	}
+	if chips[0].Wafer != 0 || chips[999].Wafer != 9 {
+		t.Fatal("wafer ids")
+	}
+}
+
+func TestLimitsPassFail(t *testing.T) {
+	m := &Model{Mean: []float64{0, 0}, Loadings: [][]float64{{1}, {1}}, Noise: []float64{0.1, 0.1}}
+	lim := LimitsFromModel(m, 3)
+	good := &Chip{Meas: []float64{0, 0}}
+	bad := &Chip{Meas: []float64{0, 100}}
+	if !lim.Pass(good) || lim.Pass(bad) {
+		t.Fatal("limit check")
+	}
+	if !lim.FailsTest(bad, 1) || lim.FailsTest(bad, 0) {
+		t.Fatal("FailsTest")
+	}
+}
+
+func TestReturnsScenarioShipsDefects(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewReturnsScenario(12)
+	shipped, returns := s.SampleLot(rng, 30000, 0)
+	if len(shipped) < 29000 {
+		t.Fatalf("yield too low: %d", len(shipped))
+	}
+	if len(returns) == 0 {
+		t.Fatal("no customer returns generated")
+	}
+	// Returns pass production limits by construction (they shipped).
+	for _, ri := range returns {
+		if !s.Limits.Pass(&shipped[ri]) {
+			t.Fatal("return failed limits yet shipped")
+		}
+		if !shipped[ri].LatentDefect {
+			t.Fatal("return not marked defective")
+		}
+	}
+	// Returns are outliers in the defect tests: the mean robust z of the
+	// returns in a defect test should be clearly elevated.
+	j := s.DefectTests[0]
+	col := make([]float64, len(shipped))
+	for i := range shipped {
+		col[i] = shipped[i].Meas[j]
+	}
+	med, mad := stats.Median(col), stats.MAD(col)
+	zsum := 0.0
+	for _, ri := range returns {
+		zsum += math.Abs(shipped[ri].Meas[j]-med) / (1.4826 * mad)
+	}
+	if zMean := zsum / float64(len(returns)); zMean < 2 {
+		t.Fatalf("returns not outliers in defect test: mean z=%g", zMean)
+	}
+}
+
+func TestSisterScenarioSameMechanism(t *testing.T) {
+	s := NewReturnsScenario(12)
+	sis := s.SisterScenario()
+	if sis.DefectTests != s.DefectTests {
+		t.Fatal("sister must share the defect mechanism")
+	}
+	if sis.Model.Mean[0] == s.Model.Mean[0] {
+		t.Fatal("sister means should shift")
+	}
+	// Mutating sister must not affect the original.
+	sis.Model.Mean[0] = 999
+	if s.Model.Mean[0] == 999 {
+		t.Fatal("sister aliases parent means")
+	}
+}
+
+func TestCostRedCorrelationsMatchPaper(t *testing.T) {
+	// Fig 12 setup: corr(A, 1) ≈ 0.97 and corr(A, 2) ≈ 0.96.
+	rng := rand.New(rand.NewSource(4))
+	s := NewCostRedScenario()
+	chips := s.Model.Sample(rng, 50000, 0, s.DefectPhase1)
+	rA1 := Correlation(chips, s.TestA, s.Test1)
+	rA2 := Correlation(chips, s.TestA, s.Test2)
+	if rA1 < 0.94 || rA1 > 0.995 {
+		t.Fatalf("corr(A,1)=%g outside paper-like band", rA1)
+	}
+	if rA2 < 0.93 || rA2 > 0.995 {
+		t.Fatalf("corr(A,2)=%g outside paper-like band", rA2)
+	}
+}
+
+func TestCostRedPhase1NoEscapesPhase2Escapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewCostRedScenario()
+	kept := []int{s.Test1, s.Test2}
+
+	phase1 := s.Model.Sample(rng, 200000, 0, s.DefectPhase1)
+	if got := s.Escapes(phase1, s.TestA, kept); got != 0 {
+		t.Fatalf("phase 1 should have zero escapes, got %d", got)
+	}
+	phase2 := s.Model.Sample(rng, 100000, 200000, s.DefectPhase2)
+	if got := s.Escapes(phase2, s.TestA, kept); got == 0 {
+		t.Fatal("phase 2 should contain escapes")
+	}
+}
+
+func TestMatrixPacking(t *testing.T) {
+	chips := []Chip{{Meas: []float64{1, 2}}, {Meas: []float64{3, 4}}}
+	x := Matrix(chips)
+	if x.Rows != 2 || x.Cols != 2 || x.At(1, 0) != 3 {
+		t.Fatal("matrix packing")
+	}
+	if Matrix(nil).Rows != 0 {
+		t.Fatal("empty matrix")
+	}
+}
+
+func TestFmaxDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := FmaxDataset(rng, 500)
+	if d.Len() != 500 || d.Dim() != 10 {
+		t.Fatalf("shape %d x %d", d.Len(), d.Dim())
+	}
+	// Fmax responds to the parametrics: the best single-test correlation
+	// must be clearly nonzero, but no single test should explain
+	// everything (the ground truth is nonlinear and multi-factor).
+	best := 0.0
+	for j := 0; j < d.Dim(); j++ {
+		c := math.Abs(stats.Correlation(d.X.Col(j), d.Y))
+		if c > best {
+			best = c
+		}
+	}
+	if best < 0.3 {
+		t.Fatalf("Fmax carries no parametric signal: best |corr| %.2f", best)
+	}
+	if best > 0.98 {
+		t.Fatalf("Fmax is trivially linear in one test: best |corr| %.2f", best)
+	}
+}
+
+func BenchmarkSample1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	s := NewReturnsScenario(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Model.Sample(rng, 1000, 0, s.Defect)
+	}
+}

@@ -1,0 +1,213 @@
+package mfgtest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ReturnsScenario builds the Figure 11 setting: an automotive product with
+// many parametric tests, where a rare latent defect shifts a specific
+// triple of tests by an amount that stays inside the production limits —
+// the part ships and comes back from the customer months later.
+type ReturnsScenario struct {
+	Model       *Model
+	Limits      Limits
+	DefectTests [3]int  // the tests the latent defect disturbs
+	Shift       float64 // defect shift in marginal sigmas
+	DefectRate  float64 // latent defect probability
+}
+
+// NewReturnsScenario builds the standard returns scenario with nTests
+// parametric tests driven by 4 process factors.
+func NewReturnsScenario(nTests int) *ReturnsScenario {
+	if nTests < 8 {
+		nTests = 8
+	}
+	const nf = 4
+	m := &Model{
+		Names:    make([]string, nTests),
+		Mean:     make([]float64, nTests),
+		Loadings: make([][]float64, nTests),
+		Noise:    make([]float64, nTests),
+		WaferSD:  0.3,
+	}
+	// Deterministic loading pattern: each test loads mainly on one factor
+	// with small cross terms, giving a realistic correlated structure.
+	for j := 0; j < nTests; j++ {
+		m.Names[j] = fmt.Sprintf("t%02d", j)
+		m.Mean[j] = 10 + float64(j)
+		m.Loadings[j] = make([]float64, nf)
+		main := j % nf
+		for k := 0; k < nf; k++ {
+			if k == main {
+				m.Loadings[j][k] = 1.0
+			} else {
+				m.Loadings[j][k] = 0.2
+			}
+		}
+		m.Noise[j] = 0.4
+	}
+	s := &ReturnsScenario{
+		Model:       m,
+		DefectTests: [3]int{2, 5, 7},
+		Shift:       2.8,
+		DefectRate:  0.002,
+	}
+	s.Limits = LimitsFromModel(m, 6) // wide automotive limits: returns pass
+	return s
+}
+
+// marginalSD returns the marginal sigma of test j (without wafer term, the
+// scale the defect shift is expressed in).
+func (s *ReturnsScenario) marginalSD(j int) float64 {
+	v := s.Model.Noise[j] * s.Model.Noise[j]
+	for _, l := range s.Model.Loadings[j] {
+		v += l * l
+	}
+	return math.Sqrt(v)
+}
+
+// Defect is the latent-defect hook for Model.Sample.
+func (s *ReturnsScenario) Defect(rng *rand.Rand, c *Chip) {
+	if rng.Float64() >= s.DefectRate {
+		return
+	}
+	c.LatentDefect = true
+	for _, j := range s.DefectTests {
+		c.Meas[j] += s.Shift * s.marginalSD(j)
+	}
+}
+
+// SampleLot draws a production lot and splits it into shipped parts and
+// (shipped, defective) customer returns; parts failing test limits are
+// scrapped at the factory and never ship.
+func (s *ReturnsScenario) SampleLot(rng *rand.Rand, n, startID int) (shipped []Chip, returns []int) {
+	chips := s.Model.Sample(rng, n, startID, s.Defect)
+	for i := range chips {
+		if !s.Limits.Pass(&chips[i]) {
+			continue // factory scrap
+		}
+		shipped = append(shipped, chips[i])
+		if chips[i].LatentDefect {
+			returns = append(returns, len(shipped)-1)
+		}
+	}
+	return shipped, returns
+}
+
+// SisterScenario derives the sister-product-line variant of the Figure 11
+// plot (3): same defect mechanism and loading structure, slightly shifted
+// means and noise (a different product manufactured a year later).
+func (s *ReturnsScenario) SisterScenario() *ReturnsScenario {
+	m2 := &Model{
+		Names:    append([]string(nil), s.Model.Names...),
+		Mean:     append([]float64(nil), s.Model.Mean...),
+		Loadings: s.Model.Loadings,
+		Noise:    append([]float64(nil), s.Model.Noise...),
+		WaferSD:  s.Model.WaferSD,
+		PerWafer: s.Model.PerWafer,
+	}
+	for j := range m2.Mean {
+		m2.Mean[j] += 0.15
+		m2.Noise[j] *= 1.1
+	}
+	s2 := *s
+	s2.Model = m2
+	s2.Limits = LimitsFromModel(m2, 6)
+	return &s2
+}
+
+// CostRedScenario builds the Figure 12 setting: candidate-for-removal
+// tests A and B correlate ≈0.97/0.96 with kept tests 1 and 2, and in the
+// first production phase every A/B failure is also caught by test 1 or 2.
+// A second phase introduces a new defect mode that moves A (and B) outside
+// limits while leaving tests 1 and 2 untouched — the escapes that make the
+// test-removal guarantee impossible.
+type CostRedScenario struct {
+	Model  *Model
+	Limits Limits
+	// Test indices.
+	TestA, TestB, Test1, Test2 int
+	// Phase-2 independent failure mode rates.
+	NewModeRateA float64
+	NewModeRateB float64
+	// Gross-defect rate present in both phases (fails everything together).
+	GrossRate float64
+}
+
+// NewCostRedScenario builds the standard cost-reduction scenario.
+func NewCostRedScenario() *CostRedScenario {
+	// Four tests: A, B, 1, 2. One dominant shared factor gives the high
+	// pairwise correlation; small independent noise the residual.
+	m := &Model{
+		Names: []string{"testA", "testB", "test1", "test2"},
+		Mean:  []float64{0, 0, 0, 0},
+		Loadings: [][]float64{
+			{1.0, 0.10, 0.05}, // A
+			{1.0, 0.05, 0.12}, // B
+			{1.0, 0.22, 0.00}, // 1
+			{1.0, 0.00, 0.22}, // 2
+		},
+		Noise:   []float64{0.12, 0.14, 0.10, 0.10},
+		WaferSD: 0.1,
+	}
+	s := &CostRedScenario{
+		Model: m, TestA: 0, TestB: 1, Test1: 2, Test2: 3,
+		NewModeRateA: 3e-5,
+		NewModeRateB: 2e-5,
+		GrossRate:    2e-4,
+	}
+	// 5-sigma limits: random single-test tails are negligible (≈6e-7), so
+	// in phase 1 the only failures are gross defects that trip every test
+	// together — mining sees test A perfectly covered by tests 1 and 2.
+	s.Limits = LimitsFromModel(m, 5)
+	return s
+}
+
+// DefectPhase1 injects only the gross defect mode: a large shared shift
+// that fails A/B and tests 1/2 together, so mining on phase-1 data sees
+// test A fully covered by tests 1 and 2.
+func (s *CostRedScenario) DefectPhase1(rng *rand.Rand, c *Chip) {
+	if rng.Float64() < s.GrossRate {
+		shift := 7 + 2*rng.Float64()
+		for j := range c.Meas {
+			c.Meas[j] += shift
+		}
+	}
+}
+
+// DefectPhase2 adds the new, test-A-specific (and test-B-specific) failure
+// modes on top of the gross mode — the yellow dots of Figure 12.
+func (s *CostRedScenario) DefectPhase2(rng *rand.Rand, c *Chip) {
+	s.DefectPhase1(rng, c)
+	if rng.Float64() < s.NewModeRateA {
+		c.Meas[s.TestA] += 5.5 + 2*rng.Float64()
+	}
+	if rng.Float64() < s.NewModeRateB {
+		c.Meas[s.TestB] -= 5.5 + 2*rng.Float64()
+	}
+}
+
+// Escapes counts chips that fail the dropped test but pass every kept
+// test's limits — exactly the paper's definition of a test escape.
+func (s *CostRedScenario) Escapes(chips []Chip, dropped int, kept []int) int {
+	n := 0
+	for i := range chips {
+		c := &chips[i]
+		if !s.Limits.FailsTest(c, dropped) {
+			continue
+		}
+		caught := false
+		for _, k := range kept {
+			if s.Limits.FailsTest(c, k) {
+				caught = true
+				break
+			}
+		}
+		if !caught {
+			n++
+		}
+	}
+	return n
+}

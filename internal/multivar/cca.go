@@ -1,0 +1,150 @@
+package multivar
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// CCA is a fitted canonical correlation analysis between two views X and Y
+// (paper Section 2, ref [5]): pairs of directions (a_i, b_i) such that the
+// projections Xa_i and Yb_i are maximally correlated, with successive
+// pairs uncorrelated with earlier ones.
+type CCA struct {
+	XMean, YMean []float64
+	A            *linalg.Matrix // dx × k canonical directions for X
+	B            *linalg.Matrix // dy × k canonical directions for Y
+	Corr         []float64      // canonical correlations, descending
+}
+
+// FitCCA computes the top-k canonical pairs. reg is a ridge term added to
+// both within-view covariances for stability (e.g. 1e-6).
+func FitCCA(x, y *linalg.Matrix, k int, reg float64) (*CCA, error) {
+	n := x.Rows
+	if n != y.Rows {
+		return nil, errors.New("multivar: X and Y row mismatch")
+	}
+	if n < 3 {
+		return nil, errors.New("multivar: need at least 3 samples")
+	}
+	dx, dy := x.Cols, y.Cols
+	maxK := dx
+	if dy < maxK {
+		maxK = dy
+	}
+	if k <= 0 || k > maxK {
+		return nil, errors.New("multivar: component count out of range")
+	}
+	if reg < 0 {
+		reg = 0
+	}
+
+	xm := colMeans(x)
+	ym := colMeans(y)
+	xc := centered(x, xm)
+	yc := centered(y, ym)
+
+	// Covariance blocks.
+	sxx := xc.T().Mul(xc).Scale(1 / float64(n-1)).AddDiag(reg + 1e-10)
+	syy := yc.T().Mul(yc).Scale(1 / float64(n-1)).AddDiag(reg + 1e-10)
+	sxy := xc.T().Mul(yc).Scale(1 / float64(n-1))
+
+	// Whitening transforms Sxx^{-1/2}, Syy^{-1/2} via eigendecomposition.
+	wx, err := invSqrt(sxx)
+	if err != nil {
+		return nil, err
+	}
+	wy, err := invSqrt(syy)
+	if err != nil {
+		return nil, err
+	}
+	// M = Sxx^{-1/2} Sxy Syy^{-1/2}; canonical correlations are its
+	// singular values.
+	m := wx.Mul(sxy).Mul(wy)
+	u, s, v, err := linalg.SVDThin(m)
+	if err != nil {
+		return nil, err
+	}
+
+	cca := &CCA{
+		XMean: xm, YMean: ym,
+		A:    linalg.NewMatrix(dx, k),
+		B:    linalg.NewMatrix(dy, k),
+		Corr: make([]float64, k),
+	}
+	for c := 0; c < k; c++ {
+		corr := s[c]
+		if corr > 1 {
+			corr = 1
+		}
+		cca.Corr[c] = corr
+		a := wx.MulVec(u.Col(c))
+		b := wy.MulVec(v.Col(c))
+		for j := 0; j < dx; j++ {
+			cca.A.Set(j, c, a[j])
+		}
+		for j := 0; j < dy; j++ {
+			cca.B.Set(j, c, b[j])
+		}
+	}
+	return cca, nil
+}
+
+// invSqrt returns S^{-1/2} for a symmetric positive definite matrix.
+func invSqrt(s *linalg.Matrix) (*linalg.Matrix, error) {
+	vals, vecs, err := linalg.EigenSym(s)
+	if err != nil {
+		return nil, err
+	}
+	n := s.Rows
+	out := linalg.NewMatrix(n, n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			acc := 0.0
+			for c := 0; c < n; c++ {
+				l := vals[c]
+				if l < 1e-12 {
+					l = 1e-12
+				}
+				acc += vecs.At(a, c) * vecs.At(b, c) / math.Sqrt(l)
+			}
+			out.Set(a, b, acc)
+		}
+	}
+	return out, nil
+}
+
+// ProjectX maps one x sample to its canonical variates.
+func (c *CCA) ProjectX(x []float64) []float64 {
+	d := make([]float64, len(x))
+	for j := range x {
+		d[j] = x[j] - c.XMean[j]
+	}
+	out := make([]float64, c.A.Cols)
+	for k := range out {
+		s := 0.0
+		for j := range d {
+			s += c.A.At(j, k) * d[j]
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// ProjectY maps one y sample to its canonical variates.
+func (c *CCA) ProjectY(y []float64) []float64 {
+	d := make([]float64, len(y))
+	for j := range y {
+		d[j] = y[j] - c.YMean[j]
+	}
+	out := make([]float64, c.B.Cols)
+	for k := range out {
+		s := 0.0
+		for j := range d {
+			s += c.B.At(j, k) * d[j]
+		}
+		out[k] = s
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package multivar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// makeXY builds a multivariate regression problem Y = X·W + noise.
+func makeXY(rng *rand.Rand, n, dx, dy int, noise float64) (x, y, w *linalg.Matrix) {
+	x = linalg.NewMatrix(n, dx)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	w = linalg.NewMatrix(dx, dy)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	y = x.Mul(w)
+	for i := range y.Data {
+		y.Data[i] += noise * rng.NormFloat64()
+	}
+	return x, y, w
+}
+
+func TestPLSRecoversLinearMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y, _ := makeXY(rng, 300, 4, 2, 0.05)
+	m, err := FitPLS(x, y, 4, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.PredictAll(x)
+	// Per-response R².
+	for j := 0; j < y.Cols; j++ {
+		truth := y.Col(j)
+		p := pred.Col(j)
+		ssTot, ssRes := 0.0, 0.0
+		mu := stats.Mean(truth)
+		for i := range truth {
+			ssTot += (truth[i] - mu) * (truth[i] - mu)
+			ssRes += (truth[i] - p[i]) * (truth[i] - p[i])
+		}
+		if r2 := 1 - ssRes/ssTot; r2 < 0.98 {
+			t.Fatalf("response %d R2=%.3f", j, r2)
+		}
+	}
+}
+
+func TestPLSFewComponentsOnLowRankData(t *testing.T) {
+	// X has 6 columns but Y depends only on a 1-D latent factor:
+	// 1 component should capture nearly everything.
+	rng := rand.New(rand.NewSource(2))
+	n := 400
+	x := linalg.NewMatrix(n, 6)
+	y := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		f := rng.NormFloat64()
+		for j := 0; j < 6; j++ {
+			x.Set(i, j, f*float64(j+1)/3+0.1*rng.NormFloat64())
+		}
+		y.Set(i, 0, 2*f+0.05*rng.NormFloat64())
+		y.Set(i, 1, -f+0.05*rng.NormFloat64())
+	}
+	m, err := FitPLS(x, y, 1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.PredictAll(x)
+	c := stats.Correlation(pred.Col(0), y.Col(0))
+	if c < 0.99 {
+		t.Fatalf("1-component PLS correlation %.3f", c)
+	}
+}
+
+func TestPLSValidation(t *testing.T) {
+	x := linalg.NewMatrix(5, 2)
+	y := linalg.NewMatrix(4, 1)
+	if _, err := FitPLS(x, y, 1, 10); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+	y2 := linalg.NewMatrix(5, 1)
+	if _, err := FitPLS(x, y2, 0, 10); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := FitPLS(linalg.NewMatrix(1, 2), linalg.NewMatrix(1, 1), 1, 10); err == nil {
+		t.Fatal("single sample accepted")
+	}
+}
+
+func TestCCAFindsSharedSignal(t *testing.T) {
+	// Both views carry a shared latent signal in one direction plus
+	// independent noise; the top canonical correlation should be high and
+	// the projections should correlate.
+	rng := rand.New(rand.NewSource(3))
+	n := 500
+	x := linalg.NewMatrix(n, 3)
+	y := linalg.NewMatrix(n, 3)
+	for i := 0; i < n; i++ {
+		s := rng.NormFloat64()
+		x.Set(i, 0, s+0.3*rng.NormFloat64())
+		x.Set(i, 1, rng.NormFloat64())
+		x.Set(i, 2, rng.NormFloat64())
+		y.Set(i, 0, rng.NormFloat64())
+		y.Set(i, 1, -2*s+0.3*rng.NormFloat64())
+		y.Set(i, 2, rng.NormFloat64())
+	}
+	cca, err := FitCCA(x, y, 2, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cca.Corr[0] < 0.85 {
+		t.Fatalf("top canonical correlation %.3f", cca.Corr[0])
+	}
+	if cca.Corr[1] > cca.Corr[0] {
+		t.Fatal("correlations not descending")
+	}
+	// Empirical correlation of the projected variates matches Corr[0].
+	px := make([]float64, n)
+	py := make([]float64, n)
+	for i := 0; i < n; i++ {
+		px[i] = cca.ProjectX(x.Row(i))[0]
+		py[i] = cca.ProjectY(y.Row(i))[0]
+	}
+	emp := math.Abs(stats.Correlation(px, py))
+	if math.Abs(emp-cca.Corr[0]) > 0.02 {
+		t.Fatalf("projected correlation %.3f vs reported %.3f", emp, cca.Corr[0])
+	}
+}
+
+func TestCCAIndependentViewsLowCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 600
+	x := linalg.NewMatrix(n, 3)
+	y := linalg.NewMatrix(n, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64()
+	}
+	cca, err := FitCCA(x, y, 1, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cca.Corr[0] > 0.3 {
+		t.Fatalf("independent views should have low canonical correlation: %.3f", cca.Corr[0])
+	}
+}
+
+func TestCCAValidation(t *testing.T) {
+	x := linalg.NewMatrix(10, 2)
+	if _, err := FitCCA(x, linalg.NewMatrix(9, 2), 1, 0); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+	if _, err := FitCCA(x, linalg.NewMatrix(10, 2), 5, 0); err == nil {
+		t.Fatal("k too large accepted")
+	}
+}

@@ -1,0 +1,220 @@
+// Package multivar implements the multivariate-response methods the paper
+// singles out in Section 2 for datasets whose right-hand side is a matrix
+// Y rather than a vector: Partial Least Squares regression ("designed for
+// regression between two matrices") and Canonical Correlation Analysis
+// ("a multivariate correlation analysis applied to a dataset of X and Y",
+// ref [5]).
+package multivar
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// PLS is a fitted partial-least-squares regression X → Y with k latent
+// components, trained with the NIPALS algorithm on centered data.
+type PLS struct {
+	K     int
+	XMean []float64
+	YMean []float64
+	W     *linalg.Matrix // x-weights,    dx × k
+	P     *linalg.Matrix // x-loadings,   dx × k
+	Q     *linalg.Matrix // y-loadings,   dy × k
+	B     []float64      // inner regression coefficients per component
+}
+
+// FitPLS fits k PLS components. X is n×dx, Y is n×dy with matching n.
+func FitPLS(x, y *linalg.Matrix, k int, maxIters int) (*PLS, error) {
+	n, dx := x.Rows, x.Cols
+	dy := y.Cols
+	if n != y.Rows {
+		return nil, errors.New("multivar: X and Y row mismatch")
+	}
+	if n < 2 {
+		return nil, errors.New("multivar: need at least 2 samples")
+	}
+	if k <= 0 || k > dx {
+		return nil, errors.New("multivar: component count out of range")
+	}
+	if maxIters <= 0 {
+		maxIters = 200
+	}
+
+	xm := colMeans(x)
+	ym := colMeans(y)
+	e := centered(x, xm) // X residual
+	f := centered(y, ym) // Y residual
+
+	m := &PLS{
+		K: k, XMean: xm, YMean: ym,
+		W: linalg.NewMatrix(dx, k),
+		P: linalg.NewMatrix(dx, k),
+		Q: linalg.NewMatrix(dy, k),
+		B: make([]float64, k),
+	}
+
+	for c := 0; c < k; c++ {
+		// NIPALS inner loop: u = first Y column; iterate
+		// w ∝ Eᵀu, t = Ew, q ∝ Fᵀt, u = Fq.
+		u := f.Col(0)
+		if norm(u) < 1e-12 {
+			u = make([]float64, n)
+			for i := range u {
+				u[i] = 1
+			}
+		}
+		var w, t, q []float64
+		for it := 0; it < maxIters; it++ {
+			w = matTVec(e, u)
+			normalize(w)
+			t = e.MulVec(w)
+			q = matTVec(f, t)
+			normalize(q)
+			uNew := f.MulVec(q)
+			if vecDist(u, uNew) < 1e-10*(1+norm(uNew)) {
+				u = uNew
+				break
+			}
+			u = uNew
+		}
+		tt := dot(t, t)
+		if tt < 1e-12 {
+			m.K = c
+			break
+		}
+		// Loadings and inner coefficient.
+		p := matTVec(e, t)
+		scale(p, 1/tt)
+		b := dot(u, t) / tt
+
+		for j := 0; j < dx; j++ {
+			m.W.Set(j, c, w[j])
+			m.P.Set(j, c, p[j])
+		}
+		for j := 0; j < dy; j++ {
+			m.Q.Set(j, c, q[j])
+		}
+		m.B[c] = b
+
+		// Deflate.
+		for i := 0; i < n; i++ {
+			er := e.Row(i)
+			fr := f.Row(i)
+			for j := 0; j < dx; j++ {
+				er[j] -= t[i] * p[j]
+			}
+			for j := 0; j < dy; j++ {
+				fr[j] -= b * t[i] * q[j]
+			}
+		}
+	}
+	if m.K == 0 {
+		return nil, errors.New("multivar: PLS found no usable component")
+	}
+	return m, nil
+}
+
+// Predict maps one x sample to its predicted y vector.
+func (m *PLS) Predict(x []float64) []float64 {
+	// Sequential NIPALS prediction: walk components, deflating x.
+	e := make([]float64, len(x))
+	for j := range x {
+		e[j] = x[j] - m.XMean[j]
+	}
+	y := append([]float64(nil), m.YMean...)
+	for c := 0; c < m.K; c++ {
+		t := 0.0
+		for j := range e {
+			t += e[j] * m.W.At(j, c)
+		}
+		for j := range e {
+			e[j] -= t * m.P.At(j, c)
+		}
+		for j := range y {
+			y[j] += m.B[c] * t * m.Q.At(j, c)
+		}
+	}
+	return y
+}
+
+// PredictAll predicts every row of x as rows of a new matrix.
+func (m *PLS) PredictAll(x *linalg.Matrix) *linalg.Matrix {
+	out := linalg.NewMatrix(x.Rows, len(m.YMean))
+	for i := 0; i < x.Rows; i++ {
+		copy(out.Row(i), m.Predict(x.Row(i)))
+	}
+	return out
+}
+
+// --- helpers ----------------------------------------------------------
+
+func colMeans(a *linalg.Matrix) []float64 {
+	out := make([]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	for j := range out {
+		out[j] /= float64(a.Rows)
+	}
+	return out
+}
+
+func centered(a *linalg.Matrix, mean []float64) *linalg.Matrix {
+	out := a.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] -= mean[j]
+		}
+	}
+	return out
+}
+
+func matTVec(a *linalg.Matrix, v []float64) []float64 {
+	out := make([]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		vi := v[i]
+		for j := range row {
+			out[j] += row[j] * vi
+		}
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+func normalize(a []float64) {
+	n := norm(a)
+	if n > 0 {
+		scale(a, 1/n)
+	}
+}
+
+func scale(a []float64, s float64) {
+	for i := range a {
+		a[i] *= s
+	}
+}
+
+func vecDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

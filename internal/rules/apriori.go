@@ -1,0 +1,216 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Transaction is a set of items (deduplicated strings).
+type Transaction []string
+
+// ItemSet is a frequent itemset with its support.
+type ItemSet struct {
+	Items   []string // sorted
+	Support float64  // fraction of transactions containing all items
+}
+
+// AssocRule is an association rule A ⇒ B.
+type AssocRule struct {
+	Antecedent []string
+	Consequent []string
+	Support    float64
+	Confidence float64
+	Lift       float64
+}
+
+// String renders the rule.
+func (r AssocRule) String() string {
+	return fmt.Sprintf("{%s} => {%s} (sup=%.3f conf=%.3f lift=%.2f)",
+		strings.Join(r.Antecedent, ","), strings.Join(r.Consequent, ","),
+		r.Support, r.Confidence, r.Lift)
+}
+
+// Apriori mines frequent itemsets with at least minSupport (fraction) using
+// level-wise candidate generation, then derives association rules with at
+// least minConfidence. This is the unsupervised rule mining of paper §2.4.
+func Apriori(txs []Transaction, minSupport, minConfidence float64) ([]ItemSet, []AssocRule) {
+	n := len(txs)
+	if n == 0 {
+		return nil, nil
+	}
+	// Normalize transactions to sorted unique item sets.
+	sets := make([]map[string]bool, n)
+	for i, t := range txs {
+		m := map[string]bool{}
+		for _, it := range t {
+			m[it] = true
+		}
+		sets[i] = m
+	}
+
+	support := func(items []string) float64 {
+		cnt := 0
+		for _, s := range sets {
+			ok := true
+			for _, it := range items {
+				if !s[it] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cnt++
+			}
+		}
+		return float64(cnt) / float64(n)
+	}
+
+	// L1.
+	counts := map[string]int{}
+	for _, s := range sets {
+		for it := range s {
+			counts[it]++
+		}
+	}
+	var level [][]string
+	for it, c := range counts {
+		if float64(c)/float64(n) >= minSupport {
+			level = append(level, []string{it})
+		}
+	}
+	sort.Slice(level, func(i, j int) bool { return level[i][0] < level[j][0] })
+
+	var frequent []ItemSet
+	supMap := map[string]float64{}
+	record := func(items []string) {
+		s := support(items)
+		frequent = append(frequent, ItemSet{Items: append([]string(nil), items...), Support: s})
+		supMap[strings.Join(items, "\x00")] = s
+	}
+	for _, l1 := range level {
+		record(l1)
+	}
+
+	// Level-wise growth.
+	for len(level) > 0 {
+		var next [][]string
+		seen := map[string]bool{}
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				cand := joinPrefix(level[i], level[j])
+				if cand == nil {
+					continue
+				}
+				key := strings.Join(cand, "\x00")
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if !allSubsetsFrequent(cand, supMap) {
+					continue
+				}
+				if support(cand) >= minSupport {
+					next = append(next, cand)
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool {
+			return strings.Join(next[i], "\x00") < strings.Join(next[j], "\x00")
+		})
+		for _, c := range next {
+			record(c)
+		}
+		level = next
+	}
+
+	// Rules from every frequent itemset with >= 2 items.
+	var rules []AssocRule
+	for _, fs := range frequent {
+		if len(fs.Items) < 2 {
+			continue
+		}
+		for _, ante := range properSubsets(fs.Items) {
+			cons := difference(fs.Items, ante)
+			sa := supMap[strings.Join(ante, "\x00")]
+			if sa == 0 {
+				continue
+			}
+			conf := fs.Support / sa
+			if conf < minConfidence {
+				continue
+			}
+			sc := supMap[strings.Join(cons, "\x00")]
+			lift := 0.0
+			if sc > 0 {
+				lift = conf / sc
+			}
+			rules = append(rules, AssocRule{
+				Antecedent: ante, Consequent: cons,
+				Support: fs.Support, Confidence: conf, Lift: lift,
+			})
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		return rules[i].Support > rules[j].Support
+	})
+	return frequent, rules
+}
+
+// joinPrefix merges two sorted k-itemsets sharing the first k-1 items.
+func joinPrefix(a, b []string) []string {
+	k := len(a)
+	for i := 0; i < k-1; i++ {
+		if a[i] != b[i] {
+			return nil
+		}
+	}
+	if a[k-1] >= b[k-1] {
+		return nil
+	}
+	out := append(append([]string(nil), a...), b[k-1])
+	return out
+}
+
+func allSubsetsFrequent(items []string, sup map[string]float64) bool {
+	for i := range items {
+		sub := append(append([]string(nil), items[:i]...), items[i+1:]...)
+		if _, ok := sup[strings.Join(sub, "\x00")]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// properSubsets returns all non-empty proper subsets (sorted slices).
+func properSubsets(items []string) [][]string {
+	n := len(items)
+	var out [][]string
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		var s []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, items[i])
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func difference(all, sub []string) []string {
+	inSub := map[string]bool{}
+	for _, s := range sub {
+		inSub[s] = true
+	}
+	var out []string
+	for _, a := range all {
+		if !inSub[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a rule matches a sample iff every condition matches it.
+func TestQuickRuleConjunction(t *testing.T) {
+	f := func(seed int64, nCondRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nCond := int(nCondRaw)%4 + 1
+		dim := 5
+		r := &Rule{Class: 1}
+		for c := 0; c < nCond; c++ {
+			op := LE
+			if rng.Intn(2) == 1 {
+				op = GT
+			}
+			r.Conditions = append(r.Conditions, Condition{
+				Feature:   rng.Intn(dim),
+				Op:        op,
+				Threshold: rng.NormFloat64(),
+			})
+		}
+		for trial := 0; trial < 20; trial++ {
+			x := make([]float64, dim)
+			for j := range x {
+				x[j] = rng.NormFloat64() * 2
+			}
+			want := true
+			for _, c := range r.Conditions {
+				if !c.Matches(x) {
+					want = false
+					break
+				}
+			}
+			if r.Matches(x) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Apriori support is anti-monotone — every mined itemset's
+// support is <= the support of each of its single items, and every rule's
+// confidence is within (0, 1].
+func TestQuickAprioriInvariants(t *testing.T) {
+	items := []string{"a", "b", "c", "d", "e"}
+	f := func(seed int64, nTxRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nTx := int(nTxRaw)%30 + 5
+		txs := make([]Transaction, nTx)
+		for i := range txs {
+			var tx Transaction
+			for _, it := range items {
+				if rng.Float64() < 0.4 {
+					tx = append(tx, it)
+				}
+			}
+			if len(tx) == 0 {
+				tx = Transaction{"a"}
+			}
+			txs[i] = tx
+		}
+		freq, rulesOut := Apriori(txs, 0.2, 0.5)
+		sup := map[string]float64{}
+		for _, fs := range freq {
+			if len(fs.Items) == 1 {
+				sup[fs.Items[0]] = fs.Support
+			}
+		}
+		for _, fs := range freq {
+			for _, it := range fs.Items {
+				if s, ok := sup[it]; ok && fs.Support > s+1e-12 {
+					return false
+				}
+			}
+			if fs.Support < 0.2-1e-12 || fs.Support > 1+1e-12 {
+				return false
+			}
+		}
+		for _, r := range rulesOut {
+			if r.Confidence < 0.5-1e-12 || r.Confidence > 1+1e-12 {
+				return false
+			}
+			if r.Support <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package semisup implements the semi-supervised setting the paper's
+// Section 2 defines: "when some (usually much fewer) samples are with
+// labels and others have no label". Two classic methods are provided:
+// self-training (wrap any confidence-producing classifier) and graph
+// label propagation over an RBF affinity — both directly usable when
+// simulation labels are expensive (the verification and litho substrates).
+package semisup
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Unlabeled marks a sample with no label in the y vector.
+const Unlabeled = -1
+
+// ConfidenceClassifier is a fitted model that reports a class and a
+// confidence in [0, 1] for a sample.
+type ConfidenceClassifier interface {
+	PredictConf(x []float64) (class float64, confidence float64)
+}
+
+// ConfidenceFitter builds a ConfidenceClassifier from labeled rows.
+type ConfidenceFitter func(x *linalg.Matrix, y []float64) (ConfidenceClassifier, error)
+
+// SelfTrainConfig controls self-training.
+type SelfTrainConfig struct {
+	Threshold float64 // adopt pseudo-labels above this confidence, default 0.9
+	MaxRounds int     // default 10
+	BatchCap  int     // max pseudo-labels adopted per round (0 = all)
+}
+
+// SelfTrain iteratively fits on the labeled set, pseudo-labels the most
+// confident unlabeled samples, and refits, returning the final model and
+// the completed label vector (pseudo-labels included; samples never
+// confidently labeled keep Unlabeled).
+func SelfTrain(x *linalg.Matrix, y []float64, fit ConfidenceFitter, cfg SelfTrainConfig) (ConfidenceClassifier, []float64, error) {
+	if x.Rows != len(y) {
+		return nil, nil, errors.New("semisup: x/y length mismatch")
+	}
+	if cfg.Threshold <= 0 || cfg.Threshold >= 1 {
+		cfg.Threshold = 0.9
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 10
+	}
+	labels := append([]float64(nil), y...)
+
+	var model ConfidenceClassifier
+	for round := 0; round < cfg.MaxRounds; round++ {
+		// Gather labeled rows.
+		var li []int
+		for i, v := range labels {
+			if v != Unlabeled {
+				li = append(li, i)
+			}
+		}
+		if len(li) == 0 {
+			return nil, nil, errors.New("semisup: no labeled samples")
+		}
+		lx := linalg.NewMatrix(len(li), x.Cols)
+		ly := make([]float64, len(li))
+		for r, i := range li {
+			copy(lx.Row(r), x.Row(i))
+			ly[r] = labels[i]
+		}
+		var err error
+		model, err = fit(lx, ly)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Pseudo-label confident unlabeled samples.
+		type cand struct {
+			idx   int
+			class float64
+			conf  float64
+		}
+		var cands []cand
+		for i, v := range labels {
+			if v != Unlabeled {
+				continue
+			}
+			c, conf := model.PredictConf(x.Row(i))
+			if conf >= cfg.Threshold {
+				cands = append(cands, cand{i, c, conf})
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		// Most confident first.
+		for i := 1; i < len(cands); i++ {
+			for j := i; j > 0 && cands[j].conf > cands[j-1].conf; j-- {
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+			}
+		}
+		if cfg.BatchCap > 0 && len(cands) > cfg.BatchCap {
+			cands = cands[:cfg.BatchCap]
+		}
+		for _, c := range cands {
+			labels[c.idx] = c.class
+		}
+	}
+	return model, labels, nil
+}
+
+// LabelPropagation spreads binary labels {0,1} over an RBF-affinity graph
+// (iterative normalized propagation with clamped labeled points). It
+// returns the inferred label of every sample.
+func LabelPropagation(x *linalg.Matrix, y []float64, gamma float64, iters int) ([]float64, error) {
+	n := x.Rows
+	if n != len(y) {
+		return nil, errors.New("semisup: x/y length mismatch")
+	}
+	if gamma <= 0 {
+		gamma = 1.0 / float64(x.Cols)
+	}
+	if iters <= 0 {
+		iters = 100
+	}
+	anyLabel := false
+	for _, v := range y {
+		if v != Unlabeled {
+			anyLabel = true
+			if v != 0 && v != 1 {
+				return nil, errors.New("semisup: labels must be 0/1 or Unlabeled")
+			}
+		}
+	}
+	if !anyLabel {
+		return nil, errors.New("semisup: no labeled samples")
+	}
+
+	// Row-normalized affinity.
+	w := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			a := math.Exp(-gamma * linalg.Dist2(x.Row(i), x.Row(j)))
+			w.Set(i, j, a)
+			rowSum += a
+		}
+		if rowSum > 0 {
+			for j := 0; j < n; j++ {
+				w.Set(i, j, w.At(i, j)/rowSum)
+			}
+		}
+	}
+
+	// f holds P(class=1).
+	f := make([]float64, n)
+	for i, v := range y {
+		if v == 1 {
+			f[i] = 1
+		} else if v == Unlabeled {
+			f[i] = 0.5
+		}
+	}
+	next := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			if y[i] != Unlabeled {
+				next[i] = f[i] // clamp
+				continue
+			}
+			s := 0.0
+			for j := 0; j < n; j++ {
+				if wij := w.At(i, j); wij != 0 {
+					s += wij * f[j]
+				}
+			}
+			next[i] = s
+		}
+		f, next = next, f
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if y[i] != Unlabeled {
+			out[i] = y[i]
+		} else if f[i] >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package semisup
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+	"repro/internal/linear"
+)
+
+// logisticConf adapts logistic regression to ConfidenceClassifier.
+type logisticConf struct{ m *linear.Logistic }
+
+func (l logisticConf) PredictConf(x []float64) (float64, float64) {
+	p := l.m.Prob(x)
+	if p >= 0.5 {
+		return 1, p
+	}
+	return 0, 1 - p
+}
+
+func fitLogistic(x *linalg.Matrix, y []float64) (ConfidenceClassifier, error) {
+	d := dataset.MustNew(x, y, nil)
+	m, err := linear.FitLogistic(d, linear.LogisticConfig{Epochs: 300})
+	if err != nil {
+		return nil, err
+	}
+	return logisticConf{m}, nil
+}
+
+// fewLabels keeps only nKeep labels per class, marking the rest Unlabeled.
+func fewLabels(d *dataset.Dataset, nKeep int) []float64 {
+	y := make([]float64, d.Len())
+	kept := map[int]int{}
+	for i := range y {
+		c := int(d.Y[i])
+		if kept[c] < nKeep {
+			y[i] = d.Y[i]
+			kept[c]++
+		} else {
+			y[i] = Unlabeled
+		}
+	}
+	return y
+}
+
+func TestSelfTrainingImprovesOnScarceLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := dataset.TwoGaussians(rng, 150, 2, 3, 1)
+	y := fewLabels(d, 5) // only 5 labels per class
+
+	model, labels, err := SelfTrain(d.X, y, fitLogistic, SelfTrainConfig{Threshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Most pseudo-labels should be correct.
+	correct, assigned := 0, 0
+	for i, v := range labels {
+		if y[i] != Unlabeled || v == Unlabeled {
+			continue
+		}
+		assigned++
+		if v == d.Y[i] {
+			correct++
+		}
+	}
+	if assigned < 100 {
+		t.Fatalf("too few pseudo-labels: %d", assigned)
+	}
+	if acc := float64(correct) / float64(assigned); acc < 0.95 {
+		t.Fatalf("pseudo-label accuracy %.3f", acc)
+	}
+	// The final model classifies well.
+	right := 0
+	for i := 0; i < d.Len(); i++ {
+		if c, _ := model.PredictConf(d.Row(i)); c == d.Y[i] {
+			right++
+		}
+	}
+	if acc := float64(right) / float64(d.Len()); acc < 0.95 {
+		t.Fatalf("final model accuracy %.3f", acc)
+	}
+}
+
+func TestSelfTrainValidation(t *testing.T) {
+	x := linalg.NewMatrix(3, 1)
+	if _, _, err := SelfTrain(x, []float64{Unlabeled, Unlabeled}, fitLogistic, SelfTrainConfig{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	all := []float64{Unlabeled, Unlabeled, Unlabeled}
+	if _, _, err := SelfTrain(x, all, fitLogistic, SelfTrainConfig{}); err == nil {
+		t.Fatal("no-labels accepted")
+	}
+}
+
+func TestLabelPropagationTwoMoonsLike(t *testing.T) {
+	// Two dense blobs; one labeled point per blob is enough for the graph
+	// to propagate.
+	rng := rand.New(rand.NewSource(2))
+	n := 80
+	x := linalg.NewMatrix(2*n, 2)
+	truth := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.NormFloat64()*0.5)
+		x.Set(i, 1, rng.NormFloat64()*0.5)
+	}
+	for i := n; i < 2*n; i++ {
+		x.Set(i, 0, 5+rng.NormFloat64()*0.5)
+		x.Set(i, 1, 5+rng.NormFloat64()*0.5)
+		truth[i] = 1
+	}
+	y := make([]float64, 2*n)
+	for i := range y {
+		y[i] = Unlabeled
+	}
+	y[0] = 0
+	y[n] = 1
+
+	labels, err := LabelPropagation(x, y, 0.5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for i := range labels {
+		if labels[i] != truth[i] {
+			wrong++
+		}
+	}
+	if wrong > 2 {
+		t.Fatalf("label propagation errors: %d", wrong)
+	}
+}
+
+func TestLabelPropagationValidation(t *testing.T) {
+	x := linalg.NewMatrix(2, 1)
+	if _, err := LabelPropagation(x, []float64{1}, 1, 10); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := LabelPropagation(x, []float64{Unlabeled, Unlabeled}, 1, 10); err == nil {
+		t.Fatal("no-labels accepted")
+	}
+	if _, err := LabelPropagation(x, []float64{2, Unlabeled}, 1, 10); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}

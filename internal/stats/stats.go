@@ -1,0 +1,284 @@
+// Package stats provides the descriptive statistics, probability
+// distributions, and random sampling primitives shared by the learning
+// algorithms and the EDA data generators in this repository.
+//
+// All stochastic routines take an explicit *rand.Rand so that every
+// experiment in the repository is reproducible bit-for-bit.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 if len < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// PopVariance returns the population (biased, 1/n) variance.
+func PopVariance(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+// Covariance returns the unbiased sample covariance of paired samples.
+func Covariance(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) {
+		panic("stats: Covariance length mismatch")
+	}
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	s := 0.0
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(n-1)
+}
+
+// Correlation returns the Pearson correlation coefficient of paired samples,
+// or 0 when either series is constant.
+func Correlation(xs, ys []float64) float64 {
+	sx, sy := StdDev(xs), StdDev(ys)
+	if sx == 0 || sy == 0 {
+		return 0
+	}
+	return Covariance(xs, ys) / (sx * sy)
+}
+
+// Min returns the smallest element (NaN for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest element (NaN for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of xs using linear interpolation
+// between order statistics. xs need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// MAD returns the median absolute deviation from the median, a robust scale
+// estimator used by the outlier-screening applications.
+func MAD(xs []float64) float64 {
+	m := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, v := range xs {
+		dev[i] = math.Abs(v - m)
+	}
+	return Median(dev)
+}
+
+// Standardize returns (xs - mean)/std, along with the mean and std used.
+// A zero std is replaced by 1 to keep constant features finite.
+func Standardize(xs []float64) (z []float64, mean, std float64) {
+	mean = Mean(xs)
+	std = StdDev(xs)
+	if std == 0 {
+		std = 1
+	}
+	z = make([]float64, len(xs))
+	for i, v := range xs {
+		z[i] = (v - mean) / std
+	}
+	return z, mean, std
+}
+
+// ArgMax returns the index of the largest element (-1 for empty input).
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+		_ = v
+	}
+	return best
+}
+
+// ArgMin returns the index of the smallest element (-1 for empty input).
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range xs {
+		if v < xs[best] {
+			best = i
+		}
+		_ = v
+	}
+	return best
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// NormalPDF returns the density of N(mu, sigma²) at x.
+func NormalPDF(x, mu, sigma float64) float64 {
+	d := (x - mu) / sigma
+	return math.Exp(-0.5*d*d) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// NormalLogPDF returns the log density of N(mu, sigma²) at x.
+func NormalLogPDF(x, mu, sigma float64) float64 {
+	d := (x - mu) / sigma
+	return -0.5*d*d - math.Log(sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// NormalCDF returns P(X <= x) for X ~ N(mu, sigma²).
+func NormalCDF(x, mu, sigma float64) float64 {
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// NormalQuantile returns the inverse CDF of the standard normal using the
+// Acklam rational approximation (|error| < 1.15e-9), suitable for the
+// limit-setting in the manufacturing-test substrate.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for the Acklam approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= phigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	return x
+}
+
+// Histogram bins xs into nbins equal-width bins over [lo, hi] and returns
+// the (optionally normalized) counts. Values outside the range are clamped
+// into the first/last bin so that density features never drop mass.
+func Histogram(xs []float64, lo, hi float64, nbins int, normalize bool) []float64 {
+	h := make([]float64, nbins)
+	if nbins == 0 || hi <= lo {
+		return h
+	}
+	w := (hi - lo) / float64(nbins)
+	for _, v := range xs {
+		b := int((v - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		h[b]++
+	}
+	if normalize && len(xs) > 0 {
+		for i := range h {
+			h[i] /= float64(len(xs))
+		}
+	}
+	return h
+}

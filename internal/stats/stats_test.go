@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Mean(xs), 5, 1e-12, "mean")
+	approx(t, PopVariance(xs), 4, 1e-12, "pop variance")
+	approx(t, Variance(xs), 32.0/7.0, 1e-12, "sample variance")
+	approx(t, StdDev(xs), math.Sqrt(32.0/7.0), 1e-12, "stddev")
+	approx(t, Mean(nil), 0, 0, "empty mean")
+	approx(t, Variance([]float64{1}), 0, 0, "single variance")
+}
+
+func TestCovarianceCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	approx(t, Correlation(xs, ys), 1, 1e-12, "perfect corr")
+	neg := []float64{10, 8, 6, 4, 2}
+	approx(t, Correlation(xs, neg), -1, 1e-12, "perfect anticorr")
+	approx(t, Correlation(xs, []float64{3, 3, 3, 3, 3}), 0, 0, "constant corr")
+	approx(t, Covariance(xs, ys), 5, 1e-12, "cov")
+}
+
+func TestQuantilesAndMAD(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	approx(t, Median(xs), 3, 1e-12, "median")
+	approx(t, Quantile(xs, 0), 1, 0, "q0")
+	approx(t, Quantile(xs, 1), 5, 0, "q1")
+	approx(t, Quantile(xs, 0.25), 2, 1e-12, "q25")
+	approx(t, MAD(xs), 1, 1e-12, "mad")
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("expected NaN for empty quantile")
+	}
+}
+
+func TestMinMaxArg(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	approx(t, Min(xs), -1, 0, "min")
+	approx(t, Max(xs), 7, 0, "max")
+	if ArgMax(xs) != 2 || ArgMin(xs) != 1 {
+		t.Fatalf("argmax/argmin: %d %d", ArgMax(xs), ArgMin(xs))
+	}
+	if ArgMax(nil) != -1 || ArgMin(nil) != -1 {
+		t.Fatal("empty arg should be -1")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	z, mean, std := Standardize(xs)
+	approx(t, mean, 3, 1e-12, "mean")
+	approx(t, Mean(z), 0, 1e-12, "standardized mean")
+	approx(t, StdDev(z), 1, 1e-12, "standardized std")
+	_ = std
+	// Constant input must not divide by zero.
+	z2, _, s2 := Standardize([]float64{7, 7, 7})
+	approx(t, s2, 1, 0, "constant std fallback")
+	approx(t, z2[0], 0, 0, "constant standardized")
+}
+
+func TestNormalDistribution(t *testing.T) {
+	approx(t, NormalPDF(0, 0, 1), 1/math.Sqrt(2*math.Pi), 1e-12, "pdf(0)")
+	approx(t, NormalCDF(0, 0, 1), 0.5, 1e-12, "cdf(0)")
+	approx(t, NormalCDF(1.96, 0, 1), 0.975, 1e-3, "cdf(1.96)")
+	approx(t, NormalLogPDF(0, 0, 1), math.Log(NormalPDF(0, 0, 1)), 1e-12, "logpdf")
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+		x := NormalQuantile(p)
+		approx(t, NormalCDF(x, 0, 1), p, 1e-6, "quantile/cdf roundtrip")
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("boundary quantiles must be infinite")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.6, 0.9, -5, 10}
+	h := Histogram(xs, 0, 1, 2, false)
+	// -5 clamps into bin 0, 10 clamps into bin 1.
+	approx(t, h[0], 3, 0, "bin0")
+	approx(t, h[1], 3, 0, "bin1")
+	hn := Histogram(xs, 0, 1, 2, true)
+	approx(t, hn[0]+hn[1], 1, 1e-12, "normalized histogram sums to 1")
+}
+
+func TestHistogramMassProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		h := Histogram(raw, -1, 1, 8, false)
+		return Sum(h) == float64(len(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMVNSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cov := EquiCorrCov(3, 2.0, 0.8)
+	s, err := NewMVNSampler([]float64{1, -1, 0}, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 20000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := s.Sample(rng)
+		xs[i] = v[0]
+		ys[i] = v[1]
+	}
+	approx(t, Mean(xs), 1, 0.06, "mvn mean x")
+	approx(t, Mean(ys), -1, 0.06, "mvn mean y")
+	approx(t, StdDev(xs), 2, 0.08, "mvn std x")
+	approx(t, Correlation(xs, ys), 0.8, 0.02, "mvn correlation")
+}
+
+func TestMVNSamplerRejectsBadCov(t *testing.T) {
+	bad := linalg.FromRows([][]float64{{1, 2}, {2, 1}})
+	if _, err := NewMVNSampler([]float64{0, 0}, bad); err == nil {
+		t.Fatal("expected error for indefinite covariance")
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, 3)
+	w := []float64{1, 0, 3}
+	for i := 0; i < 40000; i++ {
+		counts[WeightedChoice(rng, w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatal("zero-weight option was chosen")
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	approx(t, ratio, 3, 0.2, "weighted choice ratio")
+}
+
+func TestWeightedChoicePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WeightedChoice(rand.New(rand.NewSource(1)), []float64{0, 0})
+}
+
+func TestLogNormalAndBernoulli(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]float64, 20000)
+	for i := range vals {
+		vals[i] = LogNormal(rng, 0, 0.25)
+	}
+	// Median of lognormal is exp(mu).
+	approx(t, Median(vals), 1, 0.03, "lognormal median")
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if Bernoulli(rng, 0.3) {
+			hits++
+		}
+	}
+	approx(t, float64(hits)/10000, 0.3, 0.02, "bernoulli rate")
+}
+
+func TestSumAndPermShuffle(t *testing.T) {
+	approx(t, Sum([]float64{1, 2, 3}), 6, 0, "sum")
+	rng := rand.New(rand.NewSource(3))
+	p := Perm(rng, 10)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatal("Perm is not a permutation")
+	}
+	idx := []int{0, 1, 2, 3, 4}
+	Shuffle(rng, idx)
+	seen2 := make(map[int]bool)
+	for _, v := range idx {
+		seen2[v] = true
+	}
+	if len(seen2) != 5 {
+		t.Fatal("Shuffle lost elements")
+	}
+}

@@ -1,0 +1,202 @@
+// Package svm implements the Support Vector Machine family highlighted in
+// Section 2.3 of the paper: the kernelized binary classifier (SVC), the
+// ε-insensitive regressor (SVR), and the one-class SVM used for novelty
+// detection in the test-selection and customer-return applications
+// ([14],[16],[27]). All three share the paper's Equation 2 model form
+//
+//	M(x) = Σ α_i k(x, x_i) + b
+//
+// and control model complexity C = Σ α_i through regularization.
+package svm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+)
+
+// SVC is a fitted kernel support vector classifier for labels {0,1}.
+type SVC struct {
+	K       kernel.Kernel
+	SV      *linalg.Matrix // support vectors
+	Alpha   []float64      // alpha_i * y_i for each support vector
+	B       float64
+	classes [2]float64
+}
+
+// SVCConfig controls training.
+type SVCConfig struct {
+	C        float64 // box constraint, default 1
+	Tol      float64 // KKT tolerance, default 1e-3
+	MaxPass  int     // passes without change before stopping, default 5
+	MaxIters int     // hard iteration cap, default 10000
+	Seed     int64   // rng seed for the SMO heuristic
+}
+
+// FitSVC trains a binary SVC with the simplified SMO algorithm.
+// Labels must take exactly two values; they are mapped to ±1 internally.
+func FitSVC(d *dataset.Dataset, k kernel.Kernel, cfg SVCConfig) (*SVC, error) {
+	if d.Len() == 0 {
+		return nil, errors.New("svm: empty dataset")
+	}
+	if k == nil {
+		k = kernel.RBF{Gamma: 1.0 / float64(d.Dim())}
+	}
+	if cfg.C <= 0 {
+		cfg.C = 1
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-3
+	}
+	if cfg.MaxPass <= 0 {
+		cfg.MaxPass = 5
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 10000
+	}
+	classes := d.Classes()
+	if len(classes) != 2 {
+		return nil, errors.New("svm: SVC requires exactly two classes")
+	}
+	n := d.Len()
+	y := make([]float64, n)
+	for i, v := range d.Y {
+		if int(v) == classes[0] {
+			y[i] = -1
+		} else {
+			y[i] = 1
+		}
+	}
+	gram := kernel.Gram(k, d.X)
+	alpha := make([]float64, n)
+	b := 0.0
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	f := func(i int) float64 {
+		s := b
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				s += alpha[j] * y[j] * gram.At(i, j)
+			}
+		}
+		return s
+	}
+
+	passes, iters := 0, 0
+	for passes < cfg.MaxPass && iters < cfg.MaxIters {
+		changed := 0
+		for i := 0; i < n; i++ {
+			iters++
+			ei := f(i) - y[i]
+			if (y[i]*ei < -cfg.Tol && alpha[i] < cfg.C) || (y[i]*ei > cfg.Tol && alpha[i] > 0) {
+				j := rng.Intn(n - 1)
+				if j >= i {
+					j++
+				}
+				ej := f(j) - y[j]
+				ai, aj := alpha[i], alpha[j]
+				var lo, hi float64
+				if y[i] != y[j] {
+					lo = math.Max(0, aj-ai)
+					hi = math.Min(cfg.C, cfg.C+aj-ai)
+				} else {
+					lo = math.Max(0, ai+aj-cfg.C)
+					hi = math.Min(cfg.C, ai+aj)
+				}
+				if lo == hi {
+					continue
+				}
+				eta := 2*gram.At(i, j) - gram.At(i, i) - gram.At(j, j)
+				if eta >= 0 {
+					continue
+				}
+				ajNew := aj - y[j]*(ei-ej)/eta
+				if ajNew > hi {
+					ajNew = hi
+				} else if ajNew < lo {
+					ajNew = lo
+				}
+				if math.Abs(ajNew-aj) < 1e-5 {
+					continue
+				}
+				aiNew := ai + y[i]*y[j]*(aj-ajNew)
+				b1 := b - ei - y[i]*(aiNew-ai)*gram.At(i, i) - y[j]*(ajNew-aj)*gram.At(i, j)
+				b2 := b - ej - y[i]*(aiNew-ai)*gram.At(i, j) - y[j]*(ajNew-aj)*gram.At(j, j)
+				switch {
+				case aiNew > 0 && aiNew < cfg.C:
+					b = b1
+				case ajNew > 0 && ajNew < cfg.C:
+					b = b2
+				default:
+					b = (b1 + b2) / 2
+				}
+				alpha[i], alpha[j] = aiNew, ajNew
+				changed++
+			}
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	// Keep only support vectors.
+	var svIdx []int
+	for i := 0; i < n; i++ {
+		if alpha[i] > 1e-8 {
+			svIdx = append(svIdx, i)
+		}
+	}
+	sv := linalg.NewMatrix(len(svIdx), d.Dim())
+	coef := make([]float64, len(svIdx))
+	for r, i := range svIdx {
+		copy(sv.Row(r), d.Row(i))
+		coef[r] = alpha[i] * y[i]
+	}
+	return &SVC{K: k, SV: sv, Alpha: coef, B: b,
+		classes: [2]float64{float64(classes[0]), float64(classes[1])}}, nil
+}
+
+// Decision returns the signed margin M(x) of paper Eq. 2; positive means
+// the second class.
+func (m *SVC) Decision(x []float64) float64 {
+	s := m.B
+	for i := 0; i < m.SV.Rows; i++ {
+		s += m.Alpha[i] * m.K.Eval(x, m.SV.Row(i))
+	}
+	return s
+}
+
+// Predict returns the predicted class label.
+func (m *SVC) Predict(x []float64) float64 {
+	if m.Decision(x) >= 0 {
+		return m.classes[1]
+	}
+	return m.classes[0]
+}
+
+// PredictAll predicts every row of d.
+func (m *SVC) PredictAll(d *dataset.Dataset) []float64 {
+	out := make([]float64, d.Len())
+	for i := range out {
+		out[i] = m.Predict(d.Row(i))
+	}
+	return out
+}
+
+// NumSV returns the number of support vectors.
+func (m *SVC) NumSV() int { return m.SV.Rows }
+
+// Complexity returns Σ|α_i|, the paper's model-complexity measure for SVMs.
+func (m *SVC) Complexity() float64 {
+	s := 0.0
+	for _, a := range m.Alpha {
+		s += math.Abs(a)
+	}
+	return s
+}

@@ -1,0 +1,210 @@
+// Package timing implements the design-silicon timing correlation (DSTC)
+// substrate of the paper's Figure 10 case study ([29]-[31]): synthetic
+// netlist paths with per-cell and per-wire delay structure, a static
+// "timer" model, and a "silicon" model that adds random variation plus an
+// injected systematic effect — extra resistance on layer-4-5 and layer-5-6
+// vias, mirroring the metal-layer-5 issue the paper's rule learning
+// uncovered. The diagnosis application must rediscover the injected
+// mechanism from data alone.
+package timing
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CellType enumerates the standard cells a path can traverse.
+type CellType int
+
+// Cell types with distinct nominal delays.
+const (
+	INV CellType = iota
+	NAND2
+	NOR2
+	AOI21
+	BUF
+	DFF
+	NumCellTypes
+)
+
+var cellNames = [...]string{"INV", "NAND2", "NOR2", "AOI21", "BUF", "DFF"}
+
+// String names the cell type.
+func (c CellType) String() string {
+	if c < 0 || int(c) >= len(cellNames) {
+		return fmt.Sprintf("CELL%d", int(c))
+	}
+	return cellNames[c]
+}
+
+// cellDelay is the nominal cell delay in picoseconds.
+var cellDelay = [...]float64{
+	INV: 12, NAND2: 18, NOR2: 20, AOI21: 26, BUF: 15, DFF: 35,
+}
+
+// MetalLayers is the number of routing layers; vias connect adjacent
+// layers (via k joins layer k and k+1, k = 1..MetalLayers-1).
+const MetalLayers = 6
+
+// Stage is one cell plus its driven wire segment.
+type Stage struct {
+	Cell    CellType
+	WireLen float64 // wire length in microns on Layer
+	Layer   int     // routing layer 1..MetalLayers
+	Fanout  int     // loads driven
+}
+
+// Path is a timing path: a chain of stages plus via usage between layers.
+type Path struct {
+	ID     int
+	Block  string // design block name
+	Stages []Stage
+	// Vias[k] counts vias between layer k+1 and k+2 (Vias[3] = layer-4-5
+	// vias, Vias[4] = layer-5-6 vias).
+	Vias [MetalLayers - 1]int
+}
+
+// Delay model constants (ps).
+const (
+	wireDelayPerUm   = 0.8
+	fanoutDelay      = 4.0
+	viaDelayNominal  = 1.5
+	upperLayerFactor = 0.85 // upper layers are faster per um
+)
+
+// TimerDelay is the static timing analysis model: the "predicted" delay
+// the signoff timer reports. It knows nominal cell, wire, fanout, and via
+// delays but not the silicon-only systematic effect.
+func TimerDelay(p *Path) float64 {
+	d := 0.0
+	for _, s := range p.Stages {
+		d += cellDelay[s.Cell]
+		w := wireDelayPerUm
+		if s.Layer >= 4 {
+			w *= upperLayerFactor
+		}
+		d += w * s.WireLen
+		d += fanoutDelay * float64(s.Fanout-1)
+	}
+	for _, v := range p.Vias {
+		d += viaDelayNominal * float64(v)
+	}
+	return d
+}
+
+// SiliconConfig controls the silicon model.
+type SiliconConfig struct {
+	// Via45Extra / Via56Extra are the injected systematic extra delays per
+	// via (ps) — the metal-5 process issue. Zero disables the defect.
+	Via45Extra float64
+	Via56Extra float64
+	// AffectedBlock limits the systematic effect to one design block
+	// ("" = all paths), matching the paper's within-block surprise.
+	AffectedBlock string
+	// GlobalSpeedup shifts every path (process corner), as silicon is
+	// normally a bit faster than the pessimistic timer.
+	GlobalSpeedup float64
+	// Noise is the random per-path sigma (ps).
+	Noise float64
+}
+
+// SiliconDelay draws the measured silicon delay of a path.
+func SiliconDelay(rng *rand.Rand, p *Path, cfg SiliconConfig) float64 {
+	d := TimerDelay(p)
+	d -= cfg.GlobalSpeedup
+	if cfg.AffectedBlock == "" || p.Block == cfg.AffectedBlock {
+		d += cfg.Via45Extra * float64(p.Vias[3])
+		d += cfg.Via56Extra * float64(p.Vias[4])
+	}
+	d += cfg.Noise * rng.NormFloat64()
+	return d
+}
+
+// GenConfig shapes random paths.
+type GenConfig struct {
+	MinStages, MaxStages int     // default 6..20
+	MaxWire              float64 // per-stage wire length cap, default 40um
+	HighLayerProb        float64 // probability a stage routes on layers 4-6
+	Block                string
+}
+
+func (c *GenConfig) defaults() {
+	if c.MinStages <= 0 {
+		c.MinStages = 6
+	}
+	if c.MaxStages < c.MinStages {
+		c.MaxStages = c.MinStages + 14
+	}
+	if c.MaxWire <= 0 {
+		c.MaxWire = 40
+	}
+	if c.HighLayerProb <= 0 {
+		c.HighLayerProb = 0.35
+	}
+}
+
+// GeneratePath builds one random path. Stages on upper layers require
+// via pairs to climb, so via counts correlate with layer usage — the same
+// confound structure a real design exhibits.
+func GeneratePath(rng *rand.Rand, id int, cfg GenConfig) *Path {
+	cfg.defaults()
+	n := cfg.MinStages + rng.Intn(cfg.MaxStages-cfg.MinStages+1)
+	p := &Path{ID: id, Block: cfg.Block, Stages: make([]Stage, n)}
+	layer := 1
+	for i := 0; i < n; i++ {
+		target := 1 + rng.Intn(3) // layers 1-3 by default
+		if rng.Float64() < cfg.HighLayerProb {
+			target = 4 + rng.Intn(3) // climb to 4-6
+		}
+		// Count vias along the climb/descent.
+		for layer < target {
+			p.Vias[layer-1]++
+			layer++
+		}
+		for layer > target {
+			layer--
+			p.Vias[layer-1]++
+		}
+		cell := CellType(rng.Intn(int(NumCellTypes)))
+		p.Stages[i] = Stage{
+			Cell:    cell,
+			WireLen: rng.Float64() * cfg.MaxWire,
+			Layer:   layer,
+			Fanout:  1 + rng.Intn(4),
+		}
+	}
+	return p
+}
+
+// FeatureNames lists the interpretable path features used by the DSTC rule
+// learner — the same kind the paper's feature-based framework used.
+var FeatureNames = []string{
+	"stages", "total_wire", "max_fanout",
+	"via12", "via23", "via34", "via45", "via56",
+	"high_layer_wire", "dff_count",
+}
+
+// Features extracts the feature vector of a path.
+func Features(p *Path) []float64 {
+	var totalWire, highWire float64
+	maxFan := 0
+	dff := 0
+	for _, s := range p.Stages {
+		totalWire += s.WireLen
+		if s.Layer >= 4 {
+			highWire += s.WireLen
+		}
+		if s.Fanout > maxFan {
+			maxFan = s.Fanout
+		}
+		if s.Cell == DFF {
+			dff++
+		}
+	}
+	return []float64{
+		float64(len(p.Stages)), totalWire, float64(maxFan),
+		float64(p.Vias[0]), float64(p.Vias[1]), float64(p.Vias[2]),
+		float64(p.Vias[3]), float64(p.Vias[4]),
+		highWire, float64(dff),
+	}
+}

@@ -1,0 +1,140 @@
+package timing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTimerDelayDeterministicAndAdditive(t *testing.T) {
+	p := &Path{Stages: []Stage{
+		{Cell: INV, WireLen: 10, Layer: 1, Fanout: 1},
+		{Cell: NAND2, WireLen: 0, Layer: 1, Fanout: 2},
+	}}
+	want := 12 + 0.8*10 + 18 + 4.0
+	if got := TimerDelay(p); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("timer delay %g want %g", got, want)
+	}
+	// Adding a via adds the nominal via delay.
+	p.Vias[3] = 2
+	if got := TimerDelay(p); math.Abs(got-(want+3)) > 1e-9 {
+		t.Fatalf("via delay %g", got)
+	}
+	// Upper-layer wire is faster.
+	a := &Path{Stages: []Stage{{Cell: BUF, WireLen: 20, Layer: 1, Fanout: 1}}}
+	b := &Path{Stages: []Stage{{Cell: BUF, WireLen: 20, Layer: 5, Fanout: 1}}}
+	if TimerDelay(b) >= TimerDelay(a) {
+		t.Fatal("upper layer should be faster per um")
+	}
+}
+
+func TestSiliconSystematicEffect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := &Path{Block: "blkA", Stages: []Stage{{Cell: INV, WireLen: 5, Layer: 1, Fanout: 1}}}
+	p.Vias[3] = 10
+	p.Vias[4] = 8
+	cfg := SiliconConfig{Via45Extra: 2, Via56Extra: 2, AffectedBlock: "blkA", Noise: 0}
+	got := SiliconDelay(rng, p, cfg)
+	want := TimerDelay(p) + 2*10 + 2*8
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("silicon %g want %g", got, want)
+	}
+	// Other blocks unaffected.
+	q := *p
+	q.Block = "blkB"
+	if math.Abs(SiliconDelay(rng, &q, cfg)-TimerDelay(&q)) > 1e-9 {
+		t.Fatal("effect leaked to unaffected block")
+	}
+	// Global speedup shifts down.
+	cfg2 := SiliconConfig{GlobalSpeedup: 30}
+	if SiliconDelay(rng, p, cfg2) >= TimerDelay(p) {
+		t.Fatal("speedup not applied")
+	}
+}
+
+func TestGeneratePathStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		p := GeneratePath(rng, i, GenConfig{Block: "blk"})
+		if len(p.Stages) < 6 || len(p.Stages) > 20 {
+			t.Fatalf("stage count %d", len(p.Stages))
+		}
+		for _, s := range p.Stages {
+			if s.Layer < 1 || s.Layer > MetalLayers {
+				t.Fatalf("layer %d", s.Layer)
+			}
+			if s.Fanout < 1 {
+				t.Fatal("fanout")
+			}
+		}
+		if p.Block != "blk" || p.ID != i {
+			t.Fatal("metadata")
+		}
+	}
+}
+
+func TestViaCountsCorrelateWithHighLayerUse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lowCfg := GenConfig{HighLayerProb: 0.01}
+	highCfg := GenConfig{HighLayerProb: 0.8}
+	sumVias := func(cfg GenConfig) float64 {
+		s := 0.0
+		for i := 0; i < 200; i++ {
+			p := GeneratePath(rng, i, cfg)
+			s += float64(p.Vias[3] + p.Vias[4])
+		}
+		return s
+	}
+	if sumVias(highCfg) <= 5*sumVias(lowCfg) {
+		t.Fatal("high-layer paths should use far more 4-5/5-6 vias")
+	}
+}
+
+func TestFeaturesMatchNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := GeneratePath(rng, 0, GenConfig{})
+	f := Features(p)
+	if len(f) != len(FeatureNames) {
+		t.Fatalf("feature length %d vs %d names", len(f), len(FeatureNames))
+	}
+	if f[0] != float64(len(p.Stages)) {
+		t.Fatal("stages feature")
+	}
+	if f[6] != float64(p.Vias[3]) || f[7] != float64(p.Vias[4]) {
+		t.Fatal("via features misaligned")
+	}
+}
+
+func TestMismatchSeparatesAffectedPaths(t *testing.T) {
+	// The core DSTC signal: silicon-minus-timer mismatch is larger for
+	// via-heavy paths in the affected block.
+	rng := rand.New(rand.NewSource(5))
+	cfg := SiliconConfig{Via45Extra: 3, Via56Extra: 3, Noise: 2, GlobalSpeedup: 10}
+	var viaCounts, mismatches []float64
+	for i := 0; i < 300; i++ {
+		p := GeneratePath(rng, i, GenConfig{})
+		mm := SiliconDelay(rng, p, cfg) - TimerDelay(p)
+		viaCounts = append(viaCounts, float64(p.Vias[3]+p.Vias[4]))
+		mismatches = append(mismatches, mm)
+	}
+	if c := stats.Correlation(viaCounts, mismatches); c < 0.8 {
+		t.Fatalf("mismatch should correlate with via count: %g", c)
+	}
+}
+
+func TestCellTypeString(t *testing.T) {
+	if INV.String() != "INV" || CellType(99).String() == "" {
+		t.Fatal("cell names")
+	}
+}
+
+func BenchmarkGenerateAndTime(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := GeneratePath(rng, i, GenConfig{})
+		_ = TimerDelay(p)
+	}
+}

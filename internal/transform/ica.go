@@ -1,0 +1,125 @@
+package transform
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// ICA holds a fitted FastICA decomposition: sources S ≈ (X − mean) · Wᵀ in
+// the whitened space.
+type ICA struct {
+	pca *PCA
+	W   *linalg.Matrix // k x k unmixing matrix in whitened space
+	K   int
+}
+
+// FitICA runs symmetric FastICA with the tanh contrast on whitened data.
+func FitICA(rng *rand.Rand, x *linalg.Matrix, k, maxIters int) (*ICA, error) {
+	if k <= 0 || k > x.Cols {
+		return nil, errors.New("transform: component count out of range")
+	}
+	if maxIters <= 0 {
+		maxIters = 200
+	}
+	z, pca, err := Whiten(x)
+	if err != nil {
+		return nil, err
+	}
+	n, d := z.Rows, z.Cols
+
+	// Random orthonormal init.
+	w := linalg.NewMatrix(k, d)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	symmetricOrthonormalize(w)
+
+	for it := 0; it < maxIters; it++ {
+		newW := linalg.NewMatrix(k, d)
+		for c := 0; c < k; c++ {
+			wc := w.Row(c)
+			// E[z g(wᵀz)] − E[g'(wᵀz)] w with g = tanh.
+			gz := make([]float64, d)
+			gprime := 0.0
+			for i := 0; i < n; i++ {
+				zi := z.Row(i)
+				u := linalg.Dot(wc, zi)
+				tu := math.Tanh(u)
+				linalg.AXPY(tu, zi, gz)
+				gprime += 1 - tu*tu
+			}
+			linalg.ScaleVec(1/float64(n), gz)
+			gprime /= float64(n)
+			row := newW.Row(c)
+			for j := 0; j < d; j++ {
+				row[j] = gz[j] - gprime*wc[j]
+			}
+		}
+		symmetricOrthonormalize(newW)
+		// Convergence: |diag(W newWᵀ)| near 1.
+		done := true
+		for c := 0; c < k; c++ {
+			if math.Abs(linalg.Dot(w.Row(c), newW.Row(c))) < 1-1e-8 {
+				done = false
+				break
+			}
+		}
+		w = newW
+		if done {
+			break
+		}
+	}
+	return &ICA{pca: pca, W: w, K: k}, nil
+}
+
+// symmetricOrthonormalize performs W ← (W Wᵀ)^(−1/2) W.
+func symmetricOrthonormalize(w *linalg.Matrix) {
+	wwT := w.Mul(w.T())
+	vals, vecs, err := linalg.EigenSym(wwT)
+	if err != nil {
+		return
+	}
+	k := w.Rows
+	inv := linalg.NewMatrix(k, k)
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			s := 0.0
+			for c := 0; c < k; c++ {
+				l := vals[c]
+				if l < 1e-12 {
+					l = 1e-12
+				}
+				s += vecs.At(a, c) * vecs.At(b, c) / math.Sqrt(l)
+			}
+			inv.Set(a, b, s)
+		}
+	}
+	res := inv.Mul(w)
+	copy(w.Data, res.Data)
+}
+
+// Transform returns the estimated independent sources for the rows of x.
+func (m *ICA) Transform(x *linalg.Matrix) *linalg.Matrix {
+	z := m.pca.Transform(x)
+	for c := 0; c < z.Cols; c++ {
+		sd := math.Sqrt(m.pca.Variance[c])
+		if sd < 1e-12 {
+			sd = 1
+		}
+		for i := 0; i < z.Rows; i++ {
+			z.Set(i, c, z.At(i, c)/sd)
+		}
+	}
+	out := linalg.NewMatrix(z.Rows, m.K)
+	for i := 0; i < z.Rows; i++ {
+		zi := z.Row(i)
+		row := out.Row(i)
+		for c := 0; c < m.K; c++ {
+			row[c] = linalg.Dot(m.W.Row(c), zi)
+		}
+	}
+	return out
+}

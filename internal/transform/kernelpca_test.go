@@ -1,0 +1,111 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+)
+
+func TestKernelPCALinearKernelMatchesPCA(t *testing.T) {
+	// With a linear kernel, kernel PCA scores equal PCA scores up to sign.
+	rng := rand.New(rand.NewSource(1))
+	x := linalg.NewMatrix(60, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	kp, err := FitKernelPCA(x, kernel.Linear{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FitPCA(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zk := kp.Transform(x)
+	zp := p.Transform(x)
+	for c := 0; c < 2; c++ {
+		// Compare up to sign via correlation of the score columns.
+		ck, cp := zk.Col(c), zp.Col(c)
+		dot, nk, np := 0.0, 0.0, 0.0
+		for i := range ck {
+			dot += ck[i] * cp[i]
+			nk += ck[i] * ck[i]
+			np += cp[i] * cp[i]
+		}
+		corr := dot / (sqrtOf(nk) * sqrtOf(np))
+		if corr < 0 {
+			corr = -corr
+		}
+		if corr < 0.999 {
+			t.Fatalf("component %d: linear KPCA disagrees with PCA (|corr|=%.4f)", c, corr)
+		}
+	}
+}
+
+func sqrtOf(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 40; i++ {
+		x = 0.5 * (x + v/x)
+	}
+	return x
+}
+
+func TestKernelPCASeparatesRing(t *testing.T) {
+	// The ring-and-core data is not linearly separable, but the top RBF
+	// kernel principal component separates the classes by a threshold.
+	rng := rand.New(rand.NewSource(2))
+	d := dataset.RingAndCore(rng, 80, 1, 3, 0.05)
+	kp, err := FitKernelPCA(d.X, kernel.RBF{Gamma: 0.3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := kp.Transform(d.X)
+	// Find the best threshold on component 0 (brute force).
+	best := 0
+	col := z.Col(0)
+	for _, thr := range col {
+		correct := 0
+		for i, v := range col {
+			pred := 0.0
+			if v > thr {
+				pred = 1
+			}
+			if pred == d.Y[i] {
+				correct++
+			}
+		}
+		if correct < d.Len()-correct {
+			correct = d.Len() - correct // allow inverted labeling
+		}
+		if correct > best {
+			best = correct
+		}
+	}
+	acc := float64(best) / float64(d.Len())
+	if acc < 0.95 {
+		t.Fatalf("top kernel PC should separate ring/core: best threshold accuracy %.3f", acc)
+	}
+	if ev := kp.ExplainedVariance(); len(ev) != 2 || ev[0] < ev[1] {
+		t.Fatalf("explained variance not descending: %v", ev)
+	}
+}
+
+func TestKernelPCAValidation(t *testing.T) {
+	x := linalg.NewMatrix(1, 2)
+	if _, err := FitKernelPCA(x, nil, 1); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	x = linalg.NewMatrix(5, 2)
+	if _, err := FitKernelPCA(x, nil, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := FitKernelPCA(x, nil, 6); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}

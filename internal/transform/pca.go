@@ -1,0 +1,141 @@
+// Package transform implements the data-transformation methods of the
+// paper's Section 2.4: Principal Component Analysis ([22]) for extracting
+// uncorrelated components and reducing dimensionality, Independent
+// Component Analysis ([23], FastICA) for extracting statistically
+// independent components, and whitening. PCA and ICA both "have found
+// applications in test data analysis" ([24],[25]) — the customer-return
+// screening app projects test measurements into such spaces.
+package transform
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// PCA holds a fitted principal component analysis.
+type PCA struct {
+	Mean       []float64
+	Components *linalg.Matrix // k x d, rows are principal directions
+	Variance   []float64      // explained variance per component
+}
+
+// FitPCA fits k principal components of the rows of x (k <= d).
+func FitPCA(x *linalg.Matrix, k int) (*PCA, error) {
+	n, d := x.Rows, x.Cols
+	if n < 2 {
+		return nil, errors.New("transform: need at least 2 samples")
+	}
+	if k <= 0 || k > d {
+		return nil, errors.New("transform: component count out of range")
+	}
+	mean := make([]float64, d)
+	for i := 0; i < n; i++ {
+		linalg.AXPY(1, x.Row(i), mean)
+	}
+	linalg.ScaleVec(1/float64(n), mean)
+
+	cov := linalg.NewMatrix(d, d)
+	for i := 0; i < n; i++ {
+		dx := linalg.SubVec(x.Row(i), mean)
+		for a := 0; a < d; a++ {
+			for b := a; b < d; b++ {
+				cov.Set(a, b, cov.At(a, b)+dx[a]*dx[b])
+			}
+		}
+	}
+	for a := 0; a < d; a++ {
+		for b := 0; b < a; b++ {
+			cov.Set(a, b, cov.At(b, a))
+		}
+	}
+	cov = cov.Scale(1 / float64(n-1))
+
+	vals, vecs, err := linalg.EigenSym(cov)
+	if err != nil {
+		return nil, err
+	}
+	comp := linalg.NewMatrix(k, d)
+	variance := make([]float64, k)
+	for c := 0; c < k; c++ {
+		col := vecs.Col(c)
+		copy(comp.Row(c), col)
+		v := vals[c]
+		if v < 0 {
+			v = 0
+		}
+		variance[c] = v
+	}
+	return &PCA{Mean: mean, Components: comp, Variance: variance}, nil
+}
+
+// Transform projects the rows of x into the component space.
+func (p *PCA) Transform(x *linalg.Matrix) *linalg.Matrix {
+	k := p.Components.Rows
+	out := linalg.NewMatrix(x.Rows, k)
+	for i := 0; i < x.Rows; i++ {
+		dx := linalg.SubVec(x.Row(i), p.Mean)
+		row := out.Row(i)
+		for c := 0; c < k; c++ {
+			row[c] = linalg.Dot(p.Components.Row(c), dx)
+		}
+	}
+	return out
+}
+
+// TransformVec projects one sample.
+func (p *PCA) TransformVec(v []float64) []float64 {
+	dx := linalg.SubVec(v, p.Mean)
+	out := make([]float64, p.Components.Rows)
+	for c := range out {
+		out[c] = linalg.Dot(p.Components.Row(c), dx)
+	}
+	return out
+}
+
+// InverseVec reconstructs an input-space sample from component scores.
+func (p *PCA) InverseVec(scores []float64) []float64 {
+	out := linalg.CopyVec(p.Mean)
+	for c, s := range scores {
+		linalg.AXPY(s, p.Components.Row(c), out)
+	}
+	return out
+}
+
+// ExplainedRatio returns the fraction of total variance captured by each
+// kept component (relative to the sum of kept variances when totalVar <= 0).
+func (p *PCA) ExplainedRatio(totalVar float64) []float64 {
+	if totalVar <= 0 {
+		totalVar = stats.Sum(p.Variance)
+	}
+	out := make([]float64, len(p.Variance))
+	if totalVar == 0 {
+		return out
+	}
+	for i, v := range p.Variance {
+		out[i] = v / totalVar
+	}
+	return out
+}
+
+// Whiten returns a whitened copy of x: PCA projection scaled so every
+// component has unit variance. Used as the ICA preprocessing step.
+func Whiten(x *linalg.Matrix) (*linalg.Matrix, *PCA, error) {
+	p, err := FitPCA(x, x.Cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	z := p.Transform(x)
+	for c := 0; c < z.Cols; c++ {
+		sd := math.Sqrt(p.Variance[c])
+		if sd < 1e-12 {
+			sd = 1
+		}
+		for i := 0; i < z.Rows; i++ {
+			z.Set(i, c, z.At(i, c)/sd)
+		}
+	}
+	return z, p, nil
+}

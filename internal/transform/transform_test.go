@@ -1,0 +1,185 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Data stretched along (1,1)/√2.
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	x := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		a := 5 * rng.NormFloat64()
+		b := 0.3 * rng.NormFloat64()
+		x.Set(i, 0, (a+b)/math.Sqrt2+1)
+		x.Set(i, 1, (a-b)/math.Sqrt2-2)
+	}
+	p, err := FitPCA(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First component should align with (1,1)/√2 (up to sign).
+	c0 := p.Components.Row(0)
+	al := math.Abs(c0[0]*1/math.Sqrt2 + c0[1]*1/math.Sqrt2)
+	if al < 0.99 {
+		t.Fatalf("first PC misaligned: %v (|cos|=%g)", c0, al)
+	}
+	// Explained variance ordering and ratio.
+	if p.Variance[0] <= p.Variance[1] {
+		t.Fatal("variances not descending")
+	}
+	ratios := p.ExplainedRatio(0)
+	if ratios[0] < 0.95 {
+		t.Fatalf("dominant component should explain most variance: %v", ratios)
+	}
+	// Mean recovered.
+	if math.Abs(p.Mean[0]-1) > 0.3 || math.Abs(p.Mean[1]+2) > 0.3 {
+		t.Fatalf("mean %v", p.Mean)
+	}
+}
+
+func TestPCAScoresAreUncorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 400
+	x := linalg.NewMatrix(n, 3)
+	for i := 0; i < n; i++ {
+		a := rng.NormFloat64()
+		x.Set(i, 0, a+0.2*rng.NormFloat64())
+		x.Set(i, 1, a+0.2*rng.NormFloat64())
+		x.Set(i, 2, rng.NormFloat64())
+	}
+	p, err := FitPCA(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := p.Transform(x)
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			if c := stats.Correlation(z.Col(a), z.Col(b)); math.Abs(c) > 0.05 {
+				t.Fatalf("PCA scores correlated (%d,%d): %g", a, b, c)
+			}
+		}
+	}
+}
+
+func TestPCARoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := linalg.NewMatrix(50, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	p, err := FitPCA(x, 3) // full rank: lossless
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := x.Row(7)
+	back := p.InverseVec(p.TransformVec(v))
+	for j := range v {
+		if math.Abs(back[j]-v[j]) > 1e-8 {
+			t.Fatalf("roundtrip mismatch at %d: %g vs %g", j, back[j], v[j])
+		}
+	}
+}
+
+func TestPCAValidation(t *testing.T) {
+	x := linalg.NewMatrix(1, 2)
+	if _, err := FitPCA(x, 1); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	x = linalg.NewMatrix(5, 2)
+	if _, err := FitPCA(x, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := FitPCA(x, 3); err == nil {
+		t.Fatal("k>d accepted")
+	}
+}
+
+func TestWhitenUnitVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 300
+	x := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		a := 4 * rng.NormFloat64()
+		x.Set(i, 0, a)
+		x.Set(i, 1, 0.5*a+rng.NormFloat64())
+	}
+	z, _, err := Whiten(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		sd := stats.StdDev(z.Col(c))
+		if math.Abs(sd-1) > 0.05 {
+			t.Fatalf("whitened column %d std %g", c, sd)
+		}
+	}
+	if c := stats.Correlation(z.Col(0), z.Col(1)); math.Abs(c) > 0.05 {
+		t.Fatalf("whitened columns correlated: %g", c)
+	}
+}
+
+func TestICASeparatesMixedSources(t *testing.T) {
+	// Two independent non-Gaussian sources (uniform + sign), mixed linearly.
+	rng := rand.New(rand.NewSource(5))
+	n := 2000
+	s1 := make([]float64, n)
+	s2 := make([]float64, n)
+	x := linalg.NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		s1[i] = rng.Float64()*2 - 1
+		if rng.Float64() < 0.5 {
+			s2[i] = 1
+		} else {
+			s2[i] = -1
+		}
+		x.Set(i, 0, 0.8*s1[i]+0.3*s2[i])
+		x.Set(i, 1, 0.2*s1[i]-0.7*s2[i])
+	}
+	ica, err := FitICA(rng, x, 2, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ica.Transform(x)
+	// Each recovered component should correlate strongly with exactly one
+	// source (up to sign/permutation).
+	c10 := math.Abs(stats.Correlation(rec.Col(0), s1))
+	c11 := math.Abs(stats.Correlation(rec.Col(0), s2))
+	c20 := math.Abs(stats.Correlation(rec.Col(1), s1))
+	c21 := math.Abs(stats.Correlation(rec.Col(1), s2))
+	ok := (c10 > 0.95 && c21 > 0.95) || (c11 > 0.95 && c20 > 0.95)
+	if !ok {
+		t.Fatalf("ICA failed to separate: %g %g / %g %g", c10, c11, c20, c21)
+	}
+}
+
+func TestICAValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := linalg.NewMatrix(10, 2)
+	if _, err := FitICA(rng, x, 0, 10); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := FitICA(rng, x, 3, 10); err == nil {
+		t.Fatal("k>d accepted")
+	}
+}
+
+func BenchmarkPCA200x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := linalg.NewMatrix(200, 8)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitPCA(x, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/validate"
+)
+
+func TestTreeFitsSimpleRule(t *testing.T) {
+	// y = 1 iff x0 > 0.5; one split should suffice.
+	rows := [][]float64{{0.1, 9}, {0.2, 8}, {0.3, 7}, {0.7, 1}, {0.8, 2}, {0.9, 3}}
+	y := []float64{0, 0, 0, 1, 1, 1}
+	d := dataset.FromRows(rows, y)
+	tr, err := Fit(d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := validate.Accuracy(tr.PredictAll(d), d.Y); acc != 1 {
+		t.Fatalf("accuracy %g", acc)
+	}
+	if tr.Depth() != 1 || tr.Leaves() != 2 {
+		t.Fatalf("expected a stump, got depth=%d leaves=%d", tr.Depth(), tr.Leaves())
+	}
+	if tr.Root.Feature != 0 {
+		t.Fatalf("split feature %d", tr.Root.Feature)
+	}
+	if tr.Root.Threshold < 0.3 || tr.Root.Threshold > 0.7 {
+		t.Fatalf("threshold %g", tr.Root.Threshold)
+	}
+}
+
+func TestTreeXOR(t *testing.T) {
+	// XOR needs depth >= 2; a linear model can't do it, a tree can.
+	rng := rand.New(rand.NewSource(1))
+	d := dataset.XOR(rng, 50, 0.2)
+	tr, err := Fit(d, Config{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := validate.Accuracy(tr.PredictAll(d), d.Y); acc < 0.97 {
+		t.Fatalf("XOR accuracy %g", acc)
+	}
+	if tr.Depth() < 2 {
+		t.Fatal("XOR requires depth >= 2")
+	}
+}
+
+func TestTreeDepthLimitAndMinLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := dataset.TwoGaussians(rng, 200, 4, 1, 1.5) // overlapping classes
+	tr, _ := Fit(d, Config{MaxDepth: 2})
+	if tr.Depth() > 2 {
+		t.Fatalf("depth %d exceeds limit", tr.Depth())
+	}
+	tr2, _ := Fit(d, Config{MaxDepth: 30, MinLeaf: 50})
+	var check func(n *Node)
+	check = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.Leaf && n.N < 50 {
+			t.Fatalf("leaf with %d < MinLeaf samples", n.N)
+		}
+		check(n.Left)
+		check(n.Right)
+	}
+	check(tr2.Root)
+}
+
+func TestRegressionTree(t *testing.T) {
+	// Step function y = 0 for x<0, 10 for x>=0.
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 200)
+	y := make([]float64, 200)
+	for i := range rows {
+		x := rng.Float64()*4 - 2
+		rows[i] = []float64{x}
+		if x >= 0 {
+			y[i] = 10
+		}
+	}
+	d := dataset.FromRows(rows, y)
+	tr, err := Fit(d, Config{Regression: true, MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Predict([]float64{-1}); math.Abs(got) > 0.5 {
+		t.Fatalf("left value %g", got)
+	}
+	if got := tr.Predict([]float64{1}); math.Abs(got-10) > 0.5 {
+		t.Fatalf("right value %g", got)
+	}
+}
+
+func TestTreeEmptyAndPureData(t *testing.T) {
+	if _, err := Fit(dataset.FromRows(nil, nil), Config{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	// Pure labels -> single leaf.
+	d := dataset.FromRows([][]float64{{1}, {2}, {3}}, []float64{1, 1, 1})
+	tr, _ := Fit(d, Config{})
+	if !tr.Root.Leaf || tr.Root.Value != 1 {
+		t.Fatal("pure dataset should give one leaf")
+	}
+}
+
+func TestDumpAndImportance(t *testing.T) {
+	rows := [][]float64{{0, 1}, {0, 2}, {1, 1}, {1, 2}}
+	y := []float64{0, 0, 1, 1}
+	tr, _ := Fit(dataset.FromRows(rows, y), Config{})
+	s := tr.Dump(func(j int) string { return []string{"alpha", "beta"}[j] })
+	if !strings.Contains(s, "alpha") {
+		t.Fatalf("dump should name split feature: %s", s)
+	}
+	imp := tr.FeatureImportance(2)
+	if imp[0] <= imp[1] {
+		t.Fatalf("importance should favour feature 0: %v", imp)
+	}
+	if math.Abs(imp[0]+imp[1]-1) > 1e-12 {
+		t.Fatalf("importances should sum to 1: %v", imp)
+	}
+}
+
+func TestForestBeatsSingleTreeOnNoisyData(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	train := dataset.TwoGaussians(rng, 150, 8, 1.2, 1.5)
+	test := dataset.TwoGaussians(rng, 400, 8, 1.2, 1.5)
+	single, _ := Fit(train, Config{MaxDepth: 12})
+	forest, err := FitForest(rng, train, ForestConfig{NTrees: 40, MaxDepth: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAcc := validate.Accuracy(single.PredictAll(test), test.Y)
+	fAcc := validate.Accuracy(forest.PredictAll(test), test.Y)
+	if fAcc < sAcc-0.02 {
+		t.Fatalf("forest (%g) should not lose badly to single tree (%g)", fAcc, sAcc)
+	}
+	if fAcc < 0.7 {
+		t.Fatalf("forest accuracy too low: %g", fAcc)
+	}
+}
+
+func TestForestRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := dataset.Friedman1(rng, 400, 8, 0.5)
+	tr, te := d.Split(rng, 0.75)
+	f, err := FitForest(rng, tr, ForestConfig{NTrees: 30, Regression: true, MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := validate.R2(f.PredictAll(te), te.Y)
+	if r2 < 0.6 {
+		t.Fatalf("forest regression R2 %g", r2)
+	}
+}
+
+func TestForestEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := FitForest(rng, dataset.FromRows(nil, nil), ForestConfig{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestForestImportanceFindsInformativeFeatures(t *testing.T) {
+	// Only feature 0 is informative.
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]float64, 300)
+	y := make([]float64, 300)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if rows[i][0] > 0 {
+			y[i] = 1
+		}
+	}
+	d := dataset.FromRows(rows, y)
+	f, _ := FitForest(rng, d, ForestConfig{NTrees: 25, MaxFeatures: 2})
+	imp := f.FeatureImportance(3)
+	if imp[0] < imp[1] || imp[0] < imp[2] {
+		t.Fatalf("importance should favour informative feature: %v", imp)
+	}
+}
+
+func BenchmarkTreeFit500x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	d := dataset.TwoGaussians(rng, 250, 8, 2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(d, Config{MaxDepth: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

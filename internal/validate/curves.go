@@ -1,0 +1,100 @@
+package validate
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// Trainer fits a model of a given complexity on a training set and returns
+// predictions for both the training set and an evaluation set. It is the
+// hook through which the complexity-curve machinery (paper Figure 5)
+// sweeps model families without knowing their internals.
+type Trainer func(complexity int, train *dataset.Dataset, eval *dataset.Dataset) (trainPred, evalPred []float64, err error)
+
+// CurvePoint is one point of a train/validation complexity curve.
+type CurvePoint struct {
+	Complexity int
+	TrainErr   float64
+	ValidErr   float64
+}
+
+// ComplexityCurve evaluates a model family across complexities and returns
+// the training-vs-validation error curve of Figure 5. The loss is a
+// caller-supplied error metric (use MSE for regression, 1-Accuracy for
+// classification).
+func ComplexityCurve(train, valid *dataset.Dataset, complexities []int,
+	trainer Trainer, loss func(pred, truth []float64) float64) ([]CurvePoint, error) {
+
+	out := make([]CurvePoint, 0, len(complexities))
+	for _, c := range complexities {
+		tp, vp, err := trainer(c, train, valid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CurvePoint{
+			Complexity: c,
+			TrainErr:   loss(tp, train.Y),
+			ValidErr:   loss(vp, valid.Y),
+		})
+	}
+	return out, nil
+}
+
+// BestComplexity returns the complexity minimizing validation error.
+func BestComplexity(curve []CurvePoint) int {
+	if len(curve) == 0 {
+		return 0
+	}
+	best := curve[0]
+	for _, p := range curve[1:] {
+		if p.ValidErr < best.ValidErr {
+			best = p
+		}
+	}
+	return best.Complexity
+}
+
+// IsOverfitting reports whether the curve exhibits the Figure 5 signature:
+// training error keeps dropping past the validation optimum while
+// validation error rises by more than rel relative to its minimum.
+func IsOverfitting(curve []CurvePoint, rel float64) bool {
+	if len(curve) < 3 {
+		return false
+	}
+	minVal, minIdx := curve[0].ValidErr, 0
+	for i, p := range curve {
+		if p.ValidErr < minVal {
+			minVal, minIdx = p.ValidErr, i
+		}
+	}
+	if minIdx == len(curve)-1 {
+		return false // validation error still improving at max complexity
+	}
+	last := curve[len(curve)-1]
+	trainImproved := last.TrainErr < curve[minIdx].TrainErr
+	validWorsened := last.ValidErr > minVal*(1+rel)
+	return trainImproved && validWorsened
+}
+
+// FitPredictor abstracts "fit on this data, predict these rows" for
+// cross-validation of any supervised learner.
+type FitPredictor func(train *dataset.Dataset, eval *dataset.Dataset) ([]float64, error)
+
+// CrossValidate runs k-fold cross validation and returns the per-fold loss.
+func CrossValidate(rng *rand.Rand, d *dataset.Dataset, k int,
+	fp FitPredictor, loss func(pred, truth []float64) float64) ([]float64, error) {
+
+	trainIdx, testIdx := dataset.KFold(rng, d.Len(), k)
+	losses := make([]float64, k)
+	for f := 0; f < k; f++ {
+		tr := d.Subset(trainIdx[f])
+		te := d.Subset(testIdx[f])
+		pred, err := fp(tr, te)
+		if err != nil {
+			return nil, err
+		}
+		losses[f] = loss(pred, te.Y)
+	}
+	return losses, nil
+}

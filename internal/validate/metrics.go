@@ -1,0 +1,198 @@
+// Package validate provides evaluation metrics, confusion matrices, ROC/AUC,
+// k-fold cross-validation, and the train-vs-validation complexity curves
+// that visualize overfitting (paper Section 2.3, Figure 5).
+package validate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accuracy returns the fraction of equal entries in pred and truth.
+func Accuracy(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("validate: Accuracy length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	ok := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(pred))
+}
+
+// ConfusionMatrix counts outcomes of a binary task with positive class pos.
+type ConfusionMatrix struct {
+	TP, FP, TN, FN int
+}
+
+// Confusion tallies a binary confusion matrix treating label pos as positive.
+func Confusion(pred, truth []float64, pos float64) ConfusionMatrix {
+	var c ConfusionMatrix
+	for i := range pred {
+		p := pred[i] == pos
+		t := truth[i] == pos
+		switch {
+		case p && t:
+			c.TP++
+		case p && !t:
+			c.FP++
+		case !p && t:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP/(TP+FP), or 0 when no positives were predicted.
+func (c ConfusionMatrix) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there are no true positives to find.
+func (c ConfusionMatrix) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c ConfusionMatrix) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// FalsePositiveRate returns FP/(FP+TN).
+func (c ConfusionMatrix) FalsePositiveRate() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// String renders the matrix compactly.
+func (c ConfusionMatrix) String() string {
+	return fmt.Sprintf("TP=%d FP=%d FN=%d TN=%d P=%.3f R=%.3f F1=%.3f",
+		c.TP, c.FP, c.FN, c.TN, c.Precision(), c.Recall(), c.F1())
+}
+
+// AUC computes the area under the ROC curve from decision scores (higher
+// score = more positive) and binary truth labels where pos marks positives.
+// Ties in score are handled by the rank-sum (Mann-Whitney) formulation.
+func AUC(scores, truth []float64, pos float64) float64 {
+	if len(scores) != len(truth) {
+		panic("validate: AUC length mismatch")
+	}
+	type sc struct {
+		s   float64
+		pos bool
+	}
+	items := make([]sc, len(scores))
+	nPos, nNeg := 0, 0
+	for i := range scores {
+		p := truth[i] == pos
+		items[i] = sc{scores[i], p}
+		if p {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return math.NaN()
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].s < items[j].s })
+	// Average ranks with tie handling.
+	ranks := make([]float64, len(items))
+	i := 0
+	for i < len(items) {
+		j := i
+		for j+1 < len(items) && items[j+1].s == items[i].s {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[k] = avg
+		}
+		i = j + 1
+	}
+	rankSum := 0.0
+	for k, it := range items {
+		if it.pos {
+			rankSum += ranks[k]
+		}
+	}
+	u := rankSum - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// MSE returns the mean squared error.
+func MSE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("validate: MSE length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// RMSE returns sqrt(MSE).
+func RMSE(pred, truth []float64) float64 { return math.Sqrt(MSE(pred, truth)) }
+
+// MAE returns the mean absolute error.
+func MAE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("validate: MAE length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		s += math.Abs(pred[i] - truth[i])
+	}
+	return s / float64(len(pred))
+}
+
+// R2 returns the coefficient of determination 1 - SS_res/SS_tot.
+func R2(pred, truth []float64) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range truth {
+		mean += v
+	}
+	mean /= float64(len(truth))
+	ssTot, ssRes := 0.0, 0.0
+	for i := range truth {
+		d := truth[i] - mean
+		ssTot += d * d
+		e := truth[i] - pred[i]
+		ssRes += e * e
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

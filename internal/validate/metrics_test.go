@@ -1,0 +1,183 @@
+package validate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g want %g", msg, got, want)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	approx(t, Accuracy([]float64{1, 0, 1, 1}, []float64{1, 0, 0, 1}), 0.75, 1e-12, "accuracy")
+	approx(t, Accuracy(nil, nil), 0, 0, "empty accuracy")
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	pred := []float64{1, 1, 0, 0, 1}
+	truth := []float64{1, 0, 0, 1, 1}
+	c := Confusion(pred, truth, 1)
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion %+v", c)
+	}
+	approx(t, c.Precision(), 2.0/3.0, 1e-12, "precision")
+	approx(t, c.Recall(), 2.0/3.0, 1e-12, "recall")
+	approx(t, c.F1(), 2.0/3.0, 1e-12, "f1")
+	approx(t, c.FalsePositiveRate(), 0.5, 1e-12, "fpr")
+	var empty ConfusionMatrix
+	approx(t, empty.Precision(), 0, 0, "empty precision")
+	approx(t, empty.Recall(), 0, 0, "empty recall")
+	approx(t, empty.F1(), 0, 0, "empty f1")
+	if empty.String() == "" {
+		t.Fatal("string empty")
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// Perfect separation.
+	approx(t, AUC([]float64{0.1, 0.2, 0.8, 0.9}, []float64{0, 0, 1, 1}, 1), 1, 1e-12, "perfect AUC")
+	// Perfectly wrong.
+	approx(t, AUC([]float64{0.9, 0.8, 0.2, 0.1}, []float64{0, 0, 1, 1}, 1), 0, 1e-12, "inverted AUC")
+	// All ties -> 0.5.
+	approx(t, AUC([]float64{1, 1, 1, 1}, []float64{0, 0, 1, 1}, 1), 0.5, 1e-12, "tied AUC")
+	// Degenerate class -> NaN.
+	if !math.IsNaN(AUC([]float64{1, 2}, []float64{1, 1}, 1)) {
+		t.Fatal("expected NaN for single-class AUC")
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	scores := make([]float64, n)
+	truth := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		if rng.Float64() < 0.5 {
+			truth[i] = 1
+		}
+	}
+	approx(t, AUC(scores, truth, 1), 0.5, 0.03, "random AUC")
+}
+
+func TestRegressionMetrics(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{1, 2, 5}
+	approx(t, MSE(pred, truth), 4.0/3.0, 1e-12, "mse")
+	approx(t, RMSE(pred, truth), math.Sqrt(4.0/3.0), 1e-12, "rmse")
+	approx(t, MAE(pred, truth), 2.0/3.0, 1e-12, "mae")
+	approx(t, R2(truth, truth), 1, 1e-12, "perfect R2")
+	if R2(pred, truth) >= 1 {
+		t.Fatal("imperfect prediction should have R2 < 1")
+	}
+	approx(t, R2([]float64{1, 1}, []float64{1, 1}), 0, 0, "constant truth R2")
+}
+
+func TestComplexityCurveAndOverfitDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := dataset.NoisySine(rng, 30, 0.2)
+	valid := dataset.NoisySine(rng, 30, 0.2)
+	// Synthetic trainer: training error strictly decreases with complexity,
+	// validation error is U-shaped with minimum at complexity 3.
+	trainer := func(c int, tr, ev *dataset.Dataset) ([]float64, []float64, error) {
+		tp := make([]float64, tr.Len())
+		vp := make([]float64, ev.Len())
+		for i := range tp {
+			tp[i] = tr.Y[i] + 1.0/float64(c+1)
+		}
+		off := math.Abs(float64(c)-3)*0.3 + 0.1
+		for i := range vp {
+			vp[i] = ev.Y[i] + off
+		}
+		return tp, vp, nil
+	}
+	curve, err := ComplexityCurve(train, valid, []int{1, 2, 3, 4, 5, 6}, trainer, MSE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 6 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].TrainErr >= curve[i-1].TrainErr {
+			t.Fatal("training error should decrease")
+		}
+	}
+	if BestComplexity(curve) != 3 {
+		t.Fatalf("best complexity %d", BestComplexity(curve))
+	}
+	if !IsOverfitting(curve, 0.1) {
+		t.Fatal("should detect overfitting")
+	}
+	// Monotone improving validation -> no overfitting flag.
+	mono := []CurvePoint{{1, 3, 3}, {2, 2, 2}, {3, 1, 1}}
+	if IsOverfitting(mono, 0.1) {
+		t.Fatal("monotone curve flagged as overfitting")
+	}
+	if BestComplexity(nil) != 0 {
+		t.Fatal("empty curve best complexity")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := dataset.TwoGaussians(rng, 50, 2, 6, 1)
+	// Trivial centroid classifier.
+	fp := func(tr, te *dataset.Dataset) ([]float64, error) {
+		var c0, c1 []float64
+		n0, n1 := 0.0, 0.0
+		c0 = make([]float64, tr.Dim())
+		c1 = make([]float64, tr.Dim())
+		for i := 0; i < tr.Len(); i++ {
+			row := tr.Row(i)
+			if tr.Y[i] == 0 {
+				for j := range row {
+					c0[j] += row[j]
+				}
+				n0++
+			} else {
+				for j := range row {
+					c1[j] += row[j]
+				}
+				n1++
+			}
+		}
+		for j := range c0 {
+			c0[j] /= n0
+			c1[j] /= n1
+		}
+		pred := make([]float64, te.Len())
+		for i := 0; i < te.Len(); i++ {
+			row := te.Row(i)
+			d0, d1 := 0.0, 0.0
+			for j := range row {
+				d0 += (row[j] - c0[j]) * (row[j] - c0[j])
+				d1 += (row[j] - c1[j]) * (row[j] - c1[j])
+			}
+			if d1 < d0 {
+				pred[i] = 1
+			}
+		}
+		return pred, nil
+	}
+	loss := func(p, y []float64) float64 { return 1 - Accuracy(p, y) }
+	losses, err := CrossValidate(rng, d, 5, fp, loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != 5 {
+		t.Fatalf("fold count %d", len(losses))
+	}
+	for _, l := range losses {
+		if l > 0.1 {
+			t.Fatalf("centroid classifier should be near-perfect on separated blobs, loss=%g", l)
+		}
+	}
+}

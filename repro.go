@@ -1,0 +1,73 @@
+// Package repro is the public facade of the reproduction of
+// "Data Mining In EDA — Basic Principles, Promises, and Constraints"
+// (Li-C. Wang and Magdy S. Abadir, DAC 2014).
+//
+// The paper is a tutorial: its contribution is a methodology for
+// formulating EDA problems so that statistical learning works, and a set
+// of industrial case studies demonstrating it. This module rebuilds the
+// whole stack from scratch on the Go standard library:
+//
+//   - every learning-algorithm family the paper surveys
+//     (internal/{knn,linear,bayes,tree,neural,svm,gp,cluster,transform,
+//     rules,imbalance,featsel,kernel});
+//   - the methodology layer (internal/core);
+//   - simulated EDA substrates replacing the proprietary industrial data
+//     (internal/{isa,litho,timing,mfgtest});
+//   - one experiment per paper figure/table (internal/apps/...).
+//
+// This package re-exports the experiment entry points so that a user can
+// regenerate any paper artifact with one call; `cmd/edamine` is the CLI
+// wrapper around the same functions.
+package repro
+
+import (
+	"repro/internal/apps/costred"
+	"repro/internal/apps/dstc"
+	"repro/internal/apps/returns"
+	"repro/internal/apps/survey"
+	"repro/internal/apps/template"
+	"repro/internal/apps/testsel"
+	"repro/internal/apps/varpred"
+)
+
+// Experiment identifiers, one per paper artifact.
+const (
+	ExpFig3   = "fig3"   // kernel trick demonstration
+	ExpFig5   = "fig5"   // overfitting vs model complexity
+	ExpFig7   = "fig7"   // novel test selection
+	ExpTable1 = "table1" // coverage after rule learning
+	ExpFig9   = "fig9"   // layout variability prediction
+	ExpFig10  = "fig10"  // timing mismatch diagnosis
+	ExpFig11  = "fig11"  // customer return screening
+	ExpFig12  = "fig12"  // test-elimination difficult case
+	ExpSec2   = "sec2"   // five-regressor comparison
+)
+
+// Fig3 runs the Figure 3 kernel-trick demonstration with n samples per
+// class.
+func Fig3(seed int64, n int) (*survey.Fig3Result, error) { return survey.Fig3(seed, n) }
+
+// Fig5 runs the Figure 5 polynomial-degree overfitting sweep with nTrain
+// training samples.
+func Fig5(seed int64, nTrain int) (*survey.Fig5Result, error) { return survey.Fig5(seed, nTrain) }
+
+// Fig7 runs the Figure 7 novel-test-selection experiment.
+func Fig7(cfg testsel.Config) (*testsel.Result, error) { return testsel.Run(cfg) }
+
+// Table1 runs the Table 1 template-refinement experiment.
+func Table1(cfg template.Config) (*template.Result, error) { return template.Run(cfg) }
+
+// Fig9 runs the Figure 9 layout-variability prediction experiment.
+func Fig9(cfg varpred.Config) (*varpred.Result, error) { return varpred.Run(cfg) }
+
+// Fig10 runs the Figure 10 DSTC diagnosis experiment.
+func Fig10(cfg dstc.Config) (*dstc.Result, error) { return dstc.Run(cfg) }
+
+// Fig11 runs the Figure 11 customer-return screening experiment.
+func Fig11(cfg returns.Config) (*returns.Result, error) { return returns.Run(cfg) }
+
+// Fig12 runs the Figure 12 test-elimination difficult case.
+func Fig12(cfg costred.Config) (*costred.Result, error) { return costred.Run(cfg) }
+
+// Sec2 runs the Section 2.4 five-regressor comparison with n samples.
+func Sec2(seed int64, n int) (*survey.Sec2Result, error) { return survey.Sec2Regressors(seed, n) }
