@@ -1,0 +1,18 @@
+# Developer entry points. `make check` is the pre-commit gate: vet plus
+# the full suite under the race detector (see scripts/check.sh).
+
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+check:
+	./scripts/check.sh
+
+# Serial-vs-parallel micro-benchmarks for the hot paths (Gram, matmul,
+# cross-validation, substrate simulation) plus the per-figure harnesses.
+bench:
+	go test -bench=. -benchmem -run='^$$' ./...

@@ -24,11 +24,13 @@ import (
 	"repro/internal/apps/template"
 	"repro/internal/apps/testsel"
 	"repro/internal/apps/varpred"
+	"repro/internal/parallel"
 )
 
 var (
-	seed  = flag.Int64("seed", 1, "random seed for the experiment")
-	quick = flag.Bool("quick", false, "reduced-scale run for smoke testing")
+	seed    = flag.Int64("seed", 1, "random seed for the experiment")
+	quick   = flag.Bool("quick", false, "reduced-scale run for smoke testing")
+	workers = flag.Int("workers", 0, "worker goroutines for the compute pool (0 = REPRO_WORKERS env or GOMAXPROCS); results are identical at any setting")
 )
 
 type experiment struct {
@@ -90,6 +92,9 @@ func main() {
 		}
 	}
 	flag.Parse()
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)

@@ -5,10 +5,13 @@
 //
 // Usage:
 //
-//	lsusim [-tokens] [-random seed] [file.s]
+//	lsusim [-tokens] [-random seed] [-batch N] [-workers W] [file.s]
 //
 // With -random, a constrained-random test is generated (the file is
-// ignored); otherwise the program is read from the file or stdin.
+// ignored); otherwise the program is read from the file or stdin. With
+// -batch N (requires -random), N tests are generated and simulated
+// concurrently on the worker pool, printing the aggregate coverage —
+// the candidate-batch step of the Figure 7 flow as a standalone tool.
 package main
 
 import (
@@ -18,15 +21,28 @@ import (
 	"os"
 
 	"repro/internal/isa"
+	"repro/internal/parallel"
 )
 
 var (
 	tokens   = flag.Bool("tokens", false, "also print the kernel token stream")
 	randSeed = flag.Int64("random", -1, "generate a random test with this seed instead of reading input")
+	batch    = flag.Int("batch", 0, "with -random: generate and simulate N tests concurrently")
+	workers  = flag.Int("workers", 0, "worker goroutines for batch simulation (0 = REPRO_WORKERS env or GOMAXPROCS)")
 )
 
 func main() {
 	flag.Parse()
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
+	if *batch > 0 {
+		if *randSeed < 0 {
+			fatal(fmt.Errorf("-batch requires -random"))
+		}
+		runBatch(*randSeed, *batch)
+		return
+	}
 
 	var prog isa.Program
 	var err error
@@ -62,6 +78,27 @@ func main() {
 	fmt.Printf("coverage: %d of %d bins\n", cov.Count(), isa.NumBins)
 	for e := isa.Event(0); e < isa.NumEvents; e++ {
 		if h := cov.EventHits(e); h > 0 {
+			fmt.Printf("  %-18v %d hits\n", e, h)
+		}
+	}
+}
+
+// runBatch generates n constrained-random tests and simulates them on the
+// worker pool, reporting aggregate coverage and simulated cycles.
+func runBatch(seed int64, n int) {
+	gen := isa.NewGenerator(isa.WideTemplate(), seed)
+	progs := gen.Batch(n)
+	covs, cycles := isa.SimulateBatch(progs)
+	var total isa.Coverage
+	var totalCycles int64
+	for i := range covs {
+		total.Merge(covs[i])
+		totalCycles += cycles[i]
+	}
+	fmt.Printf("simulated %d tests in %d cycles (%d workers)\n", n, totalCycles, parallel.Workers())
+	fmt.Printf("coverage: %d of %d bins\n", total.Count(), isa.NumBins)
+	for e := isa.Event(0); e < isa.NumEvents; e++ {
+		if h := total.EventHits(e); h > 0 {
 			fmt.Printf("  %-18v %d hits\n", e, h)
 		}
 	}

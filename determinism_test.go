@@ -1,0 +1,62 @@
+package repro_test
+
+// Acceptance tests for the parallel compute layer: experiment outputs must
+// not depend on the worker count. Every parallelized routine hands each
+// output element to exactly one worker and preserves the serial
+// accumulation order, so Fig7/Fig9 at a fixed seed must render
+// byte-identical reports at 1, 2, and 8 workers.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/apps/testsel"
+	"repro/internal/apps/varpred"
+	"repro/internal/parallel"
+)
+
+func TestFig7IdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) (*testsel.Result, string) {
+		old := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(old)
+		res, err := repro.Fig7(testsel.Config{Seed: 7, MaxTests: 400})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res, res.String()
+	}
+	want, wantStr := run(1)
+	for _, w := range []int{2, 8} {
+		got, gotStr := run(w)
+		if gotStr != wantStr {
+			t.Fatalf("workers=%d: report differs from serial:\n%s\nvs\n%s", w, gotStr, wantStr)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: result struct differs from serial: %+v vs %+v", w, got, want)
+		}
+	}
+}
+
+func TestFig9IdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) *varpred.Result {
+		old := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(old)
+		res, err := repro.Fig9(varpred.Config{Seed: 5, Train: 120, Test: 120, KernelHI: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Wall-clock cost accounting is the one legitimately
+		// nondeterministic part of the report; everything learned must
+		// match bit for bit.
+		res.SimPerWindow, res.ModelPerWindow, res.Speedup = 0, 0, 0
+		return res
+	}
+	want := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: result differs from serial:\n%+v\nvs\n%+v", w, got, want)
+		}
+	}
+}

@@ -103,15 +103,17 @@ func explorationTemplate() isa.Template {
 func simulateStage(tpl isa.Template, seed int64, n int) (hits [isa.NumEvents]int,
 	feats [][]float64, perTest [][isa.NumEvents]int) {
 
+	// Generation stays serial (one rng stream drives the template), then
+	// the batch simulates and feature-extracts concurrently — the
+	// Figure 7 generate → feature-extract → simulate loop on the pool.
 	gen := isa.NewGenerator(tpl, seed)
-	m := isa.NewMachine()
+	progs := gen.Batch(n)
+	covs, _ := isa.SimulateBatch(progs)
+	feats = isa.FeatureBatch(progs)
 	for i := 0; i < n; i++ {
-		p := gen.Next()
-		cov := m.Run(p)
-		feats = append(feats, isa.Features(p))
 		var evs [isa.NumEvents]int
 		for e := isa.Event(0); e < isa.NumEvents; e++ {
-			h := cov.EventHits(e)
+			h := covs[i].EventHits(e)
 			evs[e] = h
 			hits[e] += h
 		}

@@ -13,8 +13,14 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/kernel"
+	"repro/internal/parallel"
 	"repro/internal/svm"
 )
+
+// kernelRowCutover keeps short kernel-row evaluations serial; each entry
+// costs a blended-spectrum histogram dot product, so a few dozen entries
+// already amortize the pool.
+const kernelRowCutover = 64
 
 // Config controls the experiment.
 type Config struct {
@@ -93,14 +99,12 @@ func Run(cfg Config) (*Result, error) {
 	stream := gen.Batch(cfg.MaxTests)
 
 	// Golden pass: simulate everything once to know the reachable coverage
-	// and the baseline progression.
-	m := isa.NewMachine()
-	covs := make([]*isa.Coverage, len(stream))
-	cycles := make([]int64, len(stream))
+	// and the baseline progression. The batch is striped across the worker
+	// pool (the paper's point that candidate simulation is the dominant
+	// cost); the merge stays serial in stream order.
+	covs, cycles := isa.SimulateBatch(stream)
 	var total isa.Coverage
-	for i, p := range stream {
-		covs[i] = m.Run(p)
-		cycles[i] = m.Cycles
+	for i := range stream {
 		total.Merge(covs[i])
 	}
 	target := total.Count()
@@ -130,6 +134,7 @@ func Run(cfg Config) (*Result, error) {
 	// Filtered flow. The randomizer is endless: after the materialized
 	// stream is exhausted the filter keeps drawing fresh tests (up to
 	// streamBudget), simulating only the novel ones.
+	m := isa.NewMachine()
 	spec := kernel.BlendedSpectrum{MaxN: cfg.NGram, Lambda: cfg.Lambda, Normalize: true}
 	var accepted []kernel.MultiCounts
 	var gram [][]float64 // incrementally grown kernel matrix over accepted
@@ -180,10 +185,15 @@ func Run(cfg Config) (*Result, error) {
 		} else if hasUnseen(toks, seenTok, seenIdiom) {
 			simulate = true
 		} else {
+			// One kernel row against every accepted test — the O(n) inner
+			// loop of the filter, striped across the worker pool (each slot
+			// written by exactly one worker, so the row is deterministic).
 			kx := make([]float64, modelN)
-			for j := 0; j < modelN; j++ {
-				kx[j] = spec.EvalMulti(counts, accepted[j])
-			}
+			parallel.ForN(modelN, kernelRowCutover, func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					kx[j] = spec.EvalMulti(counts, accepted[j])
+				}
+			})
 			simulate = detector.Novel(kx)
 		}
 		if !simulate {
@@ -194,13 +204,17 @@ func Run(cfg Config) (*Result, error) {
 			cov = m.Run(prog)
 			cyc = m.Cycles
 		}
-		// Grow the kernel matrix by one row/column.
+		// Grow the kernel matrix by one row/column. Entries and the
+		// per-row appends touch disjoint slices, so the growth loop stripes
+		// race-free across the pool.
 		n := len(accepted)
 		row := make([]float64, n+1)
-		for j := 0; j < n; j++ {
-			row[j] = spec.EvalMulti(counts, accepted[j])
-			gram[j] = append(gram[j], row[j])
-		}
+		parallel.ForN(n, kernelRowCutover, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				row[j] = spec.EvalMulti(counts, accepted[j])
+				gram[j] = append(gram[j], row[j])
+			}
+		})
 		row[n] = spec.EvalMulti(counts, counts)
 		gram = append(gram, row)
 		accepted = append(accepted, counts)

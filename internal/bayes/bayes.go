@@ -46,8 +46,9 @@ func FitNaiveBayes(d *dataset.Dataset) (*NaiveBayes, error) {
 		nb.Prior[ci] = math.Log(float64(len(idx)) / float64(d.Len()))
 		nb.Mean[ci] = make([]float64, d.Dim())
 		nb.Std[ci] = make([]float64, d.Dim())
+		col := make([]float64, sub.Len())
 		for j := 0; j < d.Dim(); j++ {
-			col := sub.X.Col(j)
+			sub.X.ColInto(j, col)
 			nb.Mean[ci][j] = stats.Mean(col)
 			s := stats.StdDev(col)
 			if s < 1e-9 {

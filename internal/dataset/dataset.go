@@ -190,8 +190,9 @@ type Scaler struct {
 // FitScaler learns per-column means and standard deviations.
 func FitScaler(x *linalg.Matrix) *Scaler {
 	s := &Scaler{Mean: make([]float64, x.Cols), Std: make([]float64, x.Cols)}
+	col := make([]float64, x.Rows)
 	for j := 0; j < x.Cols; j++ {
-		col := x.Col(j)
+		x.ColInto(j, col)
 		s.Mean[j] = stats.Mean(col)
 		s.Std[j] = stats.StdDev(col)
 		if s.Std[j] == 0 {

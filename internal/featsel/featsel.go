@@ -51,8 +51,11 @@ func FisherScores(d *dataset.Dataset) ([]Score, error) {
 	}
 	d0, d1 := d.Subset(i0), d.Subset(i1)
 	out := make([]Score, d.Dim())
+	c0 := make([]float64, d0.Len())
+	c1 := make([]float64, d1.Len())
 	for j := 0; j < d.Dim(); j++ {
-		c0, c1 := d0.X.Col(j), d1.X.Col(j)
+		d0.X.ColInto(j, c0)
+		d1.X.ColInto(j, c1)
 		m0, m1 := stats.Mean(c0), stats.Mean(c1)
 		v0, v1 := stats.Variance(c0), stats.Variance(c1)
 		den := v0 + v1
@@ -68,8 +71,10 @@ func FisherScores(d *dataset.Dataset) ([]Score, error) {
 // (classification or regression).
 func CorrelationScores(d *dataset.Dataset) []Score {
 	out := make([]Score, d.Dim())
+	col := make([]float64, d.Len())
 	for j := 0; j < d.Dim(); j++ {
-		out[j] = Score{j, d.FeatureName(j), math.Abs(stats.Correlation(d.X.Col(j), d.Y))}
+		d.X.ColInto(j, col)
+		out[j] = Score{j, d.FeatureName(j), math.Abs(stats.Correlation(col, d.Y))}
 	}
 	return rank(out)
 }
@@ -92,8 +97,9 @@ func OutlierSeparation(d *dataset.Dataset, positive int) ([]Score, error) {
 	}
 	neg := d.Subset(negIdx)
 	out := make([]Score, d.Dim())
+	col := make([]float64, neg.Len())
 	for j := 0; j < d.Dim(); j++ {
-		col := neg.X.Col(j)
+		neg.X.ColInto(j, col)
 		med := stats.Median(col)
 		mad := stats.MAD(col)
 		if mad < 1e-12 {

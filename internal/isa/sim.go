@@ -1,0 +1,40 @@
+package isa
+
+import "repro/internal/parallel"
+
+// simBatchCutover keeps small batches on the caller's machine: a single
+// program simulates in microseconds, so only multi-hundred-test batches
+// amortize spinning up per-worker machines.
+const simBatchCutover = 64
+
+// SimulateBatch runs every program from reset and returns the per-program
+// coverage and cycle counts — the candidate-batch step of the paper's
+// Figure 7 loop (generate → feature-extract → simulate).
+//
+// The batch is striped across the worker pool with one private Machine
+// per chunk. Machine.Run resets the architectural and micro-architectural
+// state before each program, and coverage events and cycle counts depend
+// only on the reset state (addresses flow exclusively through the base
+// registers, which no generated program overwrites), so the results are
+// element-wise identical to a serial sweep on a single shared machine.
+func SimulateBatch(progs []Program) (covs []*Coverage, cycles []int64) {
+	covs = make([]*Coverage, len(progs))
+	cycles = make([]int64, len(progs))
+	parallel.ForN(len(progs), simBatchCutover, func(lo, hi int) {
+		m := NewMachine()
+		for i := lo; i < hi; i++ {
+			covs[i] = m.Run(progs[i])
+			cycles[i] = m.Cycles
+		}
+	})
+	return covs, cycles
+}
+
+// FeatureBatch extracts the per-program feature vectors of a batch on the
+// worker pool. Features(p) is a pure function of the program, so the
+// result is identical to the serial loop.
+func FeatureBatch(progs []Program) [][]float64 {
+	return parallel.MapN(len(progs), simBatchCutover, func(i int) []float64 {
+		return Features(progs[i])
+	})
+}

@@ -1,0 +1,59 @@
+package isa
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// TestSimulateBatchMatchesSerial pins the determinism contract: a parallel
+// batch with per-worker machines reproduces a serial single-machine sweep
+// coverage-bin for coverage-bin and cycle for cycle.
+func TestSimulateBatchMatchesSerial(t *testing.T) {
+	gen := NewGenerator(WideTemplate(), 42)
+	progs := gen.Batch(400)
+
+	m := NewMachine()
+	wantCovs := make([]*Coverage, len(progs))
+	wantCycles := make([]int64, len(progs))
+	for i, p := range progs {
+		wantCovs[i] = m.Run(p)
+		wantCycles[i] = m.Cycles
+	}
+
+	for _, w := range []int{1, 2, 8} {
+		old := parallel.SetWorkers(w)
+		covs, cycles := SimulateBatch(progs)
+		parallel.SetWorkers(old)
+		for i := range progs {
+			if cycles[i] != wantCycles[i] {
+				t.Fatalf("workers=%d: program %d cycles = %d, serial %d", w, i, cycles[i], wantCycles[i])
+			}
+			if *covs[i] != *wantCovs[i] {
+				t.Fatalf("workers=%d: program %d coverage differs from serial", w, i)
+			}
+		}
+	}
+}
+
+func TestFeatureBatchMatchesSerial(t *testing.T) {
+	gen := NewGenerator(WideTemplate(), 7)
+	progs := gen.Batch(200)
+	want := make([][]float64, len(progs))
+	for i, p := range progs {
+		want[i] = Features(p)
+	}
+	old := parallel.SetWorkers(8)
+	got := FeatureBatch(progs)
+	parallel.SetWorkers(old)
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("program %d: feature length %d != %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("program %d feature %d: %v != %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}

@@ -17,7 +17,15 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
+
+// gramCutover is the matrix side length below which Gram construction
+// stays serial: an n-row sweep costs O(n²) kernel evaluations, so even
+// modest n amortizes goroutine startup, but tiny warm-up grams should not
+// pay for the pool. Kernel implementations must be safe for concurrent
+// Eval calls (all kernels in this package are pure value types).
+const gramCutover = 32
 
 // Kernel measures the similarity of two vector samples.
 type Kernel interface {
@@ -109,30 +117,42 @@ func QuadFeatureMap(x []float64) []float64 {
 }
 
 // Gram computes the full kernel matrix K_ij = k(x_i, x_j) for the rows of x.
+//
+// Rows are striped across the worker pool: each pair {i, j} is evaluated
+// exactly once by the worker that owns row min(i, j), which writes both
+// symmetric halves. The writes are to disjoint elements, so the sweep is
+// race-free, and every element is produced by the same expression as the
+// serial loop — the result is bit-identical at any worker count.
 func Gram(k Kernel, x *linalg.Matrix) *linalg.Matrix {
 	n := x.Rows
 	g := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		xi := x.Row(i)
-		g.Set(i, i, k.Eval(xi, xi))
-		for j := i + 1; j < n; j++ {
-			v := k.Eval(xi, x.Row(j))
-			g.Set(i, j, v)
-			g.Set(j, i, v)
+	parallel.ForN(n, gramCutover, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi := x.Row(i)
+			g.Set(i, i, k.Eval(xi, xi))
+			for j := i + 1; j < n; j++ {
+				v := k.Eval(xi, x.Row(j))
+				g.Set(i, j, v)
+				g.Set(j, i, v)
+			}
 		}
-	}
+	})
 	return g
 }
 
 // CrossGram computes K_ij = k(a_i, b_j) between the rows of a and b.
+// Rows of a are striped across the worker pool; each output row is written
+// by exactly one worker.
 func CrossGram(k Kernel, a, b *linalg.Matrix) *linalg.Matrix {
 	g := linalg.NewMatrix(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		ai := a.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			g.Set(i, j, k.Eval(ai, b.Row(j)))
+	parallel.ForN(a.Rows, gramCutover, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				g.Set(i, j, k.Eval(ai, b.Row(j)))
+			}
 		}
-	}
+	})
 	return g
 }
 
@@ -141,23 +161,33 @@ func CrossGram(k Kernel, a, b *linalg.Matrix) *linalg.Matrix {
 // require a centered Gram matrix.
 func Center(k *linalg.Matrix) *linalg.Matrix {
 	n := k.Rows
+	rowSum := make([]float64, n)
 	rowMean := make([]float64, n)
+	parallel.ForN(n, gramCutover, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += k.At(i, j)
+			}
+			rowSum[i] = s
+			rowMean[i] = s / float64(n)
+		}
+	})
+	// The grand mean accumulates row sums in index order, off the worker
+	// pool, so the total is identical regardless of worker count.
 	total := 0.0
 	for i := 0; i < n; i++ {
-		s := 0.0
-		for j := 0; j < n; j++ {
-			s += k.At(i, j)
-		}
-		rowMean[i] = s / float64(n)
-		total += s
+		total += rowSum[i]
 	}
 	grand := total / float64(n*n)
 	out := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			out.Set(i, j, k.At(i, j)-rowMean[i]-rowMean[j]+grand)
+	parallel.ForN(n, gramCutover, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				out.Set(i, j, k.At(i, j)-rowMean[i]-rowMean[j]+grand)
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -177,6 +207,43 @@ func (n Normalize) Eval(a, b []float64) float64 {
 
 // Name implements Kernel.
 func (n Normalize) Name() string { return "normalized-" + n.K.Name() }
+
+// NormalizedGram computes Gram(Normalize{K: k}, x) without the redundant
+// work of Normalize.Eval, which re-evaluates the self-similarities k(a,a)
+// and k(b,b) on every call — 2n² extra kernel evaluations over a full
+// Gram sweep. Here the n self-similarities are computed once and reused
+// across every entry. Each entry is produced by the same expression as
+// Normalize.Eval (including the sqrt(k_ii·k_ii) diagonal), so the result
+// is bit-identical to the naive path.
+func NormalizedGram(k Kernel, x *linalg.Matrix) *linalg.Matrix {
+	n := x.Rows
+	self := make([]float64, n)
+	parallel.ForN(n, gramCutover, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi := x.Row(i)
+			self[i] = k.Eval(xi, xi)
+		}
+	})
+	g := linalg.NewMatrix(n, n)
+	parallel.ForN(n, gramCutover, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi := x.Row(i)
+			for j := i; j < n; j++ {
+				var v float64
+				if self[i] > 0 && self[j] > 0 {
+					if i == j {
+						v = self[i] / math.Sqrt(self[i]*self[i])
+					} else {
+						v = k.Eval(xi, x.Row(j)) / math.Sqrt(self[i]*self[j])
+					}
+				}
+				g.Set(i, j, v)
+				g.Set(j, i, v)
+			}
+		}
+	})
+	return g
+}
 
 // IsPSD reports whether a symmetric kernel matrix is positive semidefinite
 // within tolerance (all eigenvalues >= -tol). Used by property tests to

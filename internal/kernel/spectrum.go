@@ -3,6 +3,8 @@ package kernel
 import (
 	"math"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // SequenceKernel measures the similarity of two token sequences. It is the
@@ -179,7 +181,11 @@ func (s Spectrum) EvalCounts(a, b Counts) float64 {
 
 // SeqGram computes the kernel matrix of a set of sequences. For Spectrum
 // kernels the n-gram histograms are precomputed so each sequence is
-// tokenized only once.
+// tokenized only once. Histogram construction and the pairwise triangle
+// sweep are striped across the worker pool; the pair {i, j} is evaluated
+// once by the worker owning row min(i, j), which writes both symmetric
+// halves (disjoint elements, race-free), so the matrix is identical to
+// the serial sweep at any worker count.
 func SeqGram(k SequenceKernel, seqs [][]string) [][]float64 {
 	n := len(seqs)
 	g := make([][]float64, n)
@@ -187,26 +193,29 @@ func SeqGram(k SequenceKernel, seqs [][]string) [][]float64 {
 		g[i] = make([]float64, n)
 	}
 	if sp, ok := k.(Spectrum); ok {
-		counts := make([]Counts, n)
-		for i, s := range seqs {
-			counts[i] = sp.Counts(s)
-		}
-		for i := 0; i < n; i++ {
+		counts := parallel.MapN(n, gramCutover, func(i int) Counts {
+			return sp.Counts(seqs[i])
+		})
+		parallel.ForN(n, gramCutover, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for j := i; j < n; j++ {
+					v := sp.EvalCounts(counts[i], counts[j])
+					g[i][j] = v
+					g[j][i] = v
+				}
+			}
+		})
+		return g
+	}
+	parallel.ForN(n, gramCutover, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			for j := i; j < n; j++ {
-				v := sp.EvalCounts(counts[i], counts[j])
+				v := k.EvalSeq(seqs[i], seqs[j])
 				g[i][j] = v
 				g[j][i] = v
 			}
 		}
-		return g
-	}
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			v := k.EvalSeq(seqs[i], seqs[j])
-			g[i][j] = v
-			g[j][i] = v
-		}
-	}
+	})
 	return g
 }
 

@@ -110,8 +110,10 @@ func SVDThin(a *Matrix) (u *Matrix, s []float64, v *Matrix, err error) {
 		}
 		v = vecs
 		u = NewMatrix(m, n)
+		vcol := make([]float64, v.Rows)
 		for j := 0; j < n; j++ {
-			col := a.MulVec(v.Col(j))
+			v.ColInto(j, vcol)
+			col := a.MulVec(vcol)
 			if s[j] > 1e-12 {
 				ScaleVec(1/s[j], col)
 			}

@@ -10,6 +10,26 @@ package linalg
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
+)
+
+// Cutovers for the parallel paths. Each routine runs the original serial
+// loop below its threshold so small shapes (the bulk of unit-test and
+// warm-up work) never pay goroutine overhead; above it the work is striped
+// over rows, which keeps every output element on exactly one worker and
+// the accumulation order per element identical to the serial loop.
+const (
+	mulParallelFlops = 1 << 16 // Rows*Cols*b.Cols below which Mul stays serial
+	vecParallelFlops = 1 << 15 // Rows*Cols below which MulVec/T stay serial
+)
+
+// Cache blocking for Mul: the inner sweeps touch a kBlock x jBlock tile of
+// b (64*256*8 B = 128 KiB, L2-resident) while the output row segment stays
+// in L1.
+const (
+	mulKBlock = 64
+	mulJBlock = 256
 )
 
 // Matrix is a dense row-major matrix of float64.
@@ -62,10 +82,20 @@ func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []float64 {
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = m.Data[i*m.Cols+j]
-	}
+	m.ColInto(j, out)
 	return out
+}
+
+// ColInto copies column j into dst, which must have length m.Rows. It is
+// the allocation-free form of Col for call sites that fetch columns
+// repeatedly inside tight loops.
+func (m *Matrix) ColInto(j int, dst []float64) {
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("linalg: ColInto length mismatch %d vs %d rows", len(dst), m.Rows))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.Data[i*m.Cols+j]
+	}
 }
 
 // Clone returns a deep copy.
@@ -75,24 +105,54 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
-// T returns the transpose as a new matrix.
+// T returns the transpose as a new matrix. Large shapes are striped over
+// source rows; each worker writes a distinct column of the result, so the
+// writes are disjoint and the copy is trivially deterministic.
 func (m *Matrix) T() *Matrix {
 	t := NewMatrix(m.Cols, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		for j := 0; j < m.Cols; j++ {
-			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+	serial := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < m.Cols; j++ {
+				t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+			}
 		}
 	}
+	if m.Rows*m.Cols < vecParallelFlops {
+		serial(0, m.Rows)
+		return t
+	}
+	parallel.For(m.Rows, serial)
 	return t
 }
 
 // Mul returns m * b.
+//
+// Small products run the original serial row-accumulator loop. Large
+// products are striped over output rows across the worker pool and swept
+// in cache blocks: for each row chunk the k (inner) and j (output column)
+// dimensions advance tile by tile, keeping a kBlock x jBlock tile of b
+// hot in cache instead of streaming all of b per output row. Both the
+// striping and the blocking preserve the per-element accumulation order
+// of the serial loop (k strictly ascending for every (i, j)), so the
+// product is bit-identical to the serial path at any worker count.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
 	if m.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
+	if m.Rows*m.Cols*b.Cols < mulParallelFlops || parallel.Workers() <= 1 {
+		m.mulSerialInto(b, out, 0, m.Rows)
+		return out
+	}
+	parallel.For(m.Rows, func(lo, hi int) {
+		m.mulBlockedInto(b, out, lo, hi)
+	})
+	return out
+}
+
+// mulSerialInto is the original row-accumulator matmul over rows [lo, hi).
+func (m *Matrix) mulSerialInto(b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
 		oi := out.Data[i*out.Cols : (i+1)*out.Cols]
 		for k, mik := range mi {
@@ -105,7 +165,38 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 			}
 		}
 	}
-	return out
+}
+
+// mulBlockedInto is the cache-blocked matmul over output rows [lo, hi).
+// For every element out[i][j] the contributions mi[k]*b[k][j] are added in
+// strictly ascending k, exactly as in mulSerialInto.
+func (m *Matrix) mulBlockedInto(b, out *Matrix, lo, hi int) {
+	for jb := 0; jb < b.Cols; jb += mulJBlock {
+		jEnd := jb + mulJBlock
+		if jEnd > b.Cols {
+			jEnd = b.Cols
+		}
+		for kb := 0; kb < m.Cols; kb += mulKBlock {
+			kEnd := kb + mulKBlock
+			if kEnd > m.Cols {
+				kEnd = m.Cols
+			}
+			for i := lo; i < hi; i++ {
+				mi := m.Data[i*m.Cols : (i+1)*m.Cols]
+				oi := out.Data[i*out.Cols+jb : i*out.Cols+jEnd]
+				for k := kb; k < kEnd; k++ {
+					mik := mi[k]
+					if mik == 0 {
+						continue
+					}
+					bk := b.Data[k*b.Cols+jb : k*b.Cols+jEnd]
+					for j, bkj := range bk {
+						oi[j] += mik * bkj
+					}
+				}
+			}
+		}
+	}
 }
 
 // MulVec returns m * v for a vector v of length m.Cols.
@@ -114,9 +205,16 @@ func (m *Matrix) MulVec(v []float64) []float64 {
 		panic(fmt.Sprintf("linalg: MulVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
 	}
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = Dot(m.Row(i), v)
+	serial := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = Dot(m.Row(i), v)
+		}
 	}
+	if m.Rows*m.Cols < vecParallelFlops {
+		serial(0, m.Rows)
+		return out
+	}
+	parallel.For(m.Rows, serial)
 	return out
 }
 

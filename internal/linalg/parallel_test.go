@@ -1,0 +1,155 @@
+package linalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+func randomSparseMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+		if rng.Intn(10) == 0 {
+			m.Data[i] = 0 // exercise the zero-skip branch
+		}
+	}
+	return m
+}
+
+func TestMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	shapes := []struct{ m, k, n int }{
+		{3, 4, 5},      // below cutover: serial path
+		{60, 70, 80},   // above cutover, smaller than one block
+		{130, 300, 90}, // spans multiple k blocks
+		{97, 64, 513},  // spans multiple j blocks, ragged edges
+	}
+	for _, s := range shapes {
+		a := randomSparseMatrix(rng, s.m, s.k)
+		b := randomSparseMatrix(rng, s.k, s.n)
+
+		old := parallel.SetWorkers(1)
+		want := a.Mul(b)
+		// The blocked kernel must agree with the serial row-accumulator
+		// exactly, independent of parallel striping.
+		blocked := NewMatrix(s.m, s.n)
+		a.mulBlockedInto(b, blocked, 0, s.m)
+		for i := range want.Data {
+			if blocked.Data[i] != want.Data[i] {
+				t.Fatalf("%dx%dx%d: blocked element %d = %v, serial %v",
+					s.m, s.k, s.n, i, blocked.Data[i], want.Data[i])
+			}
+		}
+		for _, w := range []int{2, 4, 8} {
+			parallel.SetWorkers(w)
+			got := a.Mul(b)
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("%dx%dx%d workers=%d: element %d = %v, serial %v",
+						s.m, s.k, s.n, w, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+		parallel.SetWorkers(old)
+	}
+}
+
+func TestMulVecParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m := randomSparseMatrix(rng, 400, 200)
+	v := make([]float64, 200)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	old := parallel.SetWorkers(1)
+	want := m.MulVec(v)
+	for _, w := range []int{2, 8} {
+		parallel.SetWorkers(w)
+		got := m.MulVec(v)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: element %d = %v, serial %v", w, i, got[i], want[i])
+			}
+		}
+	}
+	parallel.SetWorkers(old)
+}
+
+func TestTransposeParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := randomSparseMatrix(rng, 310, 170)
+	old := parallel.SetWorkers(1)
+	want := m.T()
+	for _, w := range []int{2, 8} {
+		parallel.SetWorkers(w)
+		got := m.T()
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("workers=%d: element %d differs", w, i)
+			}
+		}
+	}
+	parallel.SetWorkers(old)
+}
+
+func TestColInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	m := randomSparseMatrix(rng, 13, 7)
+	dst := make([]float64, m.Rows)
+	for j := 0; j < m.Cols; j++ {
+		m.ColInto(j, dst)
+		want := m.Col(j)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("col %d row %d: %v != %v", j, i, dst[i], want[i])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ColInto with wrong-length dst did not panic")
+		}
+	}()
+	m.ColInto(0, make([]float64, m.Rows-1))
+}
+
+// --- benchmarks ------------------------------------------------------
+
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{128, 512} {
+		x := randomSparseMatrix(rng, n, n)
+		y := randomSparseMatrix(rng, n, n)
+		for _, w := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				old := parallel.SetWorkers(w)
+				defer parallel.SetWorkers(old)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_ = x.Mul(y)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	rng := rand.New(rand.NewSource(32))
+	m := randomSparseMatrix(rng, 1024, 1024)
+	v := make([]float64, 1024)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			old := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(old)
+			for i := 0; i < b.N; i++ {
+				_ = m.MulVec(v)
+			}
+		})
+	}
+}

@@ -1,0 +1,190 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs fn with the worker count pinned to w.
+func withWorkers(t *testing.T, w int, fn func()) {
+	t.Helper()
+	old := SetWorkers(w)
+	defer SetWorkers(old)
+	fn()
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8, 64} {
+		for _, n := range []int{0, 1, 7, 8, 9, 100, 1000} {
+			withWorkers(t, w, func() {
+				hits := make([]int32, n)
+				For(n, func(lo, hi int) {
+					if lo < 0 || hi > n || lo > hi {
+						t.Errorf("w=%d n=%d: bad range [%d,%d)", w, n, lo, hi)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("w=%d n=%d: index %d visited %d times", w, n, i, h)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestForEmptyRange(t *testing.T) {
+	called := false
+	For(0, func(lo, hi int) { called = true })
+	For(-5, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("For called fn on an empty range")
+	}
+}
+
+func TestForWorkerCountOneMatchesSerial(t *testing.T) {
+	const n = 200
+	serial := make([]float64, n)
+	for i := 0; i < n; i++ {
+		serial[i] = float64(i) * 1.5
+	}
+	withWorkers(t, 1, func() {
+		got := make([]float64, n)
+		calls := 0
+		For(n, func(lo, hi int) {
+			calls++
+			for i := lo; i < hi; i++ {
+				got[i] = float64(i) * 1.5
+			}
+		})
+		if calls != 1 {
+			t.Fatalf("workers=1 should run one serial call, got %d", calls)
+		}
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=1 mismatch at %d", i)
+			}
+		}
+	})
+}
+
+func TestForOversubscription(t *testing.T) {
+	// n much larger than workers: every index still visited exactly once.
+	withWorkers(t, 4, func() {
+		const n = 100000
+		var sum int64
+		For(n, func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				local += int64(i)
+			}
+			atomic.AddInt64(&sum, local)
+		})
+		want := int64(n) * int64(n-1) / 2
+		if sum != want {
+			t.Fatalf("sum = %d, want %d", sum, want)
+		}
+	})
+}
+
+func TestForWorkersExceedRange(t *testing.T) {
+	// workers >> n: no worker may receive an empty or out-of-range chunk.
+	withWorkers(t, 64, func() {
+		hits := make([]int32, 10)
+		For(10, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("index %d visited %d times", i, h)
+			}
+		}
+	})
+}
+
+func TestForPanicPropagation(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w, func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic not propagated", w)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: unexpected panic value %v", w, r)
+				}
+			}()
+			For(1000, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if i == 567 {
+						panic("boom")
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestForNCutover(t *testing.T) {
+	withWorkers(t, 8, func() {
+		calls := 0
+		ForN(50, 100, func(lo, hi int) { calls++ })
+		if calls != 1 {
+			t.Fatalf("n below cutover should run serially, got %d calls", calls)
+		}
+	})
+}
+
+func TestMap(t *testing.T) {
+	for _, w := range []int{1, 8} {
+		withWorkers(t, w, func() {
+			got := Map(100, func(i int) int { return i * i })
+			if len(got) != 100 {
+				t.Fatalf("len = %d", len(got))
+			}
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("w=%d: Map[%d] = %d, want %d", w, i, v, i*i)
+				}
+			}
+		})
+	}
+	if out := Map(0, func(i int) int { return i }); len(out) != 0 {
+		t.Fatalf("Map(0) returned %d elements", len(out))
+	}
+}
+
+func TestSetWorkersClampsAndRestores(t *testing.T) {
+	old := SetWorkers(5)
+	defer SetWorkers(old)
+	if Workers() != 5 {
+		t.Fatalf("Workers() = %d, want 5", Workers())
+	}
+	prev := SetWorkers(0) // clamped to 1
+	if prev != 5 {
+		t.Fatalf("SetWorkers returned %d, want 5", prev)
+	}
+	if Workers() != 1 {
+		t.Fatalf("Workers() after clamp = %d, want 1", Workers())
+	}
+}
+
+func TestDefaultWorkersEnvParsing(t *testing.T) {
+	t.Setenv("REPRO_WORKERS", "3")
+	if got := defaultWorkers(); got != 3 {
+		t.Fatalf("defaultWorkers with REPRO_WORKERS=3 = %d", got)
+	}
+	t.Setenv("REPRO_WORKERS", "not-a-number")
+	if got := defaultWorkers(); got < 1 {
+		t.Fatalf("defaultWorkers with junk env = %d", got)
+	}
+	t.Setenv("REPRO_WORKERS", "-2")
+	if got := defaultWorkers(); got < 1 {
+		t.Fatalf("defaultWorkers with negative env = %d", got)
+	}
+}

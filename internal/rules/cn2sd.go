@@ -175,9 +175,9 @@ func CN2SD(d *dataset.Dataset, target int, cfg CN2SDConfig) ([]*Rule, error) {
 // candidateConditions builds threshold candidates from feature quantiles.
 func candidateConditions(d *dataset.Dataset, nThr int) []Condition {
 	var out []Condition
+	sorted := make([]float64, d.Len())
 	for j := 0; j < d.Dim(); j++ {
-		col := d.X.Col(j)
-		sorted := append([]float64(nil), col...)
+		d.X.ColInto(j, sorted)
 		sort.Float64s(sorted)
 		seen := map[float64]bool{}
 		for t := 1; t <= nThr; t++ {

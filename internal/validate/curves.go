@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 // Trainer fits a model of a given complexity on a training set and returns
@@ -82,19 +83,83 @@ func IsOverfitting(curve []CurvePoint, rel float64) bool {
 type FitPredictor func(train *dataset.Dataset, eval *dataset.Dataset) ([]float64, error)
 
 // CrossValidate runs k-fold cross validation and returns the per-fold loss.
+//
+// The fold split is drawn from rng up front; the folds themselves are then
+// evaluated concurrently on the shared worker pool, each writing only its
+// own loss slot, so the returned losses are identical at any worker count.
+// fp and loss must be safe for concurrent use (stateless fits, or fits
+// that derive any randomness from the fold's own data — use
+// CrossValidateSeeded for learners that need a per-fold rand.Rand).
+// On error the first failing fold in fold order is reported.
 func CrossValidate(rng *rand.Rand, d *dataset.Dataset, k int,
 	fp FitPredictor, loss func(pred, truth []float64) float64) ([]float64, error) {
 
 	trainIdx, testIdx := dataset.KFold(rng, d.Len(), k)
 	losses := make([]float64, k)
-	for f := 0; f < k; f++ {
-		tr := d.Subset(trainIdx[f])
-		te := d.Subset(testIdx[f])
-		pred, err := fp(tr, te)
+	errs := make([]error, k)
+	parallel.ForN(k, 2, func(lo, hi int) {
+		for f := lo; f < hi; f++ {
+			tr := d.Subset(trainIdx[f])
+			te := d.Subset(testIdx[f])
+			pred, err := fp(tr, te)
+			if err != nil {
+				errs[f] = err
+				continue
+			}
+			losses[f] = loss(pred, te.Y)
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		losses[f] = loss(pred, te.Y)
+	}
+	return losses, nil
+}
+
+// SeededFitPredictor is a FitPredictor whose fit needs randomness. The
+// supplied rng is private to the fold, so concurrent folds never contend
+// on a shared generator.
+type SeededFitPredictor func(rng *rand.Rand, train *dataset.Dataset, eval *dataset.Dataset) ([]float64, error)
+
+// foldSeed derives the deterministic seed of fold f from the parent seed.
+// The SplitMix64-style mixing keeps neighbouring folds' streams
+// uncorrelated even for small parent seeds.
+func foldSeed(seed int64, f int) int64 {
+	z := uint64(seed) + uint64(f+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// CrossValidateSeeded is CrossValidate for stochastic learners: each fold
+// receives its own rand.Rand seeded deterministically from the parent seed
+// and the fold index. Results are therefore bit-identical to a serial run
+// at any worker count, which a shared generator cannot guarantee.
+func CrossValidateSeeded(seed int64, d *dataset.Dataset, k int,
+	fp SeededFitPredictor, loss func(pred, truth []float64) float64) ([]float64, error) {
+
+	rng := rand.New(rand.NewSource(seed))
+	trainIdx, testIdx := dataset.KFold(rng, d.Len(), k)
+	losses := make([]float64, k)
+	errs := make([]error, k)
+	parallel.ForN(k, 2, func(lo, hi int) {
+		for f := lo; f < hi; f++ {
+			foldRng := rand.New(rand.NewSource(foldSeed(seed, f)))
+			tr := d.Subset(trainIdx[f])
+			te := d.Subset(testIdx[f])
+			pred, err := fp(foldRng, tr, te)
+			if err != nil {
+				errs[f] = err
+				continue
+			}
+			losses[f] = loss(pred, te.Y)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return losses, nil
 }

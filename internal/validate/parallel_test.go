@@ -1,0 +1,136 @@
+package validate
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/parallel"
+)
+
+// nnPredict is a tiny 1-nearest-neighbour fit-predictor: pure, stateless,
+// safe for concurrent folds, and O(train·eval·dim) so the folds carry
+// real work.
+func nnPredict(tr, te *dataset.Dataset) ([]float64, error) {
+	pred := make([]float64, te.Len())
+	for i := 0; i < te.Len(); i++ {
+		row := te.Row(i)
+		best, bestD := 0, 1e308
+		for j := 0; j < tr.Len(); j++ {
+			trow := tr.Row(j)
+			d := 0.0
+			for c := range row {
+				diff := row[c] - trow[c]
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = j, d
+			}
+		}
+		pred[i] = tr.Y[best]
+	}
+	return pred, nil
+}
+
+func mseLoss(p, y []float64) float64 {
+	s := 0.0
+	for i := range p {
+		d := p[i] - y[i]
+		s += d * d
+	}
+	return s / float64(len(p))
+}
+
+func TestCrossValidateParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := dataset.TwoGaussians(rng, 120, 2, 4, 1.5)
+
+	run := func(workers int) []float64 {
+		old := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(old)
+		losses, err := CrossValidate(rand.New(rand.NewSource(9)), d, 6, nnPredict, mseLoss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return losses
+	}
+	want := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		for f := range want {
+			if got[f] != want[f] {
+				t.Fatalf("workers=%d: fold %d loss %v, serial %v", w, f, got[f], want[f])
+			}
+		}
+	}
+}
+
+func TestCrossValidateErrorPropagation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := dataset.TwoGaussians(rng, 60, 2, 4, 1.5)
+	boom := errors.New("fold failure")
+	old := parallel.SetWorkers(4)
+	defer parallel.SetWorkers(old)
+	_, err := CrossValidate(rand.New(rand.NewSource(1)), d, 5,
+		func(tr, te *dataset.Dataset) ([]float64, error) {
+			return nil, boom
+		}, mseLoss)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestCrossValidateSeededDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := dataset.TwoGaussians(rng, 100, 2, 4, 1.5)
+
+	// A stochastic "learner": predicts the train mean plus fold-rng noise,
+	// so any cross-fold rng sharing would change results with worker count.
+	fp := func(foldRng *rand.Rand, tr, te *dataset.Dataset) ([]float64, error) {
+		mean := 0.0
+		for _, y := range tr.Y {
+			mean += y
+		}
+		mean /= float64(tr.Len())
+		pred := make([]float64, te.Len())
+		for i := range pred {
+			pred[i] = mean + 0.01*foldRng.NormFloat64()
+		}
+		return pred, nil
+	}
+	run := func(workers int) []float64 {
+		old := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(old)
+		losses, err := CrossValidateSeeded(31, d, 5, fp, mseLoss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return losses
+	}
+	want := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		for f := range want {
+			if got[f] != want[f] {
+				t.Fatalf("workers=%d: fold %d loss %v, serial %v", w, f, got[f], want[f])
+			}
+		}
+	}
+}
+
+func BenchmarkCrossValidate(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	d := dataset.TwoGaussians(rng, 600, 8, 4, 1.5)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "workers=1", 2: "workers=2", 4: "workers=4"}[w], func(b *testing.B) {
+			old := parallel.SetWorkers(w)
+			defer parallel.SetWorkers(old)
+			for i := 0; i < b.N; i++ {
+				if _, err := CrossValidate(rand.New(rand.NewSource(9)), d, 8, nnPredict, mseLoss); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

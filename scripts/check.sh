@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Full correctness gate: vet, build, and the complete test suite under the
+# race detector. The parallel compute layer (internal/parallel and its
+# users) must stay race-clean; run this before every commit that touches a
+# concurrent path.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "check: OK"
