@@ -1,7 +1,8 @@
-# Developer entry points. `make check` is the pre-commit gate: vet plus
-# the full suite under the race detector (see scripts/check.sh).
+# Developer entry points. `make check` is the pre-commit gate: gofmt, vet,
+# plus the full suite under the race detector (see scripts/check.sh).
+# `make ci` is everything the GitHub workflow runs, locally.
 
-.PHONY: build test check bench
+.PHONY: build test check bench ci
 
 build:
 	go build ./...
@@ -16,3 +17,9 @@ check:
 # cross-validation, substrate simulation) plus the per-figure harnesses.
 bench:
 	go test -bench=. -benchmem -run='^$$' ./...
+
+# The full CI pipeline locally: the race-clean correctness gate, then the
+# short benchmark sweep that writes BENCH_ci.json.
+ci:
+	./scripts/check.sh
+	./scripts/bench.sh

@@ -6,6 +6,11 @@ package repro_test
 // `go test -bench=. -benchmem` regenerates every artifact and reports its
 // cost. The printed shape checks live in the package tests; here the
 // point is a stable, runnable harness per artifact.
+//
+// Under -short (the CI benchmark-regression job, scripts/bench.sh) every
+// benchmark drops to a small fixed size: CI tracks trends and catches
+// builds/panics, so the sizes only need to exercise the real code paths,
+// not saturate them.
 
 import (
 	"testing"
@@ -20,9 +25,17 @@ import (
 	"repro/internal/isa"
 )
 
+// benchScale picks the benchmark problem size: small under -short.
+func benchScale(short, full int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
 func BenchmarkFig3KernelTrick(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := repro.Fig3(int64(i), 100); err != nil {
+		if _, err := repro.Fig3(int64(i), benchScale(40, 100)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -30,7 +43,7 @@ func BenchmarkFig3KernelTrick(b *testing.B) {
 
 func BenchmarkFig5Overfitting(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := repro.Fig5(int64(i), 30); err != nil {
+		if _, err := repro.Fig5(int64(i), benchScale(20, 30)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -38,7 +51,7 @@ func BenchmarkFig5Overfitting(b *testing.B) {
 
 func BenchmarkFig7TestSelection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := repro.Fig7(testsel.Config{Seed: int64(i), MaxTests: 600}); err != nil {
+		if _, err := repro.Fig7(testsel.Config{Seed: int64(i), MaxTests: benchScale(200, 600)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -54,7 +67,7 @@ func BenchmarkTable1TemplateLearning(b *testing.B) {
 
 func BenchmarkFig9Varpred(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cfg := varpred.Config{Seed: int64(i), Train: 150, Test: 150, KernelHI: true}
+		cfg := varpred.Config{Seed: int64(i), Train: benchScale(60, 150), Test: benchScale(60, 150), KernelHI: true}
 		if _, err := repro.Fig9(cfg); err != nil {
 			b.Fatal(err)
 		}
@@ -63,7 +76,7 @@ func BenchmarkFig9Varpred(b *testing.B) {
 
 func BenchmarkFig10DSTC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := repro.Fig10(dstc.Config{Seed: int64(i), Paths: 1000}); err != nil {
+		if _, err := repro.Fig10(dstc.Config{Seed: int64(i), Paths: benchScale(400, 1000)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -71,7 +84,7 @@ func BenchmarkFig10DSTC(b *testing.B) {
 
 func BenchmarkFig11Returns(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := repro.Fig11(returns.Config{Seed: int64(i), LotSize: 6000}); err != nil {
+		if _, err := repro.Fig11(returns.Config{Seed: int64(i), LotSize: benchScale(3000, 6000)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -79,7 +92,7 @@ func BenchmarkFig11Returns(b *testing.B) {
 
 func BenchmarkFig12Escapes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cfg := costred.Config{Seed: int64(i), Phase1Size: 150000, Phase2Size: 80000}
+		cfg := costred.Config{Seed: int64(i), Phase1Size: benchScale(40000, 150000), Phase2Size: benchScale(20000, 80000)}
 		if _, err := repro.Fig12(cfg); err != nil {
 			b.Fatal(err)
 		}
@@ -88,7 +101,7 @@ func BenchmarkFig12Escapes(b *testing.B) {
 
 func BenchmarkSec2Regressors(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := repro.Sec2(int64(i), 250); err != nil {
+		if _, err := repro.Sec2(int64(i), benchScale(120, 250)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -101,7 +114,7 @@ func BenchmarkAblationFig7NGram(b *testing.B) {
 	for _, n := range []int{1, 2, 3} {
 		b.Run(map[int]string{1: "n1", 2: "n2", 3: "n3"}[n], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cfg := testsel.Config{Seed: int64(i), MaxTests: 400, NGram: n}
+				cfg := testsel.Config{Seed: int64(i), MaxTests: benchScale(150, 400), NGram: n}
 				if _, err := repro.Fig7(cfg); err != nil {
 					b.Fatal(err)
 				}
@@ -118,7 +131,7 @@ func BenchmarkAblationFig7Nu(b *testing.B) {
 	}{{"nu05", 0.05}, {"nu20", 0.20}} {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cfg := testsel.Config{Seed: int64(i), MaxTests: 400, Nu: tc.nu}
+				cfg := testsel.Config{Seed: int64(i), MaxTests: benchScale(150, 400), Nu: tc.nu}
 				if _, err := repro.Fig7(cfg); err != nil {
 					b.Fatal(err)
 				}
@@ -135,7 +148,7 @@ func BenchmarkAblationFig9Kernel(b *testing.B) {
 	}{{"histogram-intersection", true}, {"rbf", false}} {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cfg := varpred.Config{Seed: int64(i), Train: 120, Test: 120, KernelHI: tc.hi}
+				cfg := varpred.Config{Seed: int64(i), Train: benchScale(50, 120), Test: benchScale(50, 120), KernelHI: tc.hi}
 				if _, err := repro.Fig9(cfg); err != nil {
 					b.Fatal(err)
 				}
@@ -148,7 +161,7 @@ func BenchmarkAblationFig9Kernel(b *testing.B) {
 // saves).
 func BenchmarkSubstrateSimulation(b *testing.B) {
 	gen := isa.NewGenerator(isa.WideTemplate(), 1)
-	progs := gen.Batch(100)
+	progs := gen.Batch(benchScale(50, 100))
 	m := isa.NewMachine()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -4,10 +4,17 @@
 //
 // Usage:
 //
-//	edamine [-seed N] [-quick] <experiment>
+//	edamine [-seed N] [-quick] [-manifest out.json] [-cpuprofile f]
+//	        [-memprofile f] [-trace f] <experiment>
 //
 // Experiments: fig3, fig5, fig7, table1, fig9, fig10, fig11, fig12, sec2,
 // or "all".
+//
+// With -manifest, a machine-checkable run manifest (seed, workers, build
+// revision, per-stage wall times, and the full metric snapshot — see
+// internal/obs) is written at exit; set REPRO_OBS=0 to disable metric
+// collection entirely. The profiling flags stream runtime/pprof and
+// runtime/trace output for offline analysis.
 package main
 
 import (
@@ -24,13 +31,18 @@ import (
 	"repro/internal/apps/template"
 	"repro/internal/apps/testsel"
 	"repro/internal/apps/varpred"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
 var (
-	seed    = flag.Int64("seed", 1, "random seed for the experiment")
-	quick   = flag.Bool("quick", false, "reduced-scale run for smoke testing")
-	workers = flag.Int("workers", 0, "worker goroutines for the compute pool (0 = REPRO_WORKERS env or GOMAXPROCS); results are identical at any setting")
+	seed       = flag.Int64("seed", 1, "random seed for the experiment")
+	quick      = flag.Bool("quick", false, "reduced-scale run for smoke testing")
+	workers    = flag.Int("workers", 0, "worker goroutines for the compute pool (0 = REPRO_WORKERS env or GOMAXPROCS); results are identical at any setting")
+	manifest   = flag.String("manifest", "", "write a JSON run manifest (metrics, stage timings, build info) to this file")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceOut   = flag.String("trace", "", "write a runtime/trace execution trace to this file")
 )
 
 type experiment struct {
@@ -86,7 +98,7 @@ func experiments() []experiment {
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: edamine [-seed N] [-quick] <experiment|all>\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: edamine [-seed N] [-quick] [-manifest out.json] [-cpuprofile f] [-memprofile f] [-trace f] <experiment|all>\nexperiments:\n")
 		for _, e := range experiments() {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.id, e.title)
 		}
@@ -99,6 +111,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile, *traceOut)
+	if err != nil {
+		fatal(err)
+	}
+	man := obs.NewManifest("edamine", *seed, parallel.Workers())
+
 	want := flag.Arg(0)
 	ran := false
 	for _, e := range experiments() {
@@ -110,15 +129,32 @@ func main() {
 		start := time.Now()
 		res, err := e.run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "edamine: %s: %v\n", e.id, err)
-			os.Exit(1)
+			stopProfiles() //nolint:errcheck — already exiting on a run error
+			fatal(fmt.Errorf("%s: %v", e.id, err))
 		}
+		elapsed := time.Since(start)
+		man.AddStage(e.id, elapsed)
 		fmt.Println(res)
-		fmt.Printf("(%s in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", e.id, elapsed.Round(time.Millisecond))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "edamine: unknown experiment %q\n", want)
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if err := stopProfiles(); err != nil {
+		fatal(err)
+	}
+	man.Finish()
+	if *manifest != "" {
+		if err := man.WriteFile(*manifest); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "edamine:", err)
+	os.Exit(1)
 }

@@ -5,13 +5,20 @@
 //
 // Usage:
 //
-//	lsusim [-tokens] [-random seed] [-batch N] [-workers W] [file.s]
+//	lsusim [-tokens] [-random seed] [-batch N] [-workers W]
+//	       [-manifest out.json] [-cpuprofile f] [-memprofile f] [-trace f]
+//	       [file.s]
 //
 // With -random, a constrained-random test is generated (the file is
 // ignored); otherwise the program is read from the file or stdin. With
 // -batch N (requires -random), N tests are generated and simulated
 // concurrently on the worker pool, printing the aggregate coverage —
 // the candidate-batch step of the Figure 7 flow as a standalone tool.
+//
+// With -manifest, a JSON run manifest (simulated cycles and instructions,
+// pool metrics, build info — see internal/obs) is written at exit;
+// REPRO_OBS=0 disables metric collection. The profiling flags stream
+// runtime/pprof and runtime/trace output.
 package main
 
 import (
@@ -19,16 +26,22 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
 var (
-	tokens   = flag.Bool("tokens", false, "also print the kernel token stream")
-	randSeed = flag.Int64("random", -1, "generate a random test with this seed instead of reading input")
-	batch    = flag.Int("batch", 0, "with -random: generate and simulate N tests concurrently")
-	workers  = flag.Int("workers", 0, "worker goroutines for batch simulation (0 = REPRO_WORKERS env or GOMAXPROCS)")
+	tokens     = flag.Bool("tokens", false, "also print the kernel token stream")
+	randSeed   = flag.Int64("random", -1, "generate a random test with this seed instead of reading input")
+	batch      = flag.Int("batch", 0, "with -random: generate and simulate N tests concurrently")
+	workers    = flag.Int("workers", 0, "worker goroutines for batch simulation (0 = REPRO_WORKERS env or GOMAXPROCS)")
+	manifest   = flag.String("manifest", "", "write a JSON run manifest (metrics, stage timings, build info) to this file")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceOut   = flag.String("trace", "", "write a runtime/trace execution trace to this file")
 )
 
 func main() {
@@ -36,16 +49,34 @@ func main() {
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile, *traceOut)
+	if err != nil {
+		fatal(err)
+	}
+	man := obs.NewManifest("lsusim", *randSeed, parallel.Workers())
+	finish := func(stage string, d time.Duration) {
+		man.AddStage(stage, d)
+		if err := stopProfiles(); err != nil {
+			fatal(err)
+		}
+		man.Finish()
+		if *manifest != "" {
+			if err := man.WriteFile(*manifest); err != nil {
+				fatal(err)
+			}
+		}
+	}
 	if *batch > 0 {
 		if *randSeed < 0 {
 			fatal(fmt.Errorf("-batch requires -random"))
 		}
+		start := time.Now()
 		runBatch(*randSeed, *batch)
+		finish("batch", time.Since(start))
 		return
 	}
 
 	var prog isa.Program
-	var err error
 	switch {
 	case *randSeed >= 0:
 		gen := isa.NewGenerator(isa.WideTemplate(), *randSeed)
@@ -73,6 +104,7 @@ func main() {
 	}
 
 	m := isa.NewMachine()
+	start := time.Now()
 	cov := m.Run(prog)
 	fmt.Printf("simulated %d instructions in %d cycles\n", len(prog), m.Cycles)
 	fmt.Printf("coverage: %d of %d bins\n", cov.Count(), isa.NumBins)
@@ -81,6 +113,7 @@ func main() {
 			fmt.Printf("  %-18v %d hits\n", e, h)
 		}
 	}
+	finish("simulate", time.Since(start))
 }
 
 // runBatch generates n constrained-random tests and simulates them on the

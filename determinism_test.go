@@ -13,6 +13,7 @@ import (
 	"repro"
 	"repro/internal/apps/testsel"
 	"repro/internal/apps/varpred"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -35,6 +36,37 @@ func TestFig7IdenticalAcrossWorkerCounts(t *testing.T) {
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("workers=%d: result struct differs from serial: %+v vs %+v", w, got, want)
 		}
+	}
+}
+
+// TestObsToggleLeavesReportsIdentical is the observability-layer analog
+// of the worker-count tests: metrics observe the computation and must
+// never feed back into it, so Fig7/Fig9 reports with collection on
+// (REPRO_OBS=1 equivalent) and off (REPRO_OBS=0 equivalent) must be
+// byte-identical.
+func TestObsToggleLeavesReportsIdentical(t *testing.T) {
+	run := func(enabled bool) (string, *varpred.Result) {
+		defer obs.SetEnabled(obs.SetEnabled(enabled))
+		r7, err := repro.Fig7(testsel.Config{Seed: 7, MaxTests: 400})
+		if err != nil {
+			t.Fatalf("obs=%v: fig7: %v", enabled, err)
+		}
+		r9, err := repro.Fig9(varpred.Config{Seed: 5, Train: 120, Test: 120, KernelHI: true})
+		if err != nil {
+			t.Fatalf("obs=%v: fig9: %v", enabled, err)
+		}
+		// Wall-clock cost accounting is legitimately nondeterministic
+		// run to run; everything learned must match bit for bit.
+		r9.SimPerWindow, r9.ModelPerWindow, r9.Speedup = 0, 0, 0
+		return r7.String(), r9
+	}
+	off7, off9 := run(false)
+	on7, on9 := run(true)
+	if on7 != off7 {
+		t.Fatalf("fig7 report differs with metrics enabled:\n%s\nvs\n%s", on7, off7)
+	}
+	if !reflect.DeepEqual(on9, off9) {
+		t.Fatalf("fig9 result differs with metrics enabled:\n%+v\nvs\n%+v", on9, off9)
 	}
 }
 

@@ -16,6 +16,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mfgtest"
+	"repro/internal/obs"
+)
+
+// Figure 12 metrics: parts mined before the drop decision and parts
+// manufactured after it — the scale at which the escapes appear.
+var (
+	crPhase1Parts = obs.GetCounter("costred.parts_phase1")
+	crPhase2Parts = obs.GetCounter("costred.parts_phase2")
+	crRunTime     = obs.GetHistogram("costred.run_ns")
 )
 
 // Config controls the experiment.
@@ -71,6 +80,9 @@ func (r *Result) String() string {
 // Run executes the experiment.
 func Run(cfg Config) (*Result, error) {
 	cfg.defaults()
+	defer crRunTime.Start().Stop()
+	crPhase1Parts.Add(int64(cfg.Phase1Size))
+	crPhase2Parts.Add(int64(cfg.Phase2Size))
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	scen := mfgtest.NewCostRedScenario()
 	kept := []int{scen.Test1, scen.Test2}

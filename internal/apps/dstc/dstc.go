@@ -15,8 +15,16 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/linalg"
 	"repro/internal/linear"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/timing"
+)
+
+// Figure 10 metrics: silicon paths pushed through the clustering +
+// rule-learning diagnosis.
+var (
+	dstcPaths   = obs.GetCounter("dstc.paths_analyzed")
+	dstcRunTime = obs.GetHistogram("dstc.run_ns")
 )
 
 // Config controls the experiment.
@@ -92,6 +100,8 @@ func (r *Result) String() string {
 // Run executes the experiment.
 func Run(cfg Config) (*Result, error) {
 	cfg.defaults()
+	defer dstcRunTime.Start().Stop()
+	dstcPaths.Add(int64(cfg.Paths))
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 
 	scfg := timing.SiliconConfig{

@@ -13,7 +13,14 @@ import (
 	"strings"
 
 	"repro/internal/mfgtest"
+	"repro/internal/obs"
 	"repro/internal/rules"
+)
+
+// Association-rule-mining metrics (Section 2.4): chips mined per run.
+var (
+	patChips   = obs.GetCounter("patterns.chips_mined")
+	patRunTime = obs.GetHistogram("patterns.run_ns")
 )
 
 // Config controls the experiment.
@@ -80,6 +87,8 @@ func buildModel() *mfgtest.Model {
 // Run executes the experiment.
 func Run(cfg Config) (*Result, error) {
 	cfg.defaults()
+	defer patRunTime.Start().Stop()
+	patChips.Add(int64(cfg.Chips))
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	model := buildModel()
 	limits := mfgtest.LimitsFromModel(model, 4.5)

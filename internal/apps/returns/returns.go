@@ -17,7 +17,14 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/linalg"
 	"repro/internal/mfgtest"
+	"repro/internal/obs"
 	"repro/internal/svm"
+)
+
+// Figure 11 metrics: chips screened across the three lots.
+var (
+	retParts   = obs.GetCounter("returns.parts_screened")
+	retRunTime = obs.GetHistogram("returns.run_ns")
 )
 
 // Config controls the experiment.
@@ -124,6 +131,8 @@ func (s *screen) evaluate(name string, shipped []mfgtest.Chip, retIdx []int) Pha
 // Run executes the three-phase experiment.
 func Run(cfg Config) (*Result, error) {
 	cfg.defaults()
+	defer retRunTime.Start().Stop()
+	retParts.Add(3 * int64(cfg.LotSize)) // three lots sampled below
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	scen := mfgtest.NewReturnsScenario(cfg.Tests)
 

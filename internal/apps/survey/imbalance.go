@@ -47,6 +47,8 @@ func ImbalanceStudy(seed int64, lot int) (*ImbalanceResult, error) {
 	if lot <= 0 {
 		lot = 12000
 	}
+	defer surveyRunTime.Start().Stop()
+	surveySamples.Add(2 * int64(lot))
 	rng := rand.New(rand.NewSource(seed + 1))
 	scen := mfgtest.NewReturnsScenario(12)
 

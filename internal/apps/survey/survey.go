@@ -14,8 +14,16 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/linear"
 	"repro/internal/mfgtest"
+	"repro/internal/obs"
 	"repro/internal/svm"
 	"repro/internal/validate"
+)
+
+// Section 2 didactic-experiment metrics, shared by survey.go and
+// imbalance.go: samples drawn per run and per-run wall time.
+var (
+	surveySamples = obs.GetCounter("survey.samples_generated")
+	surveyRunTime = obs.GetHistogram("survey.run_ns")
 )
 
 // Fig3Result is the Figure 3 outcome: the same linear learner fails in the
@@ -41,6 +49,8 @@ func Fig3(seed int64, n int) (*Fig3Result, error) {
 	if n <= 0 {
 		n = 100
 	}
+	defer surveyRunTime.Start().Stop()
+	surveySamples.Add(2 * int64(n)) // n per class
 	rng := rand.New(rand.NewSource(seed + 1))
 	d := dataset.RingAndCore(rng, n, 1, 3, 0.05)
 
@@ -118,6 +128,8 @@ func Fig5(seed int64, nTrain int) (*Fig5Result, error) {
 	if nTrain <= 0 {
 		nTrain = 30
 	}
+	defer surveyRunTime.Start().Stop()
+	surveySamples.Add(int64(nTrain) + 300)
 	rng := rand.New(rand.NewSource(seed + 1))
 	train := dataset.NoisySine(rng, nTrain, 0.35)
 	valid := dataset.NoisySine(rng, 300, 0.35)
@@ -173,6 +185,8 @@ func Sec2Regressors(seed int64, n int) (*Sec2Result, error) {
 	if n <= 0 {
 		n = 300
 	}
+	defer surveyRunTime.Start().Stop()
+	surveySamples.Add(2 * int64(n))
 	full := mfgtest.FmaxDataset(rng, 2*n)
 	train, test := full.Split(rng, 0.5)
 	// Standardize the response scale so every family's default

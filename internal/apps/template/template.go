@@ -23,7 +23,16 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/isa"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/rules"
+)
+
+// Table 1 metrics: tests pushed through each simulate stage and rules
+// the CN2-SD pass fed back into the template.
+var (
+	tplTests     = obs.GetCounter("template.tests_simulated")
+	tplRules     = obs.GetCounter("template.rules_learned")
+	tplStageTime = obs.GetHistogram("template.stage_ns")
 )
 
 // StageResult is one row of the Table 1 reproduction.
@@ -106,6 +115,8 @@ func simulateStage(tpl isa.Template, seed int64, n int) (hits [isa.NumEvents]int
 	// Generation stays serial (one rng stream drives the template), then
 	// the batch simulates and feature-extracts concurrently — the
 	// Figure 7 generate → feature-extract → simulate loop on the pool.
+	defer tplStageTime.Start().Stop()
+	tplTests.Add(int64(n))
 	gen := isa.NewGenerator(tpl, seed)
 	progs := gen.Batch(n)
 	covs, _ := isa.SimulateBatch(progs)
@@ -149,6 +160,7 @@ func learnEventRules(feats [][]float64, perTest [][isa.NumEvents]int) (ruleStrs 
 			ruleStrs = append(ruleStrs, fmt.Sprintf("%s: %s", e, r))
 			conds = append(conds, r.Conditions...)
 		}
+		tplRules.Add(int64(len(rs)))
 	}
 	return ruleStrs, conds
 }

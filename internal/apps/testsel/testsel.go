@@ -13,8 +13,25 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/svm"
+)
+
+// Figure 7 metrics. testsel.cycles_saved is the headline number of the
+// experiment — simulator cycles the novelty filter avoided relative to
+// the unfiltered baseline — promoted from a local variable to a
+// first-class metric so every manifest carries it. The kernel-row
+// counter measures the filter's own cost (the paper's trade: cheap
+// kernel evaluations for expensive simulation).
+var (
+	tsExamined   = obs.GetCounter("testsel.tests_examined")
+	tsSimulated  = obs.GetCounter("testsel.tests_simulated")
+	tsKernelRows = obs.GetCounter("testsel.kernel_row_evals")
+	tsRefits     = obs.GetCounter("testsel.refits")
+	tsCycles     = obs.GetCounter("testsel.cycles_saved")
+	tsGoldenTime = obs.GetHistogram("testsel.golden_pass_ns")
+	tsFilterTime = obs.GetHistogram("testsel.filter_pass_ns")
 )
 
 // kernelRowCutover keeps short kernel-row evaluations serial; each entry
@@ -102,11 +119,13 @@ func Run(cfg Config) (*Result, error) {
 	// and the baseline progression. The batch is striped across the worker
 	// pool (the paper's point that candidate simulation is the dominant
 	// cost); the merge stays serial in stream order.
+	goldenTimer := tsGoldenTime.Start()
 	covs, cycles := isa.SimulateBatch(stream)
 	var total isa.Coverage
 	for i := range stream {
 		total.Merge(covs[i])
 	}
+	goldenTimer.Stop()
 	target := total.Count()
 	if target == 0 {
 		return nil, errors.New("testsel: stream reaches no coverage")
@@ -142,6 +161,7 @@ func Run(cfg Config) (*Result, error) {
 	modelN := 0 // accepted-prefix length the detector was fit on
 	var sel isa.Coverage
 	refit := func() error {
+		tsRefits.Inc()
 		var err error
 		detector, err = svm.FitOneClassGram(gram, svm.OneClassConfig{Nu: cfg.Nu, MaxIters: 500})
 		if err == nil {
@@ -162,7 +182,9 @@ func Run(cfg Config) (*Result, error) {
 	// the filter may consume well past the baseline stream.
 	streamBudget := 8 * len(stream)
 	sinceRefit := 0
+	filterTimer := tsFilterTime.Start()
 	for i := 0; i < streamBudget; i++ {
+		tsExamined.Inc()
 		var prog isa.Program
 		var cov *isa.Coverage
 		var cyc int64
@@ -194,11 +216,13 @@ func Run(cfg Config) (*Result, error) {
 					kx[j] = spec.EvalMulti(counts, accepted[j])
 				}
 			})
+			tsKernelRows.Add(int64(modelN))
 			simulate = detector.Novel(kx)
 		}
 		if !simulate {
 			continue
 		}
+		tsSimulated.Inc()
 		recordVocab(toks, seenTok, seenIdiom)
 		if cov == nil {
 			cov = m.Run(prog)
@@ -216,6 +240,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 		})
 		row[n] = spec.EvalMulti(counts, counts)
+		tsKernelRows.Add(int64(n + 1))
 		gram = append(gram, row)
 		accepted = append(accepted, counts)
 
@@ -233,11 +258,13 @@ func Run(cfg Config) (*Result, error) {
 			break
 		}
 	}
+	filterTimer.Stop()
 	res.SelectedSimulated = len(accepted)
 	res.SelectedBins = sel.Count()
 	if res.BaselineTests > 0 {
 		res.SavingFrac = 1 - float64(res.SelectedSimulated)/float64(res.BaselineTests)
 	}
+	tsCycles.Add(res.BaselineCycles - res.SelectedCycles)
 	return res, nil
 }
 

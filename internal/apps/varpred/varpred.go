@@ -16,8 +16,18 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/kernel"
 	"repro/internal/litho"
+	"repro/internal/obs"
 	"repro/internal/svm"
 	"repro/internal/validate"
+)
+
+// Figure 9 metrics: windows pushed through the golden lithography
+// simulator vs through the learned model (the substitution the paper's
+// speedup claim is about), plus SVM training wall time.
+var (
+	vpSimulated = obs.GetCounter("varpred.windows_simulated")
+	vpPredicted = obs.GetCounter("varpred.windows_predicted")
+	vpTrainTime = obs.GetHistogram("varpred.train_ns")
 )
 
 // Config controls the experiment.
@@ -99,6 +109,7 @@ func genWindow(rng *rand.Rand) *litho.Window {
 
 // label runs the golden lithography model.
 func label(w *litho.Window, cfg Config) (bad bool, simTime time.Duration, err error) {
+	vpSimulated.Inc()
 	start := time.Now()
 	v, err := litho.Variability(w, cfg.Sigma, cfg.MinSlope)
 	if err != nil {
@@ -149,6 +160,7 @@ func Run(cfg Config) (*Result, error) {
 		name = "rbf-on-histograms"
 	}
 
+	trainTimer := vpTrainTime.Start()
 	var predict func(f []float64) float64
 	if cfg.OneClass {
 		name += "/one-class"
@@ -181,8 +193,10 @@ func Run(cfg Config) (*Result, error) {
 		}
 		predict = model.Predict
 	}
+	trainTimer.Stop()
 
 	// Timed model pass: feature extraction + prediction per window.
+	vpPredicted.Add(int64(test.Len()))
 	start := time.Now()
 	pred := make([]float64, test.Len())
 	for i := 0; i < test.Len(); i++ {

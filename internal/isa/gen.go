@@ -2,7 +2,13 @@ package isa
 
 import (
 	"math/rand"
+
+	"repro/internal/obs"
 )
+
+// programsGenerated counts constrained-random tests instantiated — the
+// denominator of the Figure 7 "examined vs simulated" economics.
+var programsGenerated = obs.GetCounter("isa.programs_generated")
 
 // Template is the constrained-random test template: the knobs a
 // verification engineer writes and the randomizer instantiates. The
@@ -148,6 +154,7 @@ func (g *Generator) storeOpFor(width int) Op {
 
 // Next instantiates one test.
 func (g *Generator) Next() Program {
+	programsGenerated.Inc()
 	t := g.T
 	n := t.Len
 	if n <= 0 {

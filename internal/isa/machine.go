@@ -1,5 +1,18 @@
 package isa
 
+import "repro/internal/obs"
+
+// Simulation metrics — the quantities the Figure 7 experiment exists to
+// save. isa.cycles_simulated is the paper's simulation-cost axis as a
+// first-class metric: every Machine.Run adds its program length and
+// cycle count, so a manifest records exactly how much simulator work a
+// flow consumed. Three atomic adds per program, nothing per instruction.
+var (
+	programsSimulated = obs.GetCounter("isa.programs_simulated")
+	instrsSimulated   = obs.GetCounter("isa.instructions_simulated")
+	cyclesSimulated   = obs.GetCounter("isa.cycles_simulated")
+)
+
 // Machine simulates a single-issue core with a load-store unit detailed
 // enough to carry a functional coverage model: a direct-mapped data cache,
 // a draining store buffer with store-to-load forwarding, and a small TLB.
@@ -170,6 +183,9 @@ func (m *Machine) Run(p Program) *Coverage {
 	for _, in := range p {
 		m.step(in, cov)
 	}
+	programsSimulated.Inc()
+	instrsSimulated.Add(int64(len(p)))
+	cyclesSimulated.Add(m.Cycles)
 	return cov
 }
 

@@ -1,6 +1,16 @@
 package isa
 
-import "repro/internal/parallel"
+import (
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// Batch metrics: fan-out launches and their wall time. The per-program
+// cycle/instruction counters live in Machine.Run.
+var (
+	simBatches   = obs.GetCounter("isa.sim_batches")
+	simBatchTime = obs.GetHistogram("isa.sim_batch_ns")
+)
 
 // simBatchCutover keeps small batches on the caller's machine: a single
 // program simulates in microseconds, so only multi-hundred-test batches
@@ -18,6 +28,8 @@ const simBatchCutover = 64
 // registers, which no generated program overwrites), so the results are
 // element-wise identical to a serial sweep on a single shared machine.
 func SimulateBatch(progs []Program) (covs []*Coverage, cycles []int64) {
+	simBatches.Inc()
+	defer simBatchTime.Start().Stop()
 	covs = make([]*Coverage, len(progs))
 	cycles = make([]int64, len(progs))
 	parallel.ForN(len(progs), simBatchCutover, func(lo, hi int) {

@@ -17,7 +17,19 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/parallel"
+)
+
+// Kernel-evaluation metrics. Gram cells are the paper's unit of kernel
+// cost (Section 2.2: learning sees only pairwise similarities); the
+// normalized-Gram cache-hit counter quantifies the self-similarity reuse
+// that NormalizedGram exists for. Hot loops accumulate locally and hit
+// the atomic once per worker chunk.
+var (
+	gramCells         = obs.GetCounter("kernel.gram_cells")
+	crossGramCells    = obs.GetCounter("kernel.crossgram_cells")
+	normGramCacheHits = obs.GetCounter("kernel.normgram_cache_hits")
 )
 
 // gramCutover is the matrix side length below which Gram construction
@@ -127,6 +139,7 @@ func Gram(k Kernel, x *linalg.Matrix) *linalg.Matrix {
 	n := x.Rows
 	g := linalg.NewMatrix(n, n)
 	parallel.ForN(n, gramCutover, func(lo, hi int) {
+		evals := int64(0)
 		for i := lo; i < hi; i++ {
 			xi := x.Row(i)
 			g.Set(i, i, k.Eval(xi, xi))
@@ -135,7 +148,9 @@ func Gram(k Kernel, x *linalg.Matrix) *linalg.Matrix {
 				g.Set(i, j, v)
 				g.Set(j, i, v)
 			}
+			evals += int64(n - i)
 		}
+		gramCells.Add(evals)
 	})
 	return g
 }
@@ -152,6 +167,7 @@ func CrossGram(k Kernel, a, b *linalg.Matrix) *linalg.Matrix {
 				g.Set(i, j, k.Eval(ai, b.Row(j)))
 			}
 		}
+		crossGramCells.Add(int64(hi-lo) * int64(b.Rows))
 	})
 	return g
 }
@@ -226,7 +242,11 @@ func NormalizedGram(k Kernel, x *linalg.Matrix) *linalg.Matrix {
 	})
 	g := linalg.NewMatrix(n, n)
 	parallel.ForN(n, gramCutover, func(lo, hi int) {
+		// Every entry reuses two cached self-similarities that
+		// Normalize.Eval would have recomputed from scratch.
+		hits := int64(0)
 		for i := lo; i < hi; i++ {
+			hits += 2 * int64(n-i)
 			xi := x.Row(i)
 			for j := i; j < n; j++ {
 				var v float64
@@ -241,6 +261,7 @@ func NormalizedGram(k Kernel, x *linalg.Matrix) *linalg.Matrix {
 				g.Set(j, i, v)
 			}
 		}
+		normGramCacheHits.Add(hits)
 	})
 	return g
 }

@@ -4,7 +4,16 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
+)
+
+// Spectrum-kernel metrics: total n-grams counted while building
+// histograms (the unit of tokenization cost) and sequence-Gram cells
+// evaluated. One atomic add per histogram build / per worker chunk.
+var (
+	spectrumNgrams = obs.GetCounter("kernel.spectrum_ngrams")
+	seqGramCells   = obs.GetCounter("kernel.seqgram_cells")
 )
 
 // SequenceKernel measures the similarity of two token sequences. It is the
@@ -44,6 +53,7 @@ func (s Spectrum) ngramCounts(a []string) map[string]float64 {
 		}
 		m[key]++
 	}
+	spectrumNgrams.Add(int64(len(a) - n + 1))
 	return m
 }
 
@@ -197,24 +207,30 @@ func SeqGram(k SequenceKernel, seqs [][]string) [][]float64 {
 			return sp.Counts(seqs[i])
 		})
 		parallel.ForN(n, gramCutover, func(lo, hi int) {
+			cells := int64(0)
 			for i := lo; i < hi; i++ {
 				for j := i; j < n; j++ {
 					v := sp.EvalCounts(counts[i], counts[j])
 					g[i][j] = v
 					g[j][i] = v
 				}
+				cells += int64(n - i)
 			}
+			seqGramCells.Add(cells)
 		})
 		return g
 	}
 	parallel.ForN(n, gramCutover, func(lo, hi int) {
+		cells := int64(0)
 		for i := lo; i < hi; i++ {
 			for j := i; j < n; j++ {
 				v := k.EvalSeq(seqs[i], seqs[j])
 				g[i][j] = v
 				g[j][i] = v
 			}
+			cells += int64(n - i)
 		}
+		seqGramCells.Add(cells)
 	})
 	return g
 }

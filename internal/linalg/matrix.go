@@ -11,7 +11,16 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
+)
+
+// Matmul metrics: calls through each entry point and cache tiles swept
+// by the blocked kernel. Block counts are added once per worker chunk.
+var (
+	mulCalls    = obs.GetCounter("linalg.mul_calls")
+	mulBlocks   = obs.GetCounter("linalg.mul_blocks")
+	mulVecCalls = obs.GetCounter("linalg.mulvec_calls")
 )
 
 // Cutovers for the parallel paths. Each routine runs the original serial
@@ -139,6 +148,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 	if m.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
+	mulCalls.Inc()
 	out := NewMatrix(m.Rows, b.Cols)
 	if m.Rows*m.Cols*b.Cols < mulParallelFlops || parallel.Workers() <= 1 {
 		m.mulSerialInto(b, out, 0, m.Rows)
@@ -171,6 +181,7 @@ func (m *Matrix) mulSerialInto(b, out *Matrix, lo, hi int) {
 // For every element out[i][j] the contributions mi[k]*b[k][j] are added in
 // strictly ascending k, exactly as in mulSerialInto.
 func (m *Matrix) mulBlockedInto(b, out *Matrix, lo, hi int) {
+	mulBlocks.Add(int64((b.Cols + mulJBlock - 1) / mulJBlock * ((m.Cols + mulKBlock - 1) / mulKBlock)))
 	for jb := 0; jb < b.Cols; jb += mulJBlock {
 		jEnd := jb + mulJBlock
 		if jEnd > b.Cols {
@@ -204,6 +215,7 @@ func (m *Matrix) MulVec(v []float64) []float64 {
 	if m.Cols != len(v) {
 		panic(fmt.Sprintf("linalg: MulVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
 	}
+	mulVecCalls.Inc()
 	out := make([]float64, m.Rows)
 	serial := func(lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Stage is the wall time of one named experiment stage in a manifest.
+type Stage struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Manifest is the machine-checkable record of one CLI run: what was run
+// (command, args, seed, workers), on what (Go version, VCS revision),
+// how long each stage took, and the full metric snapshot at exit. It is
+// the unit of comparison for performance claims — "faster" means a
+// manifest diff shows it.
+type Manifest struct {
+	Command     string    `json:"command"`
+	Args        []string  `json:"args"`
+	Seed        int64     `json:"seed"`
+	Workers     int       `json:"workers"`
+	GoVersion   string    `json:"go_version"`
+	Revision    string    `json:"revision"`
+	VCSModified bool      `json:"vcs_modified,omitempty"`
+	Start       time.Time `json:"start"`
+	WallSeconds float64   `json:"wall_seconds"`
+	Stages      []Stage   `json:"stages"`
+	Metrics     []Metric  `json:"metrics"`
+}
+
+// NewManifest starts a manifest for a run of command. Build metadata is
+// read from debug.ReadBuildInfo: binaries built inside a git checkout
+// carry their vcs.revision; `go test` binaries and out-of-tree builds
+// report "unknown".
+func NewManifest(command string, seed int64, workers int) *Manifest {
+	m := &Manifest{
+		Command:   command,
+		Args:      append([]string(nil), os.Args[1:]...),
+		Seed:      seed,
+		Workers:   workers,
+		GoVersion: runtime.Version(),
+		Revision:  "unknown",
+		Start:     time.Now(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.Revision = s.Value
+			case "vcs.modified":
+				m.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// AddStage appends a named stage timing.
+func (m *Manifest) AddStage(name string, d time.Duration) {
+	m.Stages = append(m.Stages, Stage{Name: name, Seconds: d.Seconds()})
+}
+
+// Finish stamps the total wall time and captures the metric snapshot.
+// Call it once, after the last stage.
+func (m *Manifest) Finish() {
+	m.WallSeconds = time.Since(m.Start).Seconds()
+	m.Metrics = Snapshot()
+}
+
+// Metric returns the named metric from the captured snapshot.
+func (m *Manifest) Metric(name string) (Metric, bool) {
+	for _, mm := range m.Metrics {
+		if mm.Name == name {
+			return mm, true
+		}
+	}
+	return Metric{}, false
+}
+
+// WriteFile writes the manifest as indented JSON to path.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	return nil
+}

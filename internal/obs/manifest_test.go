@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestManifestWriteAndReadBack(t *testing.T) {
+	withEnabled(t, true)
+	GetCounter("test.manifest_counter").Add(42)
+
+	m := NewManifest("testcmd", 7, 4)
+	m.AddStage("alpha", 1500*time.Millisecond)
+	m.AddStage("beta", 250*time.Millisecond)
+	m.Finish()
+
+	if m.GoVersion == "" {
+		t.Fatal("manifest missing go version")
+	}
+	if m.Revision == "" {
+		t.Fatal("manifest missing revision (want hash or \"unknown\")")
+	}
+	if len(m.Stages) != 2 || m.Stages[0].Name != "alpha" || m.Stages[0].Seconds != 1.5 {
+		t.Fatalf("stages = %+v", m.Stages)
+	}
+	if got, ok := m.Metric("test.manifest_counter"); !ok || got.Value != 42 {
+		t.Fatalf("metric lookup = %+v, %v", got, ok)
+	}
+	if _, ok := m.Metric("test.no_such_metric"); ok {
+		t.Fatal("lookup of unregistered metric succeeded")
+	}
+
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if back.Command != "testcmd" || back.Seed != 7 || back.Workers != 4 {
+		t.Fatalf("round trip lost header fields: %+v", back)
+	}
+	if len(back.Metrics) != len(m.Metrics) {
+		t.Fatalf("round trip lost metrics: %d vs %d", len(back.Metrics), len(m.Metrics))
+	}
+}
+
+func TestStartProfilesWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	tr := filepath.Join(dir, "trace.out")
+	stop, err := StartProfiles(cpu, mem, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to flush.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i % 7)
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem, tr} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// All-empty paths: no-op stop.
+	stop, err = StartProfiles("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

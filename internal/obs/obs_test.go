@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withEnabled runs the test body with collection forced on/off and the
+// previous state restored.
+func withEnabled(t *testing.T, on bool) {
+	t.Helper()
+	prev := SetEnabled(on)
+	t.Cleanup(func() { SetEnabled(prev) })
+}
+
+func TestCounterConcurrentHammer(t *testing.T) {
+	withEnabled(t, true)
+	c := GetCounter("test.hammer_counter")
+	c.v.Store(0)
+	const goroutines, perG = 16, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), int64(goroutines*perG); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+}
+
+func TestHistogramConcurrentHammer(t *testing.T) {
+	withEnabled(t, true)
+	h := GetHistogram("test.hammer_hist")
+	h.reset()
+	const goroutines, perG = 16, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(int64(g*perG + i))
+			}
+		}()
+	}
+	wg.Wait()
+	n := int64(goroutines * perG)
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	if want := n * (n - 1) / 2; h.Sum() != want {
+		t.Fatalf("sum = %d, want %d", h.Sum(), want)
+	}
+	if h.min.Load() != 0 || h.max.Load() != n-1 {
+		t.Fatalf("min/max = %d/%d, want 0/%d", h.min.Load(), h.max.Load(), n-1)
+	}
+	var inBuckets int64
+	for i := range h.buckets {
+		inBuckets += h.buckets[i].Load()
+	}
+	if inBuckets != n {
+		t.Fatalf("bucket total = %d, want %d", inBuckets, n)
+	}
+}
+
+func TestGaugeSetMaxConcurrent(t *testing.T) {
+	withEnabled(t, true)
+	g := GetGauge("test.hammer_gauge")
+	g.v.Store(0)
+	var wg sync.WaitGroup
+	for w := 1; w <= 32; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.SetMax(int64(w))
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 32 {
+		t.Fatalf("gauge high-water = %d, want 32", g.Value())
+	}
+}
+
+func TestKillSwitchNoOp(t *testing.T) {
+	withEnabled(t, false)
+	c := GetCounter("test.killswitch_counter")
+	c.v.Store(0)
+	g := GetGauge("test.killswitch_gauge")
+	g.v.Store(0)
+	h := GetHistogram("test.killswitch_hist")
+	h.reset()
+
+	c.Add(5)
+	c.Inc()
+	g.Set(9)
+	g.Add(3)
+	g.SetMax(7)
+	h.Observe(123)
+	tm := h.Start()
+	if d := tm.Stop(); d != 0 {
+		t.Fatalf("disabled timer returned %v, want 0", d)
+	}
+
+	if c.Value() != 0 {
+		t.Fatalf("disabled counter advanced to %d", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("disabled gauge moved to %d", g.Value())
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("disabled histogram recorded count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	withEnabled(t, true)
+	GetCounter("test.snap_b").Add(2)
+	GetCounter("test.snap_a").Add(1)
+	GetHistogram("test.snap_h").Observe(100)
+
+	j1, err := SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("snapshots of identical state differ:\n%s\nvs\n%s", j1, j2)
+	}
+
+	snap := Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not strictly sorted: %q before %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+
+	// The snapshot must survive a JSON round trip unchanged.
+	var back []Metric
+	if err := json.Unmarshal(j1, &back); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := json.MarshalIndent(back, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j3) {
+		t.Fatalf("snapshot JSON not round-trip stable")
+	}
+}
+
+func TestScopeAndTimer(t *testing.T) {
+	withEnabled(t, true)
+	s := Scope("test.scope")
+	if got := s.Counter("c").Name(); got != "test.scope.c" {
+		t.Fatalf("scoped counter name = %q", got)
+	}
+	if s.Counter("c") != GetCounter("test.scope.c") {
+		t.Fatal("scoped counter is not the registered instance")
+	}
+	h := s.Histogram("t_ns")
+	h.reset()
+	tm := h.Start()
+	time.Sleep(time.Millisecond)
+	if d := tm.Stop(); d <= 0 {
+		t.Fatalf("timer measured %v", d)
+	}
+	if h.Count() != 1 || h.Sum() <= 0 {
+		t.Fatalf("timer histogram count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind collision")
+		}
+	}()
+	GetCounter("test.collide")
+	GetGauge("test.collide")
+}
+
+func TestBucketEdges(t *testing.T) {
+	if bucketIdx(-5) != 0 || bucketIdx(0) != 0 {
+		t.Fatal("nonpositive values must land in bucket 0")
+	}
+	if bucketIdx(1) != 1 || bucketIdx(2) != 2 || bucketIdx(3) != 2 || bucketIdx(4) != 3 {
+		t.Fatal("small-value bucket mapping wrong")
+	}
+	if BucketUpper(0) != 0 || BucketUpper(1) != 1 || BucketUpper(2) != 3 {
+		t.Fatal("bucket upper bounds wrong")
+	}
+	if BucketUpper(64) != math.MaxInt64 {
+		t.Fatal("top bucket must saturate at MaxInt64")
+	}
+	h := GetHistogram("test.bucket_edges")
+	withEnabled(t, true)
+	h.reset()
+	h.Observe(math.MaxInt64)
+	h.Observe(math.MinInt64)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestResetMetrics(t *testing.T) {
+	withEnabled(t, true)
+	c := GetCounter("test.reset_counter")
+	h := GetHistogram("test.reset_hist")
+	c.Add(7)
+	h.Observe(7)
+	ResetMetrics()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("ResetMetrics left state behind")
+	}
+	snap := Snapshot()
+	found := false
+	for _, m := range snap {
+		if m.Name == "test.reset_counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ResetMetrics dropped registrations")
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	defer SetEnabled(SetEnabled(true))
+	c := GetCounter("bench.counter")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	defer SetEnabled(SetEnabled(false))
+	c := GetCounter("bench.counter")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	defer SetEnabled(SetEnabled(true))
+	h := GetHistogram("bench.hist")
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			i++
+			h.Observe(i)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartProfiles enables the standard-library profilers for the paths
+// that are non-empty: a CPU profile (runtime/pprof), a heap profile
+// written at stop time, and an execution trace (runtime/trace). It
+// returns a stop function that flushes and closes everything; callers
+// must invoke it before exiting (CPU profiles and traces are empty
+// otherwise). Any error during setup undoes the profilers already
+// started.
+func StartProfiles(cpuPath, memPath, tracePath string) (stop func() error, err error) {
+	var stops []func() error
+	undo := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]() //nolint:errcheck — best-effort cleanup on the error path
+		}
+	}
+
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			undo()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			undo()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			undo()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			undo()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+
+	if memPath != "" {
+		stops = append(stops, func() error {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("obs: heap profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("obs: heap profile: %w", err)
+			}
+			return nil
+		})
+	}
+
+	return func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Bucket is one non-empty power-of-two histogram bucket in a snapshot:
+// N observations were <= Le (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// Metric is the snapshot of one registered metric. Value carries
+// counters and gauges; Count/Sum/Min/Max/Mean/Buckets carry histograms.
+type Metric struct {
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"` // "counter", "gauge", or "histogram"
+	Value   int64    `json:"value,omitempty"`
+	Count   int64    `json:"count,omitempty"`
+	Sum     int64    `json:"sum,omitempty"`
+	Min     int64    `json:"min,omitempty"`
+	Max     int64    `json:"max,omitempty"`
+	Mean    float64  `json:"mean,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every registered metric sorted by name. The ordering
+// and field layout are deterministic, so two snapshots of identical
+// metric states marshal to identical JSON — CI diffs manifests across
+// runs and must not see spurious churn.
+func Snapshot() []Metric {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]Metric, 0, len(registry.counters)+len(registry.gauges)+len(registry.hists))
+	for name, c := range registry.counters {
+		out = append(out, Metric{Name: name, Kind: "counter", Value: c.Value()})
+	}
+	for name, g := range registry.gauges {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range registry.hists {
+		m := Metric{Name: name, Kind: "histogram", Count: h.Count(), Sum: h.Sum()}
+		if m.Count > 0 {
+			m.Min = h.min.Load()
+			m.Max = h.max.Load()
+			m.Mean = float64(m.Sum) / float64(m.Count)
+			for b := 0; b < numBuckets; b++ {
+				if n := h.buckets[b].Load(); n > 0 {
+					m.Buckets = append(m.Buckets, Bucket{Le: BucketUpper(b), N: n})
+				}
+			}
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SnapshotJSON returns the snapshot as indented JSON with stable key
+// order (struct order) and stable metric order (sorted names).
+func SnapshotJSON() ([]byte, error) {
+	return json.MarshalIndent(Snapshot(), "", "  ")
+}
+
+// ResetMetrics zeroes every registered metric, keeping registrations.
+// Tests and per-run tools call it so successive runs in one process
+// start from a clean slate.
+func ResetMetrics() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, c := range registry.counters {
+		c.v.Store(0)
+	}
+	for _, g := range registry.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range registry.hists {
+		h.reset()
+	}
+}

@@ -26,6 +26,20 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Pool metrics (see README "Observability & CI"): how often loops stay
+// serial vs fan out, how many chunks the pool executes, and the
+// configured width of the last parallel launch. Counters are updated
+// once per loop or per chunk, never per index.
+var (
+	forSerialRuns   = obs.GetCounter("parallel.for_serial")
+	forParallelRuns = obs.GetCounter("parallel.for_parallel")
+	chunksExecuted  = obs.GetCounter("parallel.chunks")
+	workersGauge    = obs.GetGauge("parallel.workers")
+	occupancyGauge  = obs.GetGauge("parallel.max_occupancy")
 )
 
 // workerCount is the configured worker count, always >= 1.
@@ -95,12 +109,16 @@ func ForN(n, minN int, fn func(lo, hi int)) {
 		minN = 1
 	}
 	if w <= 1 || n < minN {
+		forSerialRuns.Inc()
 		fn(0, n)
 		return
 	}
 	if w > n {
 		w = n
 	}
+	forParallelRuns.Inc()
+	workersGauge.Set(int64(w))
+	occupancyGauge.SetMax(int64(w))
 	grain := n / (w * 8)
 	if grain < 1 {
 		grain = 1
@@ -125,15 +143,18 @@ func ForN(n, minN int, fn func(lo, hi int)) {
 					mu.Unlock()
 				}
 			}()
+			chunks := int64(0)
 			for {
 				hi := int(next.Add(int64(grain)))
 				lo := hi - grain
 				if lo >= n {
+					chunksExecuted.Add(chunks)
 					return
 				}
 				if hi > n {
 					hi = n
 				}
+				chunks++
 				fn(lo, hi)
 			}
 		}()

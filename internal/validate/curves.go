@@ -4,7 +4,19 @@ import (
 	"math/rand"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/parallel"
+)
+
+// Cross-validation metrics: CV sweeps started, folds fitted (the CV
+// fan-out the pool absorbs), per-fold wall time, and complexity-curve
+// points evaluated. Fold timing is coarse (one clock pair per fold), so
+// it cannot perturb the fold results it measures.
+var (
+	cvRuns      = obs.GetCounter("validate.cv_runs")
+	cvFolds     = obs.GetCounter("validate.folds")
+	cvFoldTime  = obs.GetHistogram("validate.fold_ns")
+	curvePoints = obs.GetCounter("validate.curve_points")
 )
 
 // Trainer fits a model of a given complexity on a training set and returns
@@ -28,6 +40,7 @@ func ComplexityCurve(train, valid *dataset.Dataset, complexities []int,
 	trainer Trainer, loss func(pred, truth []float64) float64) ([]CurvePoint, error) {
 
 	out := make([]CurvePoint, 0, len(complexities))
+	curvePoints.Add(int64(len(complexities)))
 	for _, c := range complexities {
 		tp, vp, err := trainer(c, train, valid)
 		if err != nil {
@@ -94,19 +107,24 @@ type FitPredictor func(train *dataset.Dataset, eval *dataset.Dataset) ([]float64
 func CrossValidate(rng *rand.Rand, d *dataset.Dataset, k int,
 	fp FitPredictor, loss func(pred, truth []float64) float64) ([]float64, error) {
 
+	cvRuns.Inc()
 	trainIdx, testIdx := dataset.KFold(rng, d.Len(), k)
 	losses := make([]float64, k)
 	errs := make([]error, k)
 	parallel.ForN(k, 2, func(lo, hi int) {
 		for f := lo; f < hi; f++ {
+			cvFolds.Inc()
+			t := cvFoldTime.Start()
 			tr := d.Subset(trainIdx[f])
 			te := d.Subset(testIdx[f])
 			pred, err := fp(tr, te)
 			if err != nil {
 				errs[f] = err
+				t.Stop()
 				continue
 			}
 			losses[f] = loss(pred, te.Y)
+			t.Stop()
 		}
 	})
 	for _, err := range errs {
@@ -139,21 +157,26 @@ func foldSeed(seed int64, f int) int64 {
 func CrossValidateSeeded(seed int64, d *dataset.Dataset, k int,
 	fp SeededFitPredictor, loss func(pred, truth []float64) float64) ([]float64, error) {
 
+	cvRuns.Inc()
 	rng := rand.New(rand.NewSource(seed))
 	trainIdx, testIdx := dataset.KFold(rng, d.Len(), k)
 	losses := make([]float64, k)
 	errs := make([]error, k)
 	parallel.ForN(k, 2, func(lo, hi int) {
 		for f := lo; f < hi; f++ {
+			cvFolds.Inc()
+			t := cvFoldTime.Start()
 			foldRng := rand.New(rand.NewSource(foldSeed(seed, f)))
 			tr := d.Subset(trainIdx[f])
 			te := d.Subset(testIdx[f])
 			pred, err := fp(foldRng, tr, te)
 			if err != nil {
 				errs[f] = err
+				t.Stop()
 				continue
 			}
 			losses[f] = loss(pred, te.Y)
+			t.Stop()
 		}
 	})
 	for _, err := range errs {

@@ -1,0 +1,97 @@
+package repro_test
+
+// Acceptance tests for the observability layer's run manifests: the
+// manifest `edamine -manifest` writes must round-trip through
+// encoding/json and carry the Figure 7 economics — simulated cycles
+// (isa.cycles_simulated) and the cycles the novelty filter saved
+// (testsel.cycles_saved) — as first-class metrics, alongside per-stage
+// wall times.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/apps/testsel"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+func TestManifestRoundTripCarriesFig7Metrics(t *testing.T) {
+	defer obs.SetEnabled(obs.SetEnabled(true))
+	obs.ResetMetrics()
+
+	// The same sequence cmd/edamine runs for `edamine fig7 -manifest`:
+	// start a manifest, run the experiment, record the stage, finish.
+	man := obs.NewManifest("edamine", 3, parallel.Workers())
+	start := time.Now()
+	res, err := repro.Fig7(testsel.Config{Seed: 3, MaxTests: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.AddStage("fig7", time.Since(start))
+	man.Finish()
+
+	// Round trip through encoding/json.
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back obs.Manifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("manifest does not round-trip: %v", err)
+	}
+	data2, err := json.MarshalIndent(&back, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("manifest JSON unstable across a round trip:\n%s\nvs\n%s", data, data2)
+	}
+
+	// Header and stage timings.
+	if back.Command != "edamine" || back.Seed != 3 {
+		t.Fatalf("manifest header wrong: %+v", back)
+	}
+	if len(back.Stages) != 1 || back.Stages[0].Name != "fig7" || back.Stages[0].Seconds <= 0 {
+		t.Fatalf("manifest stages wrong: %+v", back.Stages)
+	}
+	if back.GoVersion == "" || back.Revision == "" {
+		t.Fatalf("manifest build info missing: %+v", back)
+	}
+
+	// The Figure 7 economics must be first-class metrics.
+	cycles, ok := back.Metric("isa.cycles_simulated")
+	if !ok || cycles.Value <= 0 {
+		t.Fatalf("isa.cycles_simulated missing or zero: %+v (ok=%v)", cycles, ok)
+	}
+	saved, ok := back.Metric("testsel.cycles_saved")
+	if !ok {
+		t.Fatal("testsel.cycles_saved missing from manifest")
+	}
+	if want := res.BaselineCycles - res.SelectedCycles; saved.Value != want {
+		t.Fatalf("testsel.cycles_saved = %d, want BaselineCycles-SelectedCycles = %d",
+			saved.Value, want)
+	}
+	if len(back.Metrics) < 15 {
+		t.Fatalf("manifest has %d metrics, want >= 15", len(back.Metrics))
+	}
+
+	// The run drove the simulator, kernels, and pool, so their core
+	// counters must be live, not just registered.
+	for _, name := range []string{
+		"isa.programs_simulated",
+		"isa.instructions_simulated",
+		"isa.programs_generated",
+		"testsel.tests_examined",
+		"testsel.tests_simulated",
+		"kernel.spectrum_ngrams",
+	} {
+		m, ok := back.Metric(name)
+		if !ok || m.Value <= 0 {
+			t.Errorf("metric %s missing or zero after a fig7 run: %+v (ok=%v)", name, m, ok)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI benchmark-regression harness: run every benchmark once at the small
+# -short sizes, convert the output to BENCH_ci.json, and upload-friendly
+# raw text to BENCH_ci.txt. The job exists to catch builds/panics in the
+# benchmark harnesses and to archive a per-commit cost trend; it does NOT
+# gate on timings (CI machines are too noisy for that), so the script
+# fails only if `go test` itself fails.
+#
+# Set GO to use a specific toolchain, e.g. `GO=go1.22.12 ./scripts/bench.sh`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+OUT_JSON="${BENCH_OUT:-BENCH_ci.json}"
+OUT_TXT="${OUT_JSON%.json}.txt"
+
+echo "== go test -short -bench=. =="
+"$GO" test -short -run='^$' -bench=. -benchmem -benchtime=1x -count=1 ./... | tee "$OUT_TXT"
+
+awk '
+/^Benchmark/ {
+	name = $1; iters = $2; ns = $3
+	bytes = "null"; allocs = "null"
+	for (i = 4; i <= NF; i++) {
+		if ($i == "B/op") bytes = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+	}
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+		name, iters, ns, bytes, allocs
+}
+BEGIN { printf "[\n" }
+END { if (n) printf "\n"; printf "]\n" }
+' "$OUT_TXT" > "$OUT_JSON"
+
+echo "bench: wrote $OUT_JSON ($(grep -c '"name"' "$OUT_JSON" || true) benchmarks)"

@@ -1,18 +1,31 @@
-#!/usr/bin/env sh
-# Full correctness gate: vet, build, and the complete test suite under the
-# race detector. The parallel compute layer (internal/parallel and its
-# users) must stay race-clean; run this before every commit that touches a
-# concurrent path.
-set -eu
+#!/usr/bin/env bash
+# Full correctness gate: format check, vet, build, and the complete test
+# suite under the race detector. The parallel compute layer
+# (internal/parallel and its users) and the observability layer
+# (internal/obs) must stay race-clean; run this before every commit that
+# touches a concurrent path. CI runs it as the `race` job.
+#
+# Set GO to use a specific toolchain, e.g. `GO=go1.22.12 ./scripts/check.sh`.
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
+GO="${GO:-go}"
+
+echo "== gofmt =="
+fmt_out="$(gofmt -l .)"
+if [ -n "$fmt_out" ]; then
+	echo "gofmt: these files need formatting:" >&2
+	echo "$fmt_out" >&2
+	exit 1
+fi
+
 echo "== go vet =="
-go vet ./...
+"$GO" vet ./...
 
 echo "== go build =="
-go build ./...
+"$GO" build ./...
 
 echo "== go test -race =="
-go test -race ./...
+"$GO" test -race ./...
 
 echo "check: OK"
