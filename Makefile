@@ -2,7 +2,7 @@
 # plus the full suite under the race detector (see scripts/check.sh).
 # `make ci` is everything the GitHub workflow runs, locally.
 
-.PHONY: build test check bench ci
+.PHONY: build test check bench smoke ci
 
 build:
 	go build ./...
@@ -18,8 +18,14 @@ check:
 bench:
 	go test -bench=. -benchmem -run='^$$' ./...
 
-# The full CI pipeline locally: the race-clean correctness gate, then the
-# short benchmark sweep that writes BENCH_ci.json.
+# Serving lifecycle end to end: train + save artifacts, boot edaserved,
+# predict over HTTP, graceful SIGTERM exit (see scripts/serve_smoke.sh).
+smoke:
+	./scripts/serve_smoke.sh
+
+# The full CI pipeline locally: the race-clean correctness gate, the
+# short benchmark sweep that writes BENCH_ci.json, and the serving smoke.
 ci:
 	./scripts/check.sh
 	./scripts/bench.sh
+	./scripts/serve_smoke.sh

@@ -5,10 +5,16 @@
 // Usage:
 //
 //	edamine [-seed N] [-quick] [-manifest out.json] [-cpuprofile f]
-//	        [-memprofile f] [-trace f] <experiment>
+//	        [-memprofile f] [-trace f] [-save-model dir] [-load-model dir]
+//	        <experiment>
 //
 // Experiments: fig3, fig5, fig7, table1, fig9, fig10, fig11, fig12, sec2,
-// or "all".
+// models, or "all".
+//
+// The "models" experiment trains one model of every persistable kind
+// (see internal/model): with -save-model DIR it writes versioned
+// artifacts that cmd/edaserved can serve, with -load-model DIR it reads
+// artifacts back and verifies bit-identical predictions.
 //
 // With -manifest, a machine-checkable run manifest (seed, workers, build
 // revision, per-stage wall times, and the full metric snapshot — see
@@ -25,6 +31,7 @@ import (
 
 	"repro/internal/apps/costred"
 	"repro/internal/apps/dstc"
+	"repro/internal/apps/modelzoo"
 	"repro/internal/apps/patterns"
 	"repro/internal/apps/returns"
 	"repro/internal/apps/survey"
@@ -43,6 +50,9 @@ var (
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	traceOut   = flag.String("trace", "", "write a runtime/trace execution trace to this file")
+	saveModel  = flag.String("save-model", "", "write versioned model artifacts from the 'models' experiment to this directory")
+	loadModel  = flag.String("load-model", "", "load model artifacts for the 'models' experiment from this directory and verify them")
+	version    = flag.Bool("version", false, "print the build revision and exit")
 )
 
 type experiment struct {
@@ -93,6 +103,12 @@ func experiments() []experiment {
 		{"assoc", "Section 2.4 — association rules on failing-chip patterns", func() (fmt.Stringer, error) {
 			return patterns.Run(patterns.Config{Seed: *seed, Chips: scale(60000, 200000)})
 		}},
+		{"models", "Model persistence — train, round-trip, and verify every servable model kind", func() (fmt.Stringer, error) {
+			return modelzoo.Run(modelzoo.Config{
+				Seed: *seed, SaveDir: *saveModel, LoadDir: *loadModel,
+				ManifestRef: *manifest, Train: scale(80, 160), Probes: scale(32, 64),
+			})
+		}},
 	}
 }
 
@@ -104,6 +120,14 @@ func main() {
 		}
 	}
 	flag.Parse()
+	if *version {
+		rev, modified := obs.BuildRevision()
+		if modified {
+			rev += "-dirty"
+		}
+		fmt.Printf("edamine %s\n", rev)
+		return
+	}
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}

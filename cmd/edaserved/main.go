@@ -1,0 +1,166 @@
+// Command edaserved serves predictions from versioned model artifacts
+// (see internal/model) over HTTP with micro-batching, kernel-row
+// caching, bounded in-flight concurrency, and graceful drain (see
+// internal/serve).
+//
+// Usage:
+//
+//	edaserved [-addr :8080] [-model file]... [-model-dir dir]
+//	          [-max-batch N] [-max-wait d] [-max-inflight N]
+//	          [-cache-rows N] [-workers N] [-drain-timeout d]
+//
+// Train artifacts with `edamine -save-model DIR models`, then:
+//
+//	edaserved -model-dir DIR
+//	curl -s localhost:8080/readyz
+//	curl -s -X POST localhost:8080/predict/zoo-ridge \
+//	     -d '{"instances": [[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]]}'
+//
+// On SIGTERM/SIGINT the server flips /readyz to 503, finishes in-flight
+// requests within -drain-timeout, drains the batch queues, and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/serve"
+)
+
+// modelList collects repeated -model flags.
+type modelList []string
+
+func (m *modelList) String() string     { return strings.Join(*m, ",") }
+func (m *modelList) Set(v string) error { *m = append(*m, v); return nil }
+
+var (
+	addr         = flag.String("addr", ":8080", "listen address")
+	modelDir     = flag.String("model-dir", "", "load every *.model.json artifact in this directory at boot")
+	maxBatch     = flag.Int("max-batch", 16, "micro-batch size cap per model (1 disables batching)")
+	maxWait      = flag.Duration("max-wait", 2*time.Millisecond, "how long an incomplete batch waits for more requests")
+	maxInflight  = flag.Int("max-inflight", 256, "concurrent predict requests before 429 backpressure")
+	cacheRows    = flag.Int("cache-rows", 1024, "kernel-row LRU capacity per kernel model (0 disables)")
+	workers      = flag.Int("workers", 0, "worker goroutines for the compute pool (0 = REPRO_WORKERS env or GOMAXPROCS)")
+	drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "deadline for in-flight requests during shutdown")
+	version      = flag.Bool("version", false, "print the build revision and exit")
+)
+
+func main() {
+	var models modelList
+	flag.Var(&models, "model", "artifact file to load at boot; repeatable, optionally NAME=PATH")
+	flag.Parse()
+	if *version {
+		rev, modified := obs.BuildRevision()
+		if modified {
+			rev += "-dirty"
+		}
+		fmt.Printf("edaserved %s\n", rev)
+		return
+	}
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
+
+	srv := serve.New(serve.Config{
+		MaxBatch:    *maxBatch,
+		MaxWait:     *maxWait,
+		MaxInFlight: *maxInflight,
+		CacheRows:   *cacheRows,
+	})
+	defer srv.Close()
+
+	if err := loadModels(srv, models, *modelDir); err != nil {
+		fatal(err)
+	}
+	if names := srv.Models(); len(names) > 0 {
+		fmt.Printf("edaserved: serving %d model(s): %s\n", len(names), strings.Join(names, ", "))
+	} else {
+		fmt.Println("edaserved: no models loaded; /readyz stays 503 until POST /models/load")
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Graceful drain: first signal flips readiness and stops accepting;
+	// in-flight requests get -drain-timeout to finish.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("edaserved: listening on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("edaserved: draining...")
+	srv.StartDraining()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "edaserved: drain deadline exceeded:", err)
+		httpSrv.Close() //nolint:errcheck — already exiting
+	}
+	srv.Close()
+	fmt.Println("edaserved: drained, exiting")
+}
+
+// loadModels registers every -model flag and every artifact in -model-dir.
+func loadModels(srv *serve.Server, models modelList, dir string) error {
+	for _, spec := range models {
+		name, path := "", spec
+		if i := strings.IndexByte(spec, '='); i >= 0 {
+			name, path = spec[:i], spec[i+1:]
+		}
+		a, err := srv.LoadFile(path, name)
+		if err != nil {
+			return err
+		}
+		if name == "" {
+			name = a.Envelope.Name
+		}
+		fmt.Printf("edaserved: loaded %s (%s) from %s\n", name, a.Envelope.Kind, path)
+	}
+	if dir == "" {
+		return nil
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.model.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 && len(models) == 0 {
+		return errors.New("edaserved: no artifacts found in " + dir)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		a, err := srv.LoadFile(path, "")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("edaserved: loaded %s (%s) from %s\n", a.Envelope.Name, a.Envelope.Kind, path)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "edaserved:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,288 @@
+// Package modelzoo is the model-persistence experiment behind
+// `edamine -save-model` / `-load-model`: it trains one model of every
+// persistable kind (see internal/model) on deterministic synthetic
+// substrates, scores a fixed probe set, and round-trips the models
+// through the versioned artifact format.
+//
+// In save mode the trained artifacts are written to disk — the
+// training half of the paper's durable-model loop (Section 5: a
+// learned model pays off when it outlives the run that trained it).
+// In load mode the artifacts are read back and re-scored, and the
+// result reports whether every loaded model reproduces the freshly
+// trained model's probe predictions bit for bit — the consuming half,
+// and the in-process twin of what cmd/edaserved does over HTTP.
+package modelzoo
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/gp"
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+	"repro/internal/linear"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/rules"
+	"repro/internal/svm"
+	"repro/internal/tree"
+)
+
+var (
+	zooTrained = obs.GetCounter("modelzoo.models_trained")
+	zooSaved   = obs.GetCounter("modelzoo.models_saved")
+	zooLoaded  = obs.GetCounter("modelzoo.models_loaded")
+)
+
+// Config controls the experiment.
+type Config struct {
+	Seed        int64
+	SaveDir     string // when set, write one artifact per kind here
+	LoadDir     string // when set, read artifacts back and verify them
+	ManifestRef string // recorded in each artifact's envelope
+	Train       int    // training samples per model, default 160
+	Probes      int    // probe samples per model, default 64
+}
+
+func (c *Config) defaults() {
+	if c.Train <= 0 {
+		c.Train = 160
+	}
+	if c.Probes <= 0 {
+		c.Probes = 64
+	}
+}
+
+// ModelReport is the per-kind outcome.
+type ModelReport struct {
+	Kind     model.Kind
+	File     string // artifact path (save/load mode)
+	Checksum string // payload SHA-256
+	Probes   int
+	// BitIdentical reports whether the artifact-round-tripped model
+	// scored every probe bit-identically to the in-memory trained model.
+	BitIdentical bool
+}
+
+// Result is the experiment outcome.
+type Result struct {
+	Seed    int64
+	Models  []ModelReport
+	SaveDir string
+	LoadDir string
+}
+
+// ArtifactFile returns the conventional artifact filename for a kind.
+func ArtifactFile(dir string, kind model.Kind) string {
+	return filepath.Join(dir, string(kind)+".model.json")
+}
+
+// Trained couples a fitted model with its probe matrix and the
+// in-process predictions the round-tripped model must reproduce. The
+// serve end-to-end tests reuse it to compare HTTP predictions against
+// the in-process reference.
+type Trained struct {
+	Kind   model.Kind
+	Model  any
+	Probes *linalg.Matrix
+	Want   []float64
+}
+
+// TrainAll fits one model per persistable kind on substrates derived
+// deterministically from seed, and scores each model's probe set
+// in-process (one sample at a time — the reference the batch and HTTP
+// paths must match).
+func TrainAll(seed int64, nTrain, nProbes int) ([]Trained, error) {
+	var out []Trained
+
+	// SVC: two-Gaussian binary classification, RBF kernel.
+	{
+		rng := rand.New(rand.NewSource(seed + 101))
+		d := dataset.TwoGaussians(rng, nTrain, 4, 2.5, 1.0)
+		k := kernel.RBF{Gamma: 0.5}
+		m, err := svm.FitSVC(d, k, svm.SVCConfig{C: 1, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("modelzoo: svc: %w", err)
+		}
+		probes := dataset.TwoGaussians(rng, nProbes, 4, 2.5, 1.0).X
+		out = append(out, Trained{model.KindSVC, m, probes, scoreRows(probes, m.Predict)})
+	}
+
+	// One-class SVM: novelty detection over a single cluster.
+	{
+		rng := rand.New(rand.NewSource(seed + 202))
+		d := dataset.Blobs(rng, 1, nTrain, 3, 0, 1.0)
+		k := kernel.RBF{Gamma: 0.3}
+		m, err := svm.FitOneClass(d.X, k, svm.OneClassConfig{Nu: 0.1})
+		if err != nil {
+			return nil, fmt.Errorf("modelzoo: oneclass: %w", err)
+		}
+		probes := dataset.Blobs(rng, 1, nProbes, 3, 0, 2.0).X
+		out = append(out, Trained{model.KindOneClass, m, probes, scoreRows(probes, m.Decision)})
+	}
+
+	// Ridge: Friedman #1 regression surface.
+	{
+		rng := rand.New(rand.NewSource(seed + 303))
+		d := dataset.Friedman1(rng, nTrain, 8, 0.5)
+		m, err := linear.FitRidge(d, 1.0)
+		if err != nil {
+			return nil, fmt.Errorf("modelzoo: ridge: %w", err)
+		}
+		probes := dataset.Friedman1(rng, nProbes, 8, 0.5).X
+		out = append(out, Trained{model.KindRidge, m, probes, scoreRows(probes, m.Predict)})
+	}
+
+	// GP: noisy sine, RBF covariance. Smaller n — the fit is O(n³).
+	{
+		rng := rand.New(rand.NewSource(seed + 404))
+		nGP := nTrain / 2
+		if nGP < 16 {
+			nGP = 16
+		}
+		d := dataset.NoisySine(rng, nGP, 0.15)
+		m, err := gp.Fit(d, gp.Config{Kernel: kernel.RBF{Gamma: 2.0}, Noise: 0.05})
+		if err != nil {
+			return nil, fmt.Errorf("modelzoo: gp: %w", err)
+		}
+		probes := dataset.NoisySine(rng, nProbes, 0.15).X
+		out = append(out, Trained{model.KindGP, m, probes, scoreRows(probes, m.Predict)})
+	}
+
+	// Decision tree: XOR — linearly inseparable, trees split it cleanly.
+	{
+		rng := rand.New(rand.NewSource(seed + 505))
+		d := dataset.XOR(rng, nTrain/4, 0.35)
+		m, err := tree.Fit(d, tree.Config{MaxDepth: 6, MinLeaf: 2})
+		if err != nil {
+			return nil, fmt.Errorf("modelzoo: tree: %w", err)
+		}
+		probes := dataset.XOR(rng, nProbes/4+1, 0.35).X
+		out = append(out, Trained{model.KindTree, m, probes, scoreRows(probes, m.Predict)})
+	}
+
+	// CN2-SD rule set: subgroups of the positive Gaussian.
+	{
+		rng := rand.New(rand.NewSource(seed + 606))
+		d := dataset.TwoGaussians(rng, nTrain, 3, 3.0, 1.0)
+		rs, err := rules.CN2SD(d, 1, rules.CN2SDConfig{MaxRules: 4, MaxConditions: 2})
+		if err != nil {
+			return nil, fmt.Errorf("modelzoo: ruleset: %w", err)
+		}
+		m := &rules.RuleSet{Rules: rs, Target: 1, Default: 0}
+		probes := dataset.TwoGaussians(rng, nProbes, 3, 3.0, 1.0).X
+		out = append(out, Trained{model.KindRuleSet, m, probes, scoreRows(probes, m.Predict)})
+	}
+
+	zooTrained.Add(int64(len(out)))
+	return out, nil
+}
+
+func scoreRows(x *linalg.Matrix, f func([]float64) float64) []float64 {
+	out := make([]float64, x.Rows)
+	for i := range out {
+		out[i] = f(x.Row(i))
+	}
+	return out
+}
+
+// Run executes the experiment (see the package comment).
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	models, err := TrainAll(cfg.Seed, cfg.Train, cfg.Probes)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Seed: cfg.Seed, SaveDir: cfg.SaveDir, LoadDir: cfg.LoadDir}
+	for _, t := range models {
+		rep := ModelReport{Kind: t.Kind, Probes: t.Probes.Rows}
+		meta := model.Meta{Name: "zoo-" + string(t.Kind), Seed: cfg.Seed, ManifestRef: cfg.ManifestRef}
+
+		var art *model.Artifact
+		switch {
+		case cfg.SaveDir != "":
+			rep.File = ArtifactFile(cfg.SaveDir, t.Kind)
+			if art, err = model.Save(rep.File, t.Model, meta); err != nil {
+				return nil, err
+			}
+			zooSaved.Inc()
+			// Verify the file that was just written, not the in-memory copy.
+			if art, err = model.Load(rep.File); err != nil {
+				return nil, err
+			}
+		case cfg.LoadDir != "":
+			rep.File = ArtifactFile(cfg.LoadDir, t.Kind)
+			if art, err = model.Load(rep.File); err != nil {
+				return nil, err
+			}
+			zooLoaded.Inc()
+		default:
+			// Pure round-trip through bytes, no disk.
+			if art, err = model.Encode(t.Model, meta); err != nil {
+				return nil, err
+			}
+			data, merr := art.Marshal()
+			if merr != nil {
+				return nil, merr
+			}
+			if art, err = model.Decode(data); err != nil {
+				return nil, err
+			}
+		}
+		rep.Checksum = art.Envelope.Checksum
+
+		scorer, err := art.Scorer()
+		if err != nil {
+			return nil, err
+		}
+		got := make([]float64, t.Probes.Rows)
+		for i := range got {
+			got[i] = scorer.ScoreRow(t.Probes.Row(i))
+		}
+		rep.BitIdentical = equalBits(got, t.Want)
+		res.Models = append(res.Models, rep)
+	}
+	return res, nil
+}
+
+func equalBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the experiment report.
+func (r *Result) String() string {
+	var b strings.Builder
+	mode := "round-trip (in-memory)"
+	switch {
+	case r.SaveDir != "":
+		mode = "save to " + r.SaveDir
+	case r.LoadDir != "":
+		mode = "load from " + r.LoadDir
+	}
+	fmt.Fprintf(&b, "model persistence (seed=%d, %s)\n", r.Seed, mode)
+	fmt.Fprintf(&b, "%-10s %-10s %-8s %s\n", "kind", "probes", "exact", "payload_sha256")
+	ok := true
+	for _, m := range r.Models {
+		fmt.Fprintf(&b, "%-10s %-10d %-8v %s\n", m.Kind, m.Probes, m.BitIdentical, m.Checksum[:16])
+		if !m.BitIdentical {
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Fprintf(&b, "all %d kinds round-trip bit-identically\n", len(r.Models))
+	} else {
+		fmt.Fprintf(&b, "ERROR: some kinds did not round-trip bit-identically\n")
+	}
+	return b.String()
+}

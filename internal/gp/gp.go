@@ -65,10 +65,44 @@ func Fit(d *dataset.Dataset, cfg Config) (*Regressor, error) {
 	return &Regressor{K: k, X: d.X.Clone(), alpha: alpha, chol: l, mean: mean, noise: noise}, nil
 }
 
+// Restore rebuilds a fitted Regressor from its persisted components (see
+// internal/model): the kernel, training inputs, weight vector
+// alpha = (K + σ²I)⁻¹ (y − mean), Cholesky factor of K + σ²I, prior
+// mean, and observation noise. The arguments are retained, not copied.
+func Restore(k kernel.Kernel, x *linalg.Matrix, alpha []float64, chol *linalg.Matrix, mean, noise float64) *Regressor {
+	return &Regressor{K: k, X: x, alpha: alpha, chol: chol, mean: mean, noise: noise}
+}
+
+// Alpha returns the fitted weight vector (K + σ²I)⁻¹ (y − mean).
+func (g *Regressor) Alpha() []float64 { return g.alpha }
+
+// Chol returns the Cholesky factor of K + σ²I.
+func (g *Regressor) Chol() *linalg.Matrix { return g.chol }
+
+// Mean returns the constant prior mean (training-label average).
+func (g *Regressor) Mean() float64 { return g.mean }
+
+// Noise returns the observation noise σ².
+func (g *Regressor) Noise() float64 { return g.noise }
+
 // Predict returns the posterior mean at x.
 func (g *Regressor) Predict(x []float64) float64 {
 	mu, _ := g.PredictVar(x)
 	return mu
+}
+
+// PredictBatch returns the posterior mean for every row of x, amortizing
+// the kernel evaluations through one CrossGram sweep (parallel across
+// rows). Each mean is combined exactly as in PredictVar
+// (mean + Dot(kx, alpha)), so the batch path is bit-identical to calling
+// Predict row by row.
+func (g *Regressor) PredictBatch(x *linalg.Matrix) []float64 {
+	kx := kernel.CrossGram(g.K, x, g.X)
+	out := make([]float64, x.Rows)
+	for i := range out {
+		out[i] = g.mean + linalg.Dot(kx.Row(i), g.alpha)
+	}
+	return out
 }
 
 // PredictVar returns the posterior mean and variance at x.

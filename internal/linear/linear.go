@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
 // Regression is a fitted linear regression model y ≈ w·x + b.
@@ -87,6 +88,20 @@ func fitRidge(d *dataset.Dataset, lambda float64) (*Regression, error) {
 func (r *Regression) Predict(x []float64) float64 {
 	return linalg.Dot(r.W, x) + r.B
 }
+
+// PredictBatch returns Predict for every row of x, striping rows across
+// the worker pool. Each row is scored by the same expression as Predict,
+// so the result is bit-identical at any worker count.
+func (r *Regression) PredictBatch(x *linalg.Matrix) []float64 {
+	return parallel.MapN(x.Rows, batchCutover, func(i int) float64 {
+		return r.Predict(x.Row(i))
+	})
+}
+
+// batchCutover keeps small prediction batches serial: a single linear or
+// tree scoring pass is too cheap to amortize goroutine startup below a
+// few hundred rows.
+const batchCutover = 256
 
 // PredictAll predicts every row of d.
 func (r *Regression) PredictAll(d *dataset.Dataset) []float64 {

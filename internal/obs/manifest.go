@@ -34,10 +34,29 @@ type Manifest struct {
 	Metrics     []Metric  `json:"metrics"`
 }
 
-// NewManifest starts a manifest for a run of command. Build metadata is
-// read from debug.ReadBuildInfo: binaries built inside a git checkout
-// carry their vcs.revision; `go test` binaries and out-of-tree builds
-// report "unknown".
+// BuildRevision reports the VCS revision the running binary was built
+// from, and whether the checkout was dirty, read from
+// debug.ReadBuildInfo. Binaries built inside a git checkout carry their
+// vcs.revision; `go test` binaries and out-of-tree builds report
+// "unknown". It is the single source of build identity for manifests,
+// model artifacts, and the CLIs' -version flags.
+func BuildRevision() (revision string, modified bool) {
+	revision = "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				modified = s.Value == "true"
+			}
+		}
+	}
+	return revision, modified
+}
+
+// NewManifest starts a manifest for a run of command. Build metadata
+// comes from BuildRevision.
 func NewManifest(command string, seed int64, workers int) *Manifest {
 	m := &Manifest{
 		Command:   command,
@@ -45,19 +64,9 @@ func NewManifest(command string, seed int64, workers int) *Manifest {
 		Seed:      seed,
 		Workers:   workers,
 		GoVersion: runtime.Version(),
-		Revision:  "unknown",
 		Start:     time.Now(),
 	}
-	if bi, ok := debug.ReadBuildInfo(); ok {
-		for _, s := range bi.Settings {
-			switch s.Key {
-			case "vcs.revision":
-				m.Revision = s.Value
-			case "vcs.modified":
-				m.VCSModified = s.Value == "true"
-			}
-		}
-	}
+	m.Revision, m.VCSModified = BuildRevision()
 	return m
 }
 

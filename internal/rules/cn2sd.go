@@ -17,6 +17,8 @@ import (
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
 // Op is a comparison operator in a rule condition.
@@ -379,4 +381,13 @@ func (rs *RuleSet) PredictAll(d *dataset.Dataset) []float64 {
 		out[i] = rs.Predict(d.Row(i))
 	}
 	return out
+}
+
+// PredictBatch returns Predict for every row of x, striping rows across
+// the worker pool. Rule matching is read-only on the fitted set, so the
+// result is bit-identical at any worker count.
+func (rs *RuleSet) PredictBatch(x *linalg.Matrix) []float64 {
+	return parallel.MapN(x.Rows, 256, func(i int) float64 {
+		return rs.Predict(x.Row(i))
+	})
 }

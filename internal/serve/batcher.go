@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/linalg"
+	"repro/internal/obs"
+)
+
+// Micro-batching metrics: how many batches were assembled, their size
+// distribution, and how long a request waited in the queue before its
+// batch was scored.
+var (
+	batchesFormed = obs.GetCounter("serve.batches")
+	batchSizeHist = obs.GetHistogram("serve.batch_size")
+	queueWaitHist = obs.GetHistogram("serve.queue_wait_ns")
+)
+
+// ErrDraining is returned to requests that arrive after the server
+// started shutting down.
+var ErrDraining = errors.New("serve: server is draining")
+
+// scoreFunc scores every row of x. It must be bit-identical to scoring
+// the rows one at a time (the repo-wide determinism contract).
+type scoreFunc func(x *linalg.Matrix) []float64
+
+// batchRequest is one sample waiting to be scored.
+type batchRequest struct {
+	x        []float64
+	enqueued time.Time
+	out      chan batchResponse
+}
+
+type batchResponse struct {
+	value float64
+	err   error
+}
+
+// batcher is the micro-batching queue in front of one served model. A
+// single goroutine drains the queue: it blocks for the first request,
+// then gathers more until the batch is full (maxBatch) or the oldest
+// request has waited maxWait, scores the whole batch through one
+// scoreFunc call — amortizing kernel/Gram evaluation across concurrent
+// requests — and delivers each result to its caller.
+//
+// Batching changes only the grouping of work, never the arithmetic:
+// scoreFunc is bit-identical per row regardless of batch composition,
+// so a request's answer does not depend on which requests it shares a
+// batch with (asserted by TestBatchingDeterminism).
+type batcher struct {
+	score    scoreFunc
+	dim      int
+	maxBatch int
+	maxWait  time.Duration
+	queue    chan *batchRequest
+
+	// mu serializes submit against close: a submit that passed the
+	// closed check is guaranteed to finish its enqueue before close()
+	// signals the run loop, so every accepted request is answered.
+	mu     sync.RWMutex
+	closed bool
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+func newBatcher(score scoreFunc, dim, maxBatch int, maxWait time.Duration) *batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if maxWait <= 0 {
+		maxWait = 2 * time.Millisecond
+	}
+	b := &batcher{
+		score:    score,
+		dim:      dim,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		queue:    make(chan *batchRequest, 4*maxBatch),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// submit enqueues one sample and returns the channel its result will
+// arrive on. The caller must have validated the sample's width.
+func (b *batcher) submit(x []float64) (<-chan batchResponse, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil, ErrDraining
+	}
+	req := &batchRequest{x: x, enqueued: time.Now(), out: make(chan batchResponse, 1)}
+	// May block when the queue is full; the run loop keeps consuming
+	// until close() is signaled, and close() cannot be signaled while
+	// this RLock is held.
+	b.queue <- req
+	return req.out, nil
+}
+
+// run is the batcher goroutine. On shutdown it keeps scoring until the
+// queue is empty, so every accepted request gets an answer.
+func (b *batcher) run() {
+	defer close(b.done)
+	for {
+		var first *batchRequest
+		select {
+		case first = <-b.queue:
+		case <-b.stop:
+			// Drain: score whatever is still queued, then exit.
+			select {
+			case first = <-b.queue:
+			default:
+				return
+			}
+		}
+		batch := b.gather(first)
+		b.flush(batch)
+	}
+}
+
+// gather collects requests after first until the batch is full or the
+// wait budget (measured from first's arrival) expires.
+func (b *batcher) gather(first *batchRequest) []*batchRequest {
+	batch := []*batchRequest{first}
+	if b.maxBatch == 1 {
+		return batch
+	}
+	deadline := time.NewTimer(b.maxWait)
+	defer deadline.Stop()
+	for len(batch) < b.maxBatch {
+		select {
+		case req := <-b.queue:
+			batch = append(batch, req)
+		case <-deadline.C:
+			return batch
+		case <-b.stop:
+			// Draining: take what is immediately available, don't wait.
+			for len(batch) < b.maxBatch {
+				select {
+				case req := <-b.queue:
+					batch = append(batch, req)
+				default:
+					return batch
+				}
+			}
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush scores one batch and delivers the per-request results.
+func (b *batcher) flush(batch []*batchRequest) {
+	now := time.Now()
+	x := linalg.NewMatrix(len(batch), b.dim)
+	for i, req := range batch {
+		copy(x.Row(i), req.x)
+		queueWaitHist.ObserveDuration(now.Sub(req.enqueued))
+	}
+	batchesFormed.Inc()
+	batchSizeHist.Observe(int64(len(batch)))
+	values, err := scoreSafely(b.score, x)
+	for i, req := range batch {
+		if err != nil {
+			req.out <- batchResponse{err: err}
+		} else {
+			req.out <- batchResponse{value: values[i]}
+		}
+	}
+}
+
+// scoreSafely converts a scoring panic (e.g. a malformed model) into an
+// error so one bad batch cannot take down the serving loop.
+func scoreSafely(score scoreFunc, x *linalg.Matrix) (values []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errors.New("serve: scoring panic: " + toString(r))
+		}
+	}()
+	return score(x), nil
+}
+
+func toString(r any) string {
+	if e, ok := r.(error); ok {
+		return e.Error()
+	}
+	if s, ok := r.(string); ok {
+		return s
+	}
+	return "unknown panic"
+}
+
+// close stops accepting new requests, waits for the queue to drain, and
+// returns once the batcher goroutine has exited. Safe to call once.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.done
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.stop)
+	<-b.done
+}

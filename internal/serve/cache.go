@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"container/list"
+	"math"
+	"sync"
+)
+
+// rowCache is a bounded LRU over kernel rows: the vector
+// k(x, basis_1..basis_m) a kernel model evaluates for every scored
+// sample. Production query streams repeat inputs (the novelty loop
+// re-scores the same constrained-random tests after each refit), and
+// the kernel row is the whole cost of a kernel-model prediction — the
+// combine step is one dot product. Keys are the raw IEEE-754 bits of
+// the input vector, so only bit-identical inputs hit; kernels are pure
+// functions, so a cached row is bit-identical to recomputing it and the
+// cache can never change a prediction.
+type rowCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type rowEntry struct {
+	key string
+	row []float64
+}
+
+// newRowCache returns a cache holding up to capacity rows; capacity <= 0
+// returns nil (caching disabled).
+func newRowCache(capacity int) *rowCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &rowCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+}
+
+// rowKey packs the float64 bits of x into a string key.
+func rowKey(x []float64) string {
+	b := make([]byte, 8*len(x))
+	for i, v := range x {
+		bits := math.Float64bits(v)
+		for k := 0; k < 8; k++ {
+			b[8*i+k] = byte(bits >> (8 * k))
+		}
+	}
+	return string(b)
+}
+
+// get returns the cached row for key and marks it most recently used.
+// The returned slice is shared — callers must not modify it.
+func (c *rowCache) get(key string) ([]float64, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*rowEntry).row, true
+}
+
+// put stores a row, evicting the least recently used entry when full.
+func (c *rowCache) put(key string, row []float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*rowEntry).row = row
+		return
+	}
+	c.m[key] = c.ll.PushFront(&rowEntry{key: key, row: row})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*rowEntry).key)
+	}
+}
+
+// len returns the number of cached rows.
+func (c *rowCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

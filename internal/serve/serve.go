@@ -1,0 +1,479 @@
+// Package serve is the batched HTTP inference layer over the versioned
+// model artifacts of internal/model: the ROADMAP's "production-scale
+// system serving heavy traffic" path for every model family the paper
+// surveys.
+//
+// Architecture (net/http only, no external dependencies):
+//
+//   - A model registry maps names to loaded artifacts. Models load at
+//     boot (cmd/edaserved -model) and hot-load at runtime
+//     (POST /models/load), so a freshly trained artifact can enter a
+//     running fleet without a restart.
+//   - A micro-batching queue per model (see batcher.go) gathers
+//     concurrent single-sample requests into one scoring call, which
+//     amortizes kernel/Gram evaluation through internal/parallel. Knobs:
+//     max batch size and max queue wait.
+//   - A bounded kernel-row LRU per kernel model (see cache.go) reuses
+//     k(x, SV_*) rows across repeated inputs.
+//   - Bounded in-flight concurrency: when MaxInFlight predict requests
+//     are already being served, new ones are rejected with 429 rather
+//     than queued without limit — backpressure instead of collapse.
+//   - /healthz (process up) and /readyz (models loaded, not draining),
+//     per-endpoint latency histograms and counters through internal/obs
+//     (exported at /metrics), and graceful drain on shutdown: readiness
+//     flips first, in-flight requests finish within a deadline, queues
+//     empty before the process exits.
+//
+// The serving layer inherits the repository's determinism contract:
+// batching, caching, and concurrency change only the grouping of work,
+// never the arithmetic, so an HTTP prediction is bit-identical to
+// calling the model in-process (asserted end-to-end by serve_e2e_test).
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/linalg"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// Registry and request metrics. Per-endpoint counters and latency
+// histograms are minted by the handler wrapper under
+// serve.<endpoint>.requests / serve.<endpoint>.latency_ns.
+var (
+	modelsLoaded  = obs.GetGauge("serve.models_loaded")
+	inFlightGauge = obs.GetGauge("serve.inflight_max")
+	throttled     = obs.GetCounter("serve.throttled_429")
+	instances     = obs.GetCounter("serve.instances_scored")
+	cacheHits     = obs.GetCounter("serve.kernel_row_cache_hits")
+	cacheMisses   = obs.GetCounter("serve.kernel_row_cache_misses")
+)
+
+// Config controls the serving behavior.
+type Config struct {
+	// MaxBatch is the micro-batch size cap per model; 1 disables
+	// batching. Default 16.
+	MaxBatch int
+	// MaxWait is how long the batcher holds an incomplete batch open
+	// waiting for more requests. Default 2ms.
+	MaxWait time.Duration
+	// MaxInFlight bounds concurrently served predict requests; excess
+	// requests get 429. Default 256.
+	MaxInFlight int
+	// CacheRows is the kernel-row LRU capacity per kernel model; 0
+	// disables the cache. Default 1024.
+	CacheRows int
+}
+
+func (c *Config) defaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.CacheRows < 0 {
+		c.CacheRows = 0
+	}
+}
+
+// servedModel is one registry entry: the artifact, its scorer, the
+// micro-batching queue in front of it, and the kernel-row cache.
+type servedModel struct {
+	name     string
+	artifact *model.Artifact
+	scorer   model.Scorer
+	batcher  *batcher
+	cache    *rowCache
+	kx       *model.KernelExpansion // nil for non-kernel kinds
+}
+
+// Server is the inference server. Create with New, register models with
+// Load/LoadFile, mount Handler, and call Close to drain.
+type Server struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	models map[string]*servedModel
+
+	inflight chan struct{}
+	draining atomic.Bool
+	closed   atomic.Bool
+}
+
+// New returns a server with no models loaded.
+func New(cfg Config) *Server {
+	cfg.defaults()
+	inFlightGauge.Set(int64(cfg.MaxInFlight))
+	return &Server{
+		cfg:      cfg,
+		models:   make(map[string]*servedModel),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+	}
+}
+
+// Load registers an artifact under name (the artifact's own name when
+// empty), replacing any model already registered under it. The replaced
+// model's queue is drained in the background.
+func (s *Server) Load(name string, a *model.Artifact) error {
+	if name == "" {
+		name = a.Envelope.Name
+	}
+	if name == "" {
+		return errors.New("serve: model has no name; pass one explicitly")
+	}
+	if strings.ContainsAny(name, "/ \t\n") {
+		return fmt.Errorf("serve: invalid model name %q", name)
+	}
+	scorer, err := a.Scorer()
+	if err != nil {
+		return err
+	}
+	sm := &servedModel{name: name, artifact: a, scorer: scorer}
+	if kx, ok := a.KernelExpansion(); ok {
+		sm.kx = kx
+		sm.cache = newRowCache(s.cfg.CacheRows)
+	}
+	sm.batcher = newBatcher(sm.scoreBatch, scorer.Dim(), s.cfg.MaxBatch, s.cfg.MaxWait)
+
+	s.mu.Lock()
+	old := s.models[name]
+	s.models[name] = sm
+	modelsLoaded.Set(int64(len(s.models)))
+	s.mu.Unlock()
+	if old != nil {
+		go old.batcher.close()
+	}
+	return nil
+}
+
+// LoadFile loads the artifact at path and registers it.
+func (s *Server) LoadFile(path, name string) (*model.Artifact, error) {
+	a, err := model.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Load(name, a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Models returns the registered model names, sorted.
+func (s *Server) Models() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.models))
+	for name := range s.models {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Server) model(name string) *servedModel {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.models[name]
+}
+
+// scoreBatch scores one micro-batch. Kernel models route through the
+// row cache: cached rows are reused, missing rows are evaluated in one
+// parallel sweep, and every score is combined in request order by the
+// model's own serial accumulation — bit-identical to the uncached path.
+func (sm *servedModel) scoreBatch(x *linalg.Matrix) []float64 {
+	if sm.kx == nil || sm.cache == nil {
+		return sm.scorer.ScoreBatch(x)
+	}
+	n := x.Rows
+	rows := make([][]float64, n)
+	var missIdx []int
+	var hits, misses int64
+	for i := 0; i < n; i++ {
+		if row, ok := sm.cache.get(rowKey(x.Row(i))); ok {
+			rows[i] = row
+			hits++
+		} else {
+			missIdx = append(missIdx, i)
+			misses++
+		}
+	}
+	cacheHits.Add(hits)
+	cacheMisses.Add(misses)
+	if len(missIdx) > 0 {
+		basisRows := sm.kx.Basis.Rows
+		parallel.ForN(len(missIdx), 4, func(lo, hi int) {
+			for m := lo; m < hi; m++ {
+				i := missIdx[m]
+				row := make([]float64, basisRows)
+				sm.kx.Eval(x.Row(i), row)
+				rows[i] = row
+			}
+		})
+		for _, i := range missIdx {
+			sm.cache.put(rowKey(x.Row(i)), rows[i])
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = sm.kx.Combine(rows[i])
+	}
+	return out
+}
+
+// predictRequest is the body of POST /predict/{model}.
+type predictRequest struct {
+	Instances [][]float64 `json:"instances"`
+}
+
+// predictResponse is the reply: predictions[i] scores instances[i].
+type predictResponse struct {
+	Model       string    `json:"model"`
+	Kind        string    `json:"kind"`
+	Predictions []float64 `json:"predictions"`
+}
+
+// modelInfo is one entry of GET /models.
+type modelInfo struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	Features int    `json:"features"`
+	Seed     int64  `json:"seed"`
+	Revision string `json:"revision,omitempty"`
+	Checksum string `json:"payload_sha256"`
+}
+
+// loadRequest is the body of POST /models/load.
+type loadRequest struct {
+	Path string `json:"path"`
+	Name string `json:"name,omitempty"`
+}
+
+// Handler returns the server's HTTP mux:
+//
+//	GET  /healthz          process liveness (always 200)
+//	GET  /readyz           503 until models are loaded; 503 when draining
+//	GET  /models           registered models and their provenance
+//	POST /models/load      hot-load an artifact file: {"path": ..., "name": ...}
+//	POST /predict/{model}  score instances: {"instances": [[...], ...]}
+//	GET  /metrics          deterministic obs snapshot (JSON)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.wrap("healthz", s.handleHealthz))
+	mux.HandleFunc("/readyz", s.wrap("readyz", s.handleReadyz))
+	mux.HandleFunc("/models", s.wrap("models", s.handleModels))
+	mux.HandleFunc("/models/load", s.wrap("models_load", s.handleLoad))
+	mux.HandleFunc("/predict/", s.wrap("predict", s.handlePredict))
+	mux.HandleFunc("/metrics", s.wrap("metrics", s.handleMetrics))
+	return mux
+}
+
+// wrap mints the per-endpoint counter and latency histogram and times
+// every request through them.
+func (s *Server) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
+	scope := obs.Scope("serve." + name)
+	requests := scope.Counter("requests")
+	latency := scope.Histogram("latency_ns")
+	return func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		t := latency.Start()
+		defer t.Stop()
+		h(w, r)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.mu.RLock()
+	n := len(s.models)
+	s.mu.RUnlock()
+	if n == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no models loaded"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "models": n})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.RLock()
+	infos := make([]modelInfo, 0, len(s.models))
+	for name, sm := range s.models {
+		env := sm.artifact.Envelope
+		infos = append(infos, modelInfo{
+			Name: name, Kind: string(env.Kind), Features: env.Features,
+			Seed: env.Seed, Revision: env.Revision, Checksum: env.Checksum,
+		})
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req loadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Path == "" {
+		httpError(w, http.StatusBadRequest, "missing \"path\"")
+		return
+	}
+	a, err := s.LoadFile(req.Path, req.Name)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = a.Envelope.Name
+	}
+	writeJSON(w, http.StatusOK, modelInfo{
+		Name: name, Kind: string(a.Envelope.Kind), Features: a.Envelope.Features,
+		Seed: a.Envelope.Seed, Revision: a.Envelope.Revision, Checksum: a.Envelope.Checksum,
+	})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	// Backpressure: reject rather than queue unboundedly.
+	select {
+	case s.inflight <- struct{}{}:
+		defer func() { <-s.inflight }()
+	default:
+		throttled.Inc()
+		httpError(w, http.StatusTooManyRequests, "too many in-flight requests")
+		return
+	}
+
+	name := strings.TrimPrefix(r.URL.Path, "/predict/")
+	sm := s.model(name)
+	if sm == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no model %q loaded", name))
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Instances) == 0 {
+		httpError(w, http.StatusBadRequest, "no instances")
+		return
+	}
+	dim := sm.scorer.Dim()
+	for i, inst := range req.Instances {
+		if len(inst) < dim {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("instance %d has %d features, model %q needs %d", i, len(inst), name, dim))
+			return
+		}
+	}
+
+	// Enqueue every instance, then collect in order. Instances from one
+	// request batch with each other and with concurrent requests.
+	chans := make([]<-chan batchResponse, len(req.Instances))
+	for i, inst := range req.Instances {
+		ch, err := sm.batcher.submit(inst)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		chans[i] = ch
+	}
+	preds := make([]float64, len(chans))
+	for i, ch := range chans {
+		resp := <-ch
+		if resp.err != nil {
+			httpError(w, http.StatusInternalServerError, resp.err.Error())
+			return
+		}
+		preds[i] = resp.value
+	}
+	instances.Add(int64(len(preds)))
+	writeJSON(w, http.StatusOK, predictResponse{
+		Model: name, Kind: string(sm.artifact.Envelope.Kind), Predictions: preds,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	data, err := obs.SnapshotJSON()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(data, '\n')) //nolint:errcheck — nothing to do on a failed reply write
+}
+
+// StartDraining flips readiness off so load balancers stop routing here;
+// requests already accepted keep being served.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Close drains every model queue and releases the registry. Idempotent.
+func (s *Server) Close() {
+	s.StartDraining()
+	if s.closed.Swap(true) {
+		return
+	}
+	s.mu.Lock()
+	models := make([]*servedModel, 0, len(s.models))
+	for _, sm := range s.models {
+		models = append(models, sm)
+	}
+	s.mu.Unlock()
+	for _, sm := range models {
+		sm.batcher.close()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck — nothing to do on a failed reply write
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

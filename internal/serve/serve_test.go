@@ -1,0 +1,443 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apps/modelzoo"
+	"repro/internal/linalg"
+	"repro/internal/model"
+)
+
+const testSeed = 7
+
+// trainedOnce caches one model zoo across tests — training is the
+// expensive part and every test wants the same reference predictions.
+var (
+	trainedOnce sync.Once
+	trainedZoo  []modelzoo.Trained
+	trainedErr  error
+)
+
+func zoo(t *testing.T) []modelzoo.Trained {
+	t.Helper()
+	trainedOnce.Do(func() {
+		trainedZoo, trainedErr = modelzoo.TrainAll(testSeed, 48, 16)
+	})
+	if trainedErr != nil {
+		t.Fatalf("train zoo: %v", trainedErr)
+	}
+	return trainedZoo
+}
+
+// newTestServer loads every zoo model into a fresh server under the
+// name string(kind).
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	for _, tr := range zoo(t) {
+		a, err := model.Encode(tr.Model, model.Meta{Name: string(tr.Kind), Seed: testSeed})
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Kind, err)
+		}
+		if err := s.Load("", a); err != nil {
+			t.Fatalf("%s: %v", tr.Kind, err)
+		}
+	}
+	return s
+}
+
+func postPredict(t *testing.T, url, name string, instances [][]float64) (int, predictResponse) {
+	t.Helper()
+	body, _ := json.Marshal(predictRequest{Instances: instances})
+	resp, err := http.Post(url+"/predict/"+name, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /predict/%s: %v", name, err)
+	}
+	defer resp.Body.Close()
+	var pr predictResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp.StatusCode, pr
+}
+
+// TestBatchingDeterminism is the core serving contract: concurrent
+// requests, arbitrarily regrouped into micro-batches of size 1, 4, or
+// 64, produce predictions bit-identical to serial in-process scoring —
+// for every model kind, on every run (this test runs under -race via
+// scripts/check.sh).
+func TestBatchingDeterminism(t *testing.T) {
+	for _, maxBatch := range []int{1, 4, 64} {
+		maxBatch := maxBatch
+		t.Run(fmt.Sprintf("maxBatch=%d", maxBatch), func(t *testing.T) {
+			s := newTestServer(t, Config{MaxBatch: maxBatch, MaxWait: time.Millisecond, CacheRows: 64})
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			for _, tr := range zoo(t) {
+				tr := tr
+				t.Run(string(tr.Kind), func(t *testing.T) {
+					// One goroutine per probe: maximal interleaving, so
+					// batches form from unrelated requests.
+					got := make([]float64, tr.Probes.Rows)
+					var wg sync.WaitGroup
+					errs := make(chan error, tr.Probes.Rows)
+					for i := 0; i < tr.Probes.Rows; i++ {
+						wg.Add(1)
+						go func(i int) {
+							defer wg.Done()
+							body, _ := json.Marshal(predictRequest{Instances: [][]float64{tr.Probes.Row(i)}})
+							resp, err := http.Post(ts.URL+"/predict/"+string(tr.Kind), "application/json", bytes.NewReader(body))
+							if err != nil {
+								errs <- err
+								return
+							}
+							defer resp.Body.Close()
+							if resp.StatusCode != http.StatusOK {
+								errs <- fmt.Errorf("probe %d: status %d", i, resp.StatusCode)
+								return
+							}
+							var pr predictResponse
+							if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+								errs <- err
+								return
+							}
+							got[i] = pr.Predictions[0]
+						}(i)
+					}
+					wg.Wait()
+					close(errs)
+					for err := range errs {
+						t.Fatal(err)
+					}
+					for i := range got {
+						if got[i] != tr.Want[i] {
+							t.Fatalf("probe %d: HTTP(batch<=%d) = %v, serial in-process = %v",
+								i, maxBatch, got[i], tr.Want[i])
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestMultiInstanceRequest: one request carrying the whole probe set
+// must score bit-identically too (instances batch with each other).
+func TestMultiInstanceRequest(t *testing.T) {
+	s := newTestServer(t, Config{MaxBatch: 8, MaxWait: time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, tr := range zoo(t) {
+		instances := make([][]float64, tr.Probes.Rows)
+		for i := range instances {
+			instances[i] = tr.Probes.Row(i)
+		}
+		status, pr := postPredict(t, ts.URL, string(tr.Kind), instances)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d", tr.Kind, status)
+		}
+		if pr.Kind != string(tr.Kind) {
+			t.Fatalf("kind = %q, want %q", pr.Kind, tr.Kind)
+		}
+		for i, got := range pr.Predictions {
+			if got != tr.Want[i] {
+				t.Fatalf("%s probe %d: %v != %v", tr.Kind, i, got, tr.Want[i])
+			}
+		}
+	}
+}
+
+// TestRowCacheLRU unit-tests the kernel-row cache: hits, misses,
+// least-recently-used eviction, and the bit-exact key.
+func TestRowCacheLRU(t *testing.T) {
+	c := newRowCache(2)
+	k1, k2, k3 := rowKey([]float64{1}), rowKey([]float64{2}), rowKey([]float64{3})
+	c.put(k1, []float64{10})
+	c.put(k2, []float64{20})
+	if _, ok := c.get(k1); !ok {
+		t.Fatal("k1 evicted too early")
+	}
+	c.put(k3, []float64{30}) // evicts k2: k1 was touched more recently
+	if _, ok := c.get(k2); ok {
+		t.Fatal("k2 should have been evicted (LRU)")
+	}
+	if _, ok := c.get(k1); !ok {
+		t.Fatal("k1 lost")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if rowKey([]float64{1, 2}) == rowKey([]float64{2, 1}) {
+		t.Fatal("rowKey must distinguish element order")
+	}
+	// +0 and -0 are distinct bit patterns — the key is bit-exact by design.
+	if rowKey([]float64{0.0}) == rowKey([]float64{math.Copysign(0, -1)}) {
+		t.Fatal("rowKey must be bit-exact, not value-based")
+	}
+	var nilCache *rowCache
+	if _, ok := nilCache.get(k1); ok {
+		t.Fatal("nil cache must miss")
+	}
+	nilCache.put(k1, nil) // must not panic
+}
+
+// TestCacheDoesNotChangePredictions scores the same probes twice: the
+// second pass is served from the cache and must be bit-identical.
+func TestCacheDoesNotChangePredictions(t *testing.T) {
+	for _, tr := range zoo(t) {
+		if tr.Kind != model.KindSVC {
+			continue
+		}
+		a, err := model.Encode(tr.Model, model.Meta{Name: "svc"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(Config{MaxBatch: 4, CacheRows: tr.Probes.Rows})
+		defer s.Close()
+		if err := s.Load("", a); err != nil {
+			t.Fatal(err)
+		}
+		sm := s.model("svc")
+		if sm.cache == nil {
+			t.Fatal("kernel model should have a row cache")
+		}
+		first := sm.scoreBatch(tr.Probes)
+		if sm.cache.len() == 0 {
+			t.Fatal("cache stayed empty after scoring")
+		}
+		second := sm.scoreBatch(tr.Probes) // all hits
+		for i := range first {
+			if first[i] != second[i] || first[i] != tr.Want[i] {
+				t.Fatalf("probe %d: uncached %v, cached %v, want %v", i, first[i], second[i], tr.Want[i])
+			}
+		}
+	}
+}
+
+// TestBackpressure429: with the in-flight semaphore full, predict
+// requests are rejected with 429 instead of queueing without bound.
+func TestBackpressure429(t *testing.T) {
+	s := newTestServer(t, Config{MaxInFlight: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.inflight <- struct{}{} // occupy the only slot
+	status, _ := postPredict(t, ts.URL, "ridge", [][]float64{make([]float64, 8)})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", status)
+	}
+	<-s.inflight
+	status, _ = postPredict(t, ts.URL, "ridge", [][]float64{make([]float64, 8)})
+	if status != http.StatusOK {
+		t.Fatalf("after releasing the slot: status = %d, want 200", status)
+	}
+}
+
+// TestReadyzLifecycle: 503 with no models, 200 once loaded, 503 again
+// when draining (healthz stays 200 throughout — the process is up).
+func TestReadyzLifecycle(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("empty server /readyz = %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", got)
+	}
+
+	tr := zoo(t)[0]
+	a, err := model.Encode(tr.Model, model.Meta{Name: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load("", a); err != nil {
+		t.Fatal(err)
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("loaded server /readyz = %d, want 200", got)
+	}
+
+	s.StartDraining()
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("draining server /readyz = %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("draining /healthz = %d, want 200", got)
+	}
+	status, _ := postPredict(t, ts.URL, "m", [][]float64{make([]float64, 16)})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("draining predict = %d, want 503", status)
+	}
+}
+
+// TestHotLoad: POST /models/load registers an artifact file on a
+// running server; the model serves immediately and /models lists it.
+func TestHotLoad(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	tr := zoo(t)[2] // ridge
+	dir := t.TempDir()
+	path := modelzoo.ArtifactFile(dir, tr.Kind)
+	if _, err := model.Save(path, tr.Model, model.Meta{Name: "hot", Seed: testSeed}); err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(loadRequest{Path: path})
+	resp, err := http.Post(ts.URL+"/models/load", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/models/load status = %d", resp.StatusCode)
+	}
+
+	status, pr := postPredict(t, ts.URL, "hot", [][]float64{tr.Probes.Row(0)})
+	if status != http.StatusOK {
+		t.Fatalf("predict after hot load: status %d", status)
+	}
+	if pr.Predictions[0] != tr.Want[0] {
+		t.Fatalf("hot-loaded prediction %v != in-process %v", pr.Predictions[0], tr.Want[0])
+	}
+
+	mresp, err := http.Get(ts.URL + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var infos []modelInfo
+	if err := json.NewDecoder(mresp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "hot" || infos[0].Kind != string(tr.Kind) {
+		t.Fatalf("/models = %+v", infos)
+	}
+
+	// Loading a missing file fails without disturbing the registry.
+	body, _ = json.Marshal(loadRequest{Path: path + ".missing"})
+	resp2, err := http.Post(ts.URL+"/models/load", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("loading a missing file: status %d, want 422", resp2.StatusCode)
+	}
+}
+
+// TestPredictValidation covers the request-rejection paths.
+func TestPredictValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if status, _ := postPredict(t, ts.URL, "nope", [][]float64{{1}}); status != http.StatusNotFound {
+		t.Fatalf("unknown model: %d, want 404", status)
+	}
+	if status, _ := postPredict(t, ts.URL, "ridge", [][]float64{{1, 2}}); status != http.StatusBadRequest {
+		t.Fatalf("narrow instance: %d, want 400", status)
+	}
+	if status, _ := postPredict(t, ts.URL, "ridge", nil); status != http.StatusBadRequest {
+		t.Fatalf("no instances: %d, want 400", status)
+	}
+	resp, err := http.Get(ts.URL + "/predict/ridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET predict: %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestBatcherDrain: every request accepted before close is answered;
+// requests after close get ErrDraining.
+func TestBatcherDrain(t *testing.T) {
+	score := func(x *linalg.Matrix) []float64 {
+		time.Sleep(time.Millisecond) // let requests pile up behind a batch
+		out := make([]float64, x.Rows)
+		for i := range out {
+			out[i] = x.Row(i)[0] * 2
+		}
+		return out
+	}
+	b := newBatcher(score, 1, 4, 50*time.Millisecond)
+	const n = 32
+	chans := make([]<-chan batchResponse, n)
+	for i := 0; i < n; i++ {
+		ch, err := b.submit([]float64{float64(i)})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+	b.close()
+	for i, ch := range chans {
+		resp := <-ch
+		if resp.err != nil {
+			t.Fatalf("request %d accepted before close got error: %v", i, resp.err)
+		}
+		if resp.value != float64(i)*2 {
+			t.Fatalf("request %d: %v, want %v", i, resp.value, float64(i)*2)
+		}
+	}
+	if _, err := b.submit([]float64{1}); err != ErrDraining {
+		t.Fatalf("submit after close: %v, want ErrDraining", err)
+	}
+	b.close() // idempotent
+}
+
+// TestBatcherPanicRecovery: a scoring panic becomes a per-request error
+// and the batcher keeps serving.
+func TestBatcherPanicRecovery(t *testing.T) {
+	calls := 0
+	score := func(x *linalg.Matrix) []float64 {
+		calls++
+		if calls == 1 {
+			panic("boom")
+		}
+		return make([]float64, x.Rows)
+	}
+	b := newBatcher(score, 1, 1, time.Millisecond)
+	defer b.close()
+	ch, err := b.submit([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := <-ch; resp.err == nil {
+		t.Fatal("panic was not surfaced as an error")
+	}
+	ch, err = b.submit([]float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := <-ch; resp.err != nil {
+		t.Fatalf("batcher died after a panic: %v", resp.err)
+	}
+}

@@ -167,6 +167,24 @@ func (m *OneClass) Decision(x []float64) float64 {
 	return s
 }
 
+// DecisionBatch returns Decision for every row of x, amortizing the
+// kernel evaluations through one CrossGram sweep (parallel across rows).
+// Each score is accumulated in the same order as Decision, so the batch
+// path is bit-identical to scoring the rows one at a time.
+func (m *OneClass) DecisionBatch(x *linalg.Matrix) []float64 {
+	g := kernel.CrossGram(m.K, x, m.SV)
+	out := make([]float64, x.Rows)
+	for i := range out {
+		s := -m.Rho
+		row := g.Row(i)
+		for j, a := range m.Alpha {
+			s += a * row[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
 // Novel reports whether x lies outside the learned support region.
 func (m *OneClass) Novel(x []float64) bool { return m.Decision(x) < 0 }
 

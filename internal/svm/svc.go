@@ -162,6 +162,16 @@ func FitSVC(d *dataset.Dataset, k kernel.Kernel, cfg SVCConfig) (*SVC, error) {
 		classes: [2]float64{float64(classes[0]), float64(classes[1])}}, nil
 }
 
+// Classes returns the two class labels in the order used by Predict:
+// Classes()[0] for a negative margin, Classes()[1] for a nonnegative one.
+func (m *SVC) Classes() [2]float64 { return m.classes }
+
+// RestoreSVC rebuilds a fitted SVC from its persisted components (see
+// internal/model). The arguments are retained, not copied.
+func RestoreSVC(k kernel.Kernel, sv *linalg.Matrix, alpha []float64, b float64, classes [2]float64) *SVC {
+	return &SVC{K: k, SV: sv, Alpha: alpha, B: b, classes: classes}
+}
+
 // Decision returns the signed margin M(x) of paper Eq. 2; positive means
 // the second class.
 func (m *SVC) Decision(x []float64) float64 {
@@ -170,6 +180,37 @@ func (m *SVC) Decision(x []float64) float64 {
 		s += m.Alpha[i] * m.K.Eval(x, m.SV.Row(i))
 	}
 	return s
+}
+
+// DecisionBatch returns Decision for every row of x, amortizing the
+// kernel evaluations through one CrossGram sweep (parallel across rows).
+// Each margin is accumulated in the same order as Decision, so the batch
+// path is bit-identical to scoring the rows one at a time.
+func (m *SVC) DecisionBatch(x *linalg.Matrix) []float64 {
+	g := kernel.CrossGram(m.K, x, m.SV)
+	out := make([]float64, x.Rows)
+	for i := range out {
+		s := m.B
+		row := g.Row(i)
+		for j, a := range m.Alpha {
+			s += a * row[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// PredictBatch returns Predict for every row of x via DecisionBatch.
+func (m *SVC) PredictBatch(x *linalg.Matrix) []float64 {
+	out := m.DecisionBatch(x)
+	for i, s := range out {
+		if s >= 0 {
+			out[i] = m.classes[1]
+		} else {
+			out[i] = m.classes[0]
+		}
+	}
+	return out
 }
 
 // Predict returns the predicted class label.

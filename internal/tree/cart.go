@@ -10,6 +10,8 @@ import (
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
 // Node is one node of a fitted tree.
@@ -266,6 +268,15 @@ func (t *Tree) PredictAll(d *dataset.Dataset) []float64 {
 		out[i] = t.Predict(d.Row(i))
 	}
 	return out
+}
+
+// PredictBatch returns Predict for every row of x, striping rows across
+// the worker pool. Routing is read-only on the fitted tree, so the result
+// is bit-identical at any worker count.
+func (t *Tree) PredictBatch(x *linalg.Matrix) []float64 {
+	return parallel.MapN(x.Rows, 256, func(i int) float64 {
+		return t.Predict(x.Row(i))
+	})
 }
 
 // Depth returns the depth of the fitted tree (leaf-only tree has depth 0).

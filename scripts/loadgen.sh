@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Ad-hoc load generator for a running edaserved: fire N single-instance
+# predict requests from C concurrent curl clients and report wall time,
+# throughput, and the server's own batching metrics from /metrics.
+# BenchmarkServeThroughput (internal/serve/bench_test.go) is the
+# in-process twin that CI records via scripts/bench.sh; this script is
+# for poking a live server.
+#
+# Usage:
+#   scripts/loadgen.sh [-a host:port] [-m model] [-n requests] [-c clients] [-d dim]
+#
+#   scripts/loadgen.sh -a localhost:8080 -m zoo-ridge -n 500 -c 8 -d 8
+set -euo pipefail
+
+ADDR="localhost:8080"
+MODEL="zoo-ridge"
+REQUESTS=200
+CLIENTS=8
+DIM=8
+
+while getopts "a:m:n:c:d:h" opt; do
+	case "$opt" in
+	a) ADDR="$OPTARG" ;;
+	m) MODEL="$OPTARG" ;;
+	n) REQUESTS="$OPTARG" ;;
+	c) CLIENTS="$OPTARG" ;;
+	d) DIM="$OPTARG" ;;
+	h | *)
+		grep '^#' "$0" | sed 's/^# \{0,1\}//'
+		exit 0
+		;;
+	esac
+done
+
+# One instance of DIM small deterministic values.
+instance="$(awk -v d="$DIM" 'BEGIN {
+	printf "["
+	for (i = 0; i < d; i++) printf "%s%.2f", (i ? ", " : ""), (i % 10) / 10
+	printf "]"
+}')"
+body="{\"instances\": [$instance]}"
+url="http://$ADDR/predict/$MODEL"
+
+curl -fsS "http://$ADDR/readyz" >/dev/null || {
+	echo "loadgen: $ADDR is not ready" >&2
+	exit 1
+}
+
+worker() {
+	local n=$1 fails=0
+	for _ in $(seq 1 "$n"); do
+		code="$(curl -s -o /dev/null -w '%{http_code}' \
+			-X POST "$url" -H 'Content-Type: application/json' -d "$body")"
+		[ "$code" = "200" ] || fails=$((fails + 1))
+	done
+	echo "$fails"
+}
+
+per_client=$((REQUESTS / CLIENTS))
+[ "$per_client" -ge 1 ] || per_client=1
+total=$((per_client * CLIENTS))
+
+echo "loadgen: $total requests -> $url ($CLIENTS clients x $per_client)"
+start=$(date +%s.%N)
+fail_files=()
+for c in $(seq 1 "$CLIENTS"); do
+	f="$(mktemp)"
+	fail_files+=("$f")
+	worker "$per_client" >"$f" &
+done
+wait
+end=$(date +%s.%N)
+
+fails=0
+for f in "${fail_files[@]}"; do
+	fails=$((fails + $(cat "$f")))
+	rm -f "$f"
+done
+
+awk -v t="$total" -v s="$start" -v e="$end" -v f="$fails" 'BEGIN {
+	el = e - s
+	printf "loadgen: %d ok, %d failed in %.2fs (%.0f req/s)\n", t - f, f, el, t / el
+}'
+echo "server metrics:"
+curl -fsS "http://$ADDR/metrics" |
+	python3 -c "
+import json, sys
+m = {x['name']: x for x in json.load(sys.stdin)}
+for name in ('serve.batches', 'serve.instances_scored', 'serve.throttled_429',
+             'serve.kernel_row_cache_hits', 'serve.kernel_row_cache_misses'):
+    if name in m:
+        print(f'  {name}: {m[name].get(\"value\", 0)}')"
+
+[ "$fails" -eq 0 ]
