@@ -2,7 +2,7 @@
 # plus the full suite under the race detector (see scripts/check.sh).
 # `make ci` is everything the GitHub workflow runs, locally.
 
-.PHONY: build test check bench smoke ci
+.PHONY: build test check bench smoke fuzz ci
 
 build:
 	go build ./...
@@ -23,9 +23,16 @@ bench:
 smoke:
 	./scripts/serve_smoke.sh
 
+# Bounded fuzz sweep over the untrusted-input decoders (artifact decode,
+# predict handler); FUZZTIME=2m make fuzz for a longer run.
+fuzz:
+	./scripts/fuzz.sh
+
 # The full CI pipeline locally: the race-clean correctness gate, the
-# short benchmark sweep that writes BENCH_ci.json, and the serving smoke.
+# short benchmark sweep that writes BENCH_ci.json, the serving smoke,
+# and the bounded fuzz sweep.
 ci:
 	./scripts/check.sh
 	./scripts/bench.sh
 	./scripts/serve_smoke.sh
+	./scripts/fuzz.sh

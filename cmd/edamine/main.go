@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/apps/costred"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/apps/template"
 	"repro/internal/apps/testsel"
 	"repro/internal/apps/varpred"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 )
@@ -53,6 +55,17 @@ var (
 	saveModel  = flag.String("save-model", "", "write versioned model artifacts from the 'models' experiment to this directory")
 	loadModel  = flag.String("load-model", "", "load model artifacts for the 'models' experiment from this directory and verify them")
 	version    = flag.Bool("version", false, "print the build revision and exit")
+
+	// Chaos flags (see internal/fault): any nonzero rate activates a
+	// deterministic fault plan — for edamine that exercises the
+	// model.decode site during -load-model verification. The manifest
+	// records the active sites so a chaos run is identifiable and
+	// reproducible from its seed.
+	chaosSeed        = flag.Int64("chaos-seed", 1, "seed for the fault-injection plan")
+	chaosErr         = flag.Float64("chaos-err", 0, "injected error rate in [0,1] at each serving-path fault site")
+	chaosLatencyRate = flag.Float64("chaos-latency-rate", 0, "injected latency rate in [0,1] at each serving-path fault site")
+	chaosLatency     = flag.Duration("chaos-latency", 5*time.Millisecond, "injected latency magnitude")
+	chaosCorrupt     = flag.Float64("chaos-corrupt", 0, "injected payload-corruption rate in [0,1]")
 )
 
 type experiment struct {
@@ -140,7 +153,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *chaosErr > 0 || *chaosLatencyRate > 0 || *chaosCorrupt > 0 {
+		fault.Activate(fault.Uniform(*chaosSeed, fault.SiteConfig{
+			ErrRate:     *chaosErr,
+			LatencyRate: *chaosLatencyRate,
+			Latency:     *chaosLatency,
+			CorruptRate: *chaosCorrupt,
+		}, fault.ServeSites()...))
+		fmt.Printf("edamine: CHAOS PLAN ACTIVE (seed %d) at sites: %s\n",
+			*chaosSeed, strings.Join(fault.ActiveSites(), ", "))
+	}
 	man := obs.NewManifest("edamine", *seed, parallel.Workers())
+	man.FaultSites = fault.ActiveSites()
 
 	want := flag.Arg(0)
 	ran := false

@@ -8,6 +8,8 @@
 //	edaserved [-addr :8080] [-model file]... [-model-dir dir]
 //	          [-max-batch N] [-max-wait d] [-max-inflight N]
 //	          [-cache-rows N] [-workers N] [-drain-timeout d]
+//	          [-request-timeout d] [-chaos-seed N] [-chaos-err p]
+//	          [-chaos-latency-rate p] [-chaos-latency d] [-chaos-corrupt p]
 //
 // Train artifacts with `edamine -save-model DIR models`, then:
 //
@@ -34,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/serve"
@@ -54,8 +57,33 @@ var (
 	cacheRows    = flag.Int("cache-rows", 1024, "kernel-row LRU capacity per kernel model (0 disables)")
 	workers      = flag.Int("workers", 0, "worker goroutines for the compute pool (0 = REPRO_WORKERS env or GOMAXPROCS)")
 	drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "deadline for in-flight requests during shutdown")
+	reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-request deadline for predict (0 disables)")
 	version      = flag.Bool("version", false, "print the build revision and exit")
+
+	// Chaos flags (see internal/fault): any nonzero rate activates a
+	// deterministic fault plan over the serving-path sites. The same
+	// -chaos-seed replays the identical fault sequence.
+	chaosSeed        = flag.Int64("chaos-seed", 1, "seed for the fault-injection plan")
+	chaosErr         = flag.Float64("chaos-err", 0, "injected error rate in [0,1] at each serving-path fault site")
+	chaosLatencyRate = flag.Float64("chaos-latency-rate", 0, "injected latency rate in [0,1] at each serving-path fault site")
+	chaosLatency     = flag.Duration("chaos-latency", 5*time.Millisecond, "injected latency magnitude")
+	chaosCorrupt     = flag.Float64("chaos-corrupt", 0, "injected payload-corruption rate in [0,1]")
 )
+
+// activateChaos installs the fault plan the chaos flags describe, if any
+// rate is nonzero. Returns the active site names (nil when clean).
+func activateChaos() []string {
+	if *chaosErr <= 0 && *chaosLatencyRate <= 0 && *chaosCorrupt <= 0 {
+		return nil
+	}
+	fault.Activate(fault.Uniform(*chaosSeed, fault.SiteConfig{
+		ErrRate:     *chaosErr,
+		LatencyRate: *chaosLatencyRate,
+		Latency:     *chaosLatency,
+		CorruptRate: *chaosCorrupt,
+	}, fault.ServeSites()...))
+	return fault.ActiveSites()
+}
 
 func main() {
 	var models modelList
@@ -72,12 +100,18 @@ func main() {
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}
+	if sites := activateChaos(); sites != nil {
+		fmt.Printf("edaserved: CHAOS PLAN ACTIVE (seed %d) at sites: %s\n",
+			*chaosSeed, strings.Join(sites, ", "))
+	}
 
 	srv := serve.New(serve.Config{
-		MaxBatch:    *maxBatch,
-		MaxWait:     *maxWait,
-		MaxInFlight: *maxInflight,
-		CacheRows:   *cacheRows,
+		MaxBatch:       *maxBatch,
+		MaxWait:        *maxWait,
+		MaxInFlight:    *maxInflight,
+		CacheRows:      *cacheRows,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drainTimeout,
 	})
 	defer srv.Close()
 

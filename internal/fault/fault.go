@@ -1,0 +1,268 @@
+// Package fault is the repository's deterministic fault-injection
+// framework: named injection sites threaded through the serving stack
+// (and any other path that wants chaos coverage), driven by a seeded
+// plan so every chaos run is reproducible byte for byte.
+//
+// The paper's constraints discussion (Section 5) is blunt about where
+// data-mining deployments die: at the boundaries, under noisy inputs
+// and broken assumptions, not in the happy path the demo exercised.
+// This package makes those boundaries testable. A production code path
+// declares an injection site by name (see the Site* constants) and
+// calls Check at the boundary; with no plan active that is one atomic
+// pointer load and nothing else. A chaos test activates a Plan — per
+// site: an error rate, a latency rate and magnitude, and a corruption
+// rate, all driven by a per-site math/rand source derived from the
+// plan seed — and the same seed replays the exact same fault sequence.
+//
+// Determinism contract: each site consumes its own random stream in
+// call order, independent of every other site. As long as the calls at
+// one site happen in a deterministic order (the chaos harness drives
+// requests serially; the batcher gives each model a single scoring
+// goroutine), two runs with the same plan see identical outcomes at
+// every site — which is what lets chaos_e2e_test assert that two runs
+// at one seed produce identical observability snapshots.
+//
+// Every injected outcome is counted through internal/obs under
+// fault.<site>.{checks,errors,delays,corruptions}, so a chaos run's
+// manifest records exactly how much hostility the stack absorbed.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Canonical injection-site names. Sites are just strings — packages may
+// mint their own — but the serving stack's sites live here so chaos
+// plans, CLIs, and docs agree on the spelling.
+const (
+	// SiteKernelEval guards the batcher's kernel/scorer evaluation in
+	// internal/serve: an injected error fails the whole micro-batch, an
+	// injected delay stalls it (respecting the batcher's drain context).
+	SiteKernelEval = "serve.kernel_eval"
+	// SitePredictDecode guards request-body decoding in POST /predict:
+	// errors surface as 500s before the body is read, corruption flips
+	// bytes in the body so the JSON decoder sees hostile input.
+	SitePredictDecode = "serve.predict_decode"
+	// SiteModelDecode guards model.Decode: errors fail the load, and
+	// corruption mutates the artifact bytes before parsing — the
+	// checksum/validation layer must catch it loudly.
+	SiteModelDecode = "model.decode"
+)
+
+// ErrInjected is the root of every injected error; match with errors.Is.
+var ErrInjected = errors.New("fault: injected error")
+
+// SiteConfig is the fault mix at one site. Rates are probabilities in
+// [0, 1] drawn independently per Check call.
+type SiteConfig struct {
+	ErrRate     float64       // probability Check returns a non-nil Err
+	LatencyRate float64       // probability Check returns Delay = Latency
+	Latency     time.Duration // the injected delay magnitude
+	CorruptRate float64       // probability Check sets Corrupt
+}
+
+// Plan is a full chaos configuration: one seed, any number of sites.
+type Plan struct {
+	Seed  int64
+	Sites map[string]SiteConfig
+}
+
+// Uniform returns a plan applying one SiteConfig to every named site —
+// the shape the CLI chaos flags build.
+func Uniform(seed int64, cfg SiteConfig, sites ...string) Plan {
+	p := Plan{Seed: seed, Sites: make(map[string]SiteConfig, len(sites))}
+	for _, s := range sites {
+		p.Sites[s] = cfg
+	}
+	return p
+}
+
+// Outcome is the injection decision for one Check call. The zero
+// Outcome (no active plan, or the dice said "behave") injects nothing.
+type Outcome struct {
+	Err     error         // non-nil: the site must fail with this error
+	Delay   time.Duration // positive: the site must stall this long first
+	Corrupt bool          // true: the site must corrupt its payload
+	salt    uint64        // deterministic per-outcome randomness for CorruptBytes
+}
+
+// Wait blocks for the injected delay, honoring ctx so a draining server
+// can cancel an injected stall. A zero delay returns immediately.
+func (o Outcome) Wait(ctx context.Context) error {
+	if o.Delay <= 0 {
+		return nil
+	}
+	t := time.NewTimer(o.Delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CorruptBytes returns data with a deterministic mutation applied when
+// the outcome says to corrupt, and data unchanged otherwise. The
+// mutation (one flipped byte, position and mask derived from the
+// outcome's own random draw) is reproducible per plan seed. The input
+// slice is never modified.
+func (o Outcome) CorruptBytes(data []byte) []byte {
+	if !o.Corrupt || len(data) == 0 {
+		return data
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	h := splitmix64(o.salt)
+	pos := int(h % uint64(len(out)))
+	mask := byte(splitmix64(h)) | 1 // never a zero mask: the byte always changes
+	out[pos] ^= mask
+	return out
+}
+
+// site is one injection point's live state: its config, its private
+// random stream, and its metrics.
+type site struct {
+	name string
+	cfg  SiteConfig
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	calls int64
+
+	checks      *obs.Counter
+	errors      *obs.Counter
+	delays      *obs.Counter
+	corruptions *obs.Counter
+}
+
+// injector is an activated plan.
+type injector struct {
+	seed  int64
+	sites map[string]*site
+}
+
+var active atomic.Pointer[injector]
+
+// siteSeed derives a stable per-site seed so each site has its own
+// independent stream: interleaving across sites cannot perturb the
+// decisions at any one site.
+func siteSeed(planSeed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name)) //nolint:errcheck — fnv never fails
+	return planSeed ^ int64(h.Sum64())
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Activate installs the plan globally, replacing any previous plan.
+// Site random streams start fresh, so Activate(p); run; Activate(p);
+// run replays the identical fault sequence.
+func Activate(p Plan) {
+	inj := &injector{seed: p.Seed, sites: make(map[string]*site, len(p.Sites))}
+	for name, cfg := range p.Sites {
+		scope := obs.Scope("fault." + name)
+		inj.sites[name] = &site{
+			name:        name,
+			cfg:         cfg,
+			rng:         rand.New(rand.NewSource(siteSeed(p.Seed, name))),
+			checks:      scope.Counter("checks"),
+			errors:      scope.Counter("errors"),
+			delays:      scope.Counter("delays"),
+			corruptions: scope.Counter("corruptions"),
+		}
+	}
+	active.Store(inj)
+}
+
+// Deactivate removes the active plan. Safe to call when none is active.
+func Deactivate() { active.Store(nil) }
+
+// Active reports whether a plan is installed.
+func Active() bool { return active.Load() != nil }
+
+// ActiveSites returns the sorted site names of the active plan, or nil.
+// Run manifests record this so a chaos run is identifiable from its
+// artifact alone.
+func ActiveSites() []string {
+	inj := active.Load()
+	if inj == nil {
+		return nil
+	}
+	out := make([]string, 0, len(inj.sites))
+	for name := range inj.sites {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServeSites lists the canonical serving-path sites, the default target
+// set for the CLIs' chaos flags.
+func ServeSites() []string {
+	return []string{SiteKernelEval, SiteModelDecode, SitePredictDecode}
+}
+
+// Check rolls the dice at a named site. With no active plan (the
+// production default) it is a single atomic load returning the zero
+// Outcome. With a plan, it draws error, latency, and corruption
+// decisions — always exactly four values from the site's stream, so the
+// stream position is a pure function of the call count — and counts
+// what it injected.
+func Check(name string) Outcome {
+	inj := active.Load()
+	if inj == nil {
+		return Outcome{}
+	}
+	st, ok := inj.sites[name]
+	if !ok {
+		return Outcome{}
+	}
+	return st.draw()
+}
+
+func (st *site) draw() Outcome {
+	st.mu.Lock()
+	st.calls++
+	n := st.calls
+	// Fixed draw schedule: err, delay, corrupt, salt. Drawing all four
+	// unconditionally keeps the stream aligned no matter which rates are
+	// zero, so adding latency to a plan never re-rolls its error pattern.
+	pErr := st.rng.Float64()
+	pDelay := st.rng.Float64()
+	pCorrupt := st.rng.Float64()
+	salt := st.rng.Uint64()
+	st.mu.Unlock()
+
+	var o Outcome
+	o.salt = salt
+	st.checks.Inc()
+	if pErr < st.cfg.ErrRate {
+		o.Err = fmt.Errorf("%w at %s (check %d)", ErrInjected, st.name, n)
+		st.errors.Inc()
+	}
+	if pDelay < st.cfg.LatencyRate {
+		o.Delay = st.cfg.Latency
+		st.delays.Inc()
+	}
+	if pCorrupt < st.cfg.CorruptRate {
+		o.Corrupt = true
+		st.corruptions.Inc()
+	}
+	return o
+}

@@ -1,0 +1,270 @@
+package fault
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func testPlan(seed int64) Plan {
+	return Plan{Seed: seed, Sites: map[string]SiteConfig{
+		"a": {ErrRate: 0.3, LatencyRate: 0.2, Latency: time.Microsecond, CorruptRate: 0.1},
+		"b": {ErrRate: 0.05},
+	}}
+}
+
+// record reduces an outcome to comparable fields.
+type record struct {
+	err     bool
+	delay   time.Duration
+	corrupt bool
+	salt    uint64
+}
+
+func sequence(site string, n int) []record {
+	out := make([]record, n)
+	for i := range out {
+		o := Check(site)
+		out[i] = record{o.Err != nil, o.Delay, o.Corrupt, o.salt}
+	}
+	return out
+}
+
+// TestDeterministicReplay: activating the same plan twice replays the
+// identical outcome sequence at every site, and a different seed
+// produces a different sequence.
+func TestDeterministicReplay(t *testing.T) {
+	defer Deactivate()
+
+	Activate(testPlan(7))
+	runA1 := sequence("a", 500)
+	runB1 := sequence("b", 500)
+
+	Activate(testPlan(7))
+	runA2 := sequence("a", 500)
+	runB2 := sequence("b", 500)
+
+	for i := range runA1 {
+		if runA1[i] != runA2[i] {
+			t.Fatalf("site a call %d: %+v != %+v (same seed must replay)", i, runA1[i], runA2[i])
+		}
+		if runB1[i] != runB2[i] {
+			t.Fatalf("site b call %d: %+v != %+v (same seed must replay)", i, runB1[i], runB2[i])
+		}
+	}
+
+	Activate(testPlan(8))
+	runA3 := sequence("a", 500)
+	same := 0
+	for i := range runA1 {
+		if runA1[i] == runA3[i] {
+			same++
+		}
+	}
+	if same == len(runA1) {
+		t.Fatal("seed 7 and seed 8 produced identical sequences")
+	}
+}
+
+// TestSiteStreamsIndependent: the draws at one site do not depend on
+// how many draws other sites consumed in between.
+func TestSiteStreamsIndependent(t *testing.T) {
+	defer Deactivate()
+
+	Activate(testPlan(11))
+	pure := sequence("a", 100)
+
+	Activate(testPlan(11))
+	var interleaved []record
+	for i := 0; i < 100; i++ {
+		o := Check("a")
+		interleaved = append(interleaved, record{o.Err != nil, o.Delay, o.Corrupt, o.salt})
+		Check("b") // consume the other site's stream between every call
+		Check("b")
+	}
+	for i := range pure {
+		if pure[i] != interleaved[i] {
+			t.Fatalf("call %d: site a outcome changed when site b was interleaved", i)
+		}
+	}
+}
+
+// TestRates: over many draws the injected fractions approach the
+// configured rates.
+func TestRates(t *testing.T) {
+	defer Deactivate()
+	Activate(Plan{Seed: 3, Sites: map[string]SiteConfig{
+		"r": {ErrRate: 0.25, LatencyRate: 0.5, Latency: time.Nanosecond, CorruptRate: 0.1},
+	}})
+	const n = 20000
+	var errs, delays, corrupts int
+	for i := 0; i < n; i++ {
+		o := Check("r")
+		if o.Err != nil {
+			errs++
+		}
+		if o.Delay > 0 {
+			delays++
+		}
+		if o.Corrupt {
+			corrupts++
+		}
+	}
+	check := func(name string, got int, want float64) {
+		frac := float64(got) / n
+		if frac < want-0.02 || frac > want+0.02 {
+			t.Errorf("%s rate = %.3f, want %.2f±0.02", name, frac, want)
+		}
+	}
+	check("error", errs, 0.25)
+	check("delay", delays, 0.5)
+	check("corrupt", corrupts, 0.1)
+}
+
+// TestInactiveAndUnknownSitesInjectNothing covers the production path.
+func TestInactiveAndUnknownSitesInjectNothing(t *testing.T) {
+	Deactivate()
+	if Active() {
+		t.Fatal("Active after Deactivate")
+	}
+	if o := Check("anything"); o.Err != nil || o.Delay != 0 || o.Corrupt {
+		t.Fatalf("inactive Check injected %+v", o)
+	}
+	Activate(testPlan(1))
+	defer Deactivate()
+	if o := Check("unknown-site"); o.Err != nil || o.Delay != 0 || o.Corrupt {
+		t.Fatalf("unknown site injected %+v", o)
+	}
+}
+
+// TestInjectedErrorsAreTyped: every injected error unwraps to ErrInjected.
+func TestInjectedErrorsAreTyped(t *testing.T) {
+	defer Deactivate()
+	Activate(Plan{Seed: 1, Sites: map[string]SiteConfig{"e": {ErrRate: 1}}})
+	o := Check("e")
+	if o.Err == nil {
+		t.Fatal("ErrRate=1 did not inject")
+	}
+	if !errors.Is(o.Err, ErrInjected) {
+		t.Fatalf("injected error %v is not ErrInjected", o.Err)
+	}
+}
+
+// TestCorruptBytes: corruption always changes the bytes, never the
+// input slice, and is deterministic per seed.
+func TestCorruptBytes(t *testing.T) {
+	defer Deactivate()
+	Activate(Plan{Seed: 5, Sites: map[string]SiteConfig{"c": {CorruptRate: 1}}})
+	data := []byte(`{"payload": true}`)
+	orig := append([]byte(nil), data...)
+
+	o1 := Check("c")
+	got1 := o1.CorruptBytes(data)
+	if bytes.Equal(got1, data) {
+		t.Fatal("corruption left the bytes unchanged")
+	}
+	if !bytes.Equal(data, orig) {
+		t.Fatal("CorruptBytes modified its input")
+	}
+
+	Activate(Plan{Seed: 5, Sites: map[string]SiteConfig{"c": {CorruptRate: 1}}})
+	o2 := Check("c")
+	if got2 := o2.CorruptBytes(data); !bytes.Equal(got1, got2) {
+		t.Fatal("corruption is not deterministic per seed")
+	}
+
+	var none Outcome
+	if got := none.CorruptBytes(data); !bytes.Equal(got, data) {
+		t.Fatal("non-corrupt outcome changed the bytes")
+	}
+	if got := o1.CorruptBytes(nil); got != nil {
+		t.Fatal("corrupting empty bytes should be a no-op")
+	}
+}
+
+// TestWaitHonorsContext: an injected stall is cancelable.
+func TestWaitHonorsContext(t *testing.T) {
+	o := Outcome{Delay: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- o.Wait(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Wait returned nil after cancellation")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait ignored the canceled context")
+	}
+	if err := (Outcome{}).Wait(context.Background()); err != nil {
+		t.Fatalf("zero-delay Wait: %v", err)
+	}
+}
+
+// TestActiveSites: sorted names of the installed plan, recorded by run
+// manifests.
+func TestActiveSites(t *testing.T) {
+	defer Deactivate()
+	if got := ActiveSites(); got != nil {
+		t.Fatalf("inactive ActiveSites = %v", got)
+	}
+	Activate(Uniform(1, SiteConfig{ErrRate: 0.1}, "z.site", "a.site", "m.site"))
+	got := ActiveSites()
+	want := []string{"a.site", "m.site", "z.site"}
+	if len(got) != len(want) {
+		t.Fatalf("ActiveSites = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ActiveSites = %v, want %v (sorted)", got, want)
+		}
+	}
+}
+
+// TestObsCounters: injections are visible in the metric registry.
+func TestObsCounters(t *testing.T) {
+	defer Deactivate()
+	Activate(Plan{Seed: 2, Sites: map[string]SiteConfig{"metrics.site": {ErrRate: 1}}})
+	before := obs.GetCounter("fault.metrics.site.errors").Value()
+	checksBefore := obs.GetCounter("fault.metrics.site.checks").Value()
+	for i := 0; i < 10; i++ {
+		Check("metrics.site")
+	}
+	if got := obs.GetCounter("fault.metrics.site.errors").Value() - before; got != 10 {
+		t.Fatalf("errors counter advanced by %d, want 10", got)
+	}
+	if got := obs.GetCounter("fault.metrics.site.checks").Value() - checksBefore; got != 10 {
+		t.Fatalf("checks counter advanced by %d, want 10", got)
+	}
+}
+
+// TestConcurrentChecksRaceClean hammers one site from many goroutines —
+// the per-site lock must keep the stream internally consistent (run
+// under -race by scripts/check.sh). Cross-goroutine ordering is
+// explicitly not deterministic; only data-race freedom is asserted.
+func TestConcurrentChecksRaceClean(t *testing.T) {
+	defer Deactivate()
+	Activate(Plan{Seed: 9, Sites: map[string]SiteConfig{"hot": {ErrRate: 0.5, CorruptRate: 0.5}}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				o := Check("hot")
+				o.CorruptBytes([]byte{1, 2, 3})
+			}
+		}()
+	}
+	// Flip plans concurrently — Activate/Check must not race.
+	for i := 0; i < 20; i++ {
+		Activate(Plan{Seed: int64(i), Sites: map[string]SiteConfig{"hot": {ErrRate: 0.5}}})
+	}
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package model
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"repro/internal/gp"
 	"repro/internal/kernel"
@@ -93,9 +94,14 @@ func matrixOut(m *linalg.Matrix) matrixJSON {
 }
 
 func (m matrixJSON) build() (*linalg.Matrix, error) {
-	if m.Rows < 0 || m.Cols < 0 || len(m.Data) != m.Rows*m.Cols {
-		return nil, fmt.Errorf("model: matrix shape %dx%d does not match %d elements",
-			m.Rows, m.Cols, len(m.Data))
+	// The element-count comparison must not be reachable through integer
+	// overflow: a forged shape like 2^31 x 2^33 wraps Rows*Cols to 0 and
+	// would "match" an empty Data slice, yielding a matrix whose Row()
+	// panics. Bound the product first.
+	if m.Rows < 0 || m.Cols < 0 || (m.Rows > 0 && m.Cols > math.MaxInt/m.Rows) ||
+		len(m.Data) != m.Rows*m.Cols {
+		return nil, fmt.Errorf("%w: matrix shape %dx%d does not match %d elements",
+			ErrInvalid, m.Rows, m.Cols, len(m.Data))
 	}
 	return &linalg.Matrix{Rows: m.Rows, Cols: m.Cols, Data: m.Data}, nil
 }
@@ -300,7 +306,7 @@ func decodePayload(env *Envelope) (any, error) {
 			return nil, err
 		}
 		if len(p.Alpha) != sv.Rows {
-			return nil, fmt.Errorf("model: svc has %d support vectors but %d alphas", sv.Rows, len(p.Alpha))
+			return nil, fmt.Errorf("%w: svc has %d support vectors but %d alphas", ErrInvalid, sv.Rows, len(p.Alpha))
 		}
 		return svm.RestoreSVC(k, sv, p.Alpha, p.B, p.Classes), nil
 	case KindOneClass:
@@ -317,7 +323,7 @@ func decodePayload(env *Envelope) (any, error) {
 			return nil, err
 		}
 		if len(p.Alpha) != sv.Rows {
-			return nil, fmt.Errorf("model: oneclass has %d support vectors but %d alphas", sv.Rows, len(p.Alpha))
+			return nil, fmt.Errorf("%w: oneclass has %d support vectors but %d alphas", ErrInvalid, sv.Rows, len(p.Alpha))
 		}
 		return &svm.OneClass{K: k, SV: sv, Alpha: p.Alpha, Rho: p.Rho, Nu: p.Nu}, nil
 	case KindRidge:
@@ -344,8 +350,8 @@ func decodePayload(env *Envelope) (any, error) {
 			return nil, err
 		}
 		if len(p.Alpha) != x.Rows || chol.Rows != x.Rows || chol.Cols != x.Rows {
-			return nil, fmt.Errorf("model: gp shapes disagree: %d training rows, %d alphas, %dx%d chol",
-				x.Rows, len(p.Alpha), chol.Rows, chol.Cols)
+			return nil, fmt.Errorf("%w: gp shapes disagree: %d training rows, %d alphas, %dx%d chol",
+				ErrInvalid, x.Rows, len(p.Alpha), chol.Rows, chol.Cols)
 		}
 		return gp.Restore(k, x, p.Alpha, chol, p.Mean, p.Noise), nil
 	case KindTree:
@@ -354,7 +360,7 @@ func decodePayload(env *Envelope) (any, error) {
 			return nil, err
 		}
 		if p.Root == nil {
-			return nil, fmt.Errorf("model: tree artifact has no root node")
+			return nil, fmt.Errorf("%w: tree artifact has no root node", ErrInvalid)
 		}
 		return &tree.Tree{
 			Root: p.Root.build(),
@@ -372,7 +378,7 @@ func decodePayload(env *Envelope) (any, error) {
 			r := &rules.Rule{Class: rj.Class, WRAcc: rj.WRAcc, Coverage: rj.Coverage, Positives: rj.Positives}
 			for _, c := range rj.Conditions {
 				if c.Op != int(rules.LE) && c.Op != int(rules.GT) {
-					return nil, fmt.Errorf("model: ruleset condition has unknown op %d", c.Op)
+					return nil, fmt.Errorf("%w: ruleset condition has unknown op %d", ErrInvalid, c.Op)
 				}
 				r.Conditions = append(r.Conditions, rules.Condition{
 					Feature: c.Feature, Op: rules.Op(c.Op), Threshold: c.Threshold, Name: c.Name,

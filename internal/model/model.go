@@ -32,6 +32,7 @@ package model
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -39,6 +40,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -70,7 +72,20 @@ var (
 	ErrChecksum      = errors.New("model: payload checksum mismatch")
 	ErrKind          = errors.New("model: unknown model kind")
 	ErrKernel        = errors.New("model: unsupported kernel")
+	// ErrInvalid marks an artifact that parsed but describes a model the
+	// scorer could not run safely: non-finite parameters, out-of-range
+	// feature indices, missing tree children, absurd dimensions.
+	ErrInvalid = errors.New("model: invalid payload")
+	// ErrOversize marks an artifact larger than MaxArtifactBytes; Load
+	// refuses it before reading, Decode before parsing.
+	ErrOversize = errors.New("model: artifact exceeds size limit")
 )
+
+// MaxArtifactBytes caps artifact size. The largest legitimate artifact
+// (a GP with its full Cholesky factor) is a few megabytes; 64 MiB keeps
+// an order of magnitude of headroom while making "envelope the size of
+// the disk" a loud typed error instead of an allocation storm.
+const MaxArtifactBytes = 64 << 20
 
 // Envelope is the stable outer layer of an artifact. Everything a
 // loader must validate or a registry wants to display lives here; the
@@ -172,9 +187,23 @@ func Save(path string, m any, meta Meta) (*Artifact, error) {
 }
 
 // Decode validates an envelope and rebuilds the fitted model. It fails
-// on unknown schema versions, checksum mismatches, unknown kinds, and
-// malformed payloads.
+// loudly — a typed error, never a panic — on oversized input, unknown
+// schema versions, checksum mismatches, unknown kinds, malformed
+// payloads, and payloads describing models the scorer could not run
+// safely (see validate.go). The fault.SiteModelDecode injection site
+// sits at the front so chaos runs can exercise every one of those
+// refusal paths plus artificial decode latency.
 func Decode(data []byte) (*Artifact, error) {
+	if o := fault.Check(fault.SiteModelDecode); o.Err != nil || o.Delay > 0 || o.Corrupt {
+		o.Wait(context.Background()) //nolint:errcheck — background ctx never cancels
+		if o.Err != nil {
+			return nil, o.Err
+		}
+		data = o.CorruptBytes(data)
+	}
+	if len(data) > MaxArtifactBytes {
+		return nil, fmt.Errorf("%w: %d bytes > %d", ErrOversize, len(data), MaxArtifactBytes)
+	}
 	var env Envelope
 	if err := json.Unmarshal(data, &env); err != nil {
 		return nil, fmt.Errorf("model: parse envelope: %w", err)
@@ -182,6 +211,9 @@ func Decode(data []byte) (*Artifact, error) {
 	if env.SchemaVersion != SchemaVersion {
 		return nil, fmt.Errorf("%w: got %d, this build reads %d",
 			ErrSchemaVersion, env.SchemaVersion, SchemaVersion)
+	}
+	if err := validateEnvelope(&env); err != nil {
+		return nil, err
 	}
 	got, err := checksum(env.Payload)
 	if err != nil {
@@ -195,11 +227,18 @@ func Decode(data []byte) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := validateModel(m, &env); err != nil {
+		return nil, err
+	}
 	return &Artifact{Envelope: env, Model: m}, nil
 }
 
-// Load reads and decodes the artifact file at path.
+// Load reads and decodes the artifact file at path, refusing oversized
+// files before reading them into memory.
 func Load(path string) (*Artifact, error) {
+	if fi, err := os.Stat(path); err == nil && fi.Size() > MaxArtifactBytes {
+		return nil, fmt.Errorf("%s: %w: %d bytes > %d", path, ErrOversize, fi.Size(), MaxArtifactBytes)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("model: read artifact: %w", err)

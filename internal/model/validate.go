@@ -1,0 +1,172 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gp"
+	"repro/internal/linalg"
+	"repro/internal/linear"
+	"repro/internal/rules"
+	"repro/internal/svm"
+	"repro/internal/tree"
+)
+
+// Adversarial-artifact hardening. Decode runs every rebuilt model
+// through validateModel before handing it to a caller, so a hostile or
+// corrupted artifact fails loudly with ErrInvalid instead of producing
+// a model that panics (nil tree children, out-of-range feature
+// indices), out-of-memory allocates (absurd feature counts reaching the
+// batcher), or silently poisons predictions (NaN/Inf smuggled into
+// weights). Legitimate artifacts — everything Encode writes — pass by
+// construction.
+
+// MaxFeatures bounds the declared feature count. The batcher allocates
+// batch×features matrices from this number, so an unbounded value is an
+// OOM lever; 2^20 features is far beyond anything the experiments use.
+const MaxFeatures = 1 << 20
+
+// maxTreeNodes bounds the node count of a decoded tree — a forged
+// artifact must not smuggle an effectively unbounded structure past the
+// size cap through pathological nesting.
+const maxTreeNodes = 1 << 22
+
+// finite returns an error naming the first non-finite value in xs.
+func finite(what string, xs []float64) error {
+	for i, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: %s[%d] is %v", ErrInvalid, what, i, v)
+		}
+	}
+	return nil
+}
+
+func finiteScalar(what string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%w: %s is %v", ErrInvalid, what, v)
+	}
+	return nil
+}
+
+func finiteMatrix(what string, m *linalg.Matrix) error {
+	return finite(what+".data", m.Data)
+}
+
+// validateEnvelope checks the kind-independent fields.
+func validateEnvelope(env *Envelope) error {
+	if env.Features < 0 || env.Features > MaxFeatures {
+		return fmt.Errorf("%w: features = %d (must be 0..%d)", ErrInvalid, env.Features, MaxFeatures)
+	}
+	return nil
+}
+
+// validateModel checks the rebuilt model against its envelope: finite
+// parameters, structurally sound trees/rules, and feature indices that
+// stay inside the width the scorer will demand of every instance.
+func validateModel(m any, env *Envelope) error {
+	switch mm := m.(type) {
+	case *svm.SVC:
+		if mm.SV.Cols != env.Features {
+			return fmt.Errorf("%w: svc support vectors are %d wide, envelope says %d",
+				ErrInvalid, mm.SV.Cols, env.Features)
+		}
+		if err := finiteMatrix("sv", mm.SV); err != nil {
+			return err
+		}
+		if err := finite("alpha", mm.Alpha); err != nil {
+			return err
+		}
+		if err := finiteScalar("b", mm.B); err != nil {
+			return err
+		}
+		cls := mm.Classes()
+		return finite("classes", cls[:])
+	case *svm.OneClass:
+		if mm.SV.Cols != env.Features {
+			return fmt.Errorf("%w: oneclass support vectors are %d wide, envelope says %d",
+				ErrInvalid, mm.SV.Cols, env.Features)
+		}
+		if err := finiteMatrix("sv", mm.SV); err != nil {
+			return err
+		}
+		if err := finite("alpha", mm.Alpha); err != nil {
+			return err
+		}
+		return finiteScalar("rho", mm.Rho)
+	case *linear.Regression:
+		if len(mm.W) != env.Features {
+			return fmt.Errorf("%w: ridge has %d weights, envelope says %d features",
+				ErrInvalid, len(mm.W), env.Features)
+		}
+		if err := finite("w", mm.W); err != nil {
+			return err
+		}
+		return finiteScalar("b", mm.B)
+	case *gp.Regressor:
+		if mm.X.Cols != env.Features {
+			return fmt.Errorf("%w: gp training inputs are %d wide, envelope says %d",
+				ErrInvalid, mm.X.Cols, env.Features)
+		}
+		if err := finiteMatrix("x", mm.X); err != nil {
+			return err
+		}
+		if err := finite("alpha", mm.Alpha()); err != nil {
+			return err
+		}
+		if err := finiteMatrix("chol", mm.Chol()); err != nil {
+			return err
+		}
+		if err := finiteScalar("mean", mm.Mean()); err != nil {
+			return err
+		}
+		return finiteScalar("noise", mm.Noise())
+	case *tree.Tree:
+		n := 0
+		return validateTreeNode(mm.Root, env.Features, &n)
+	case *rules.RuleSet:
+		for ri, r := range mm.Rules {
+			if r == nil {
+				return fmt.Errorf("%w: rule %d is null", ErrInvalid, ri)
+			}
+			for ci, c := range r.Conditions {
+				if c.Feature < 0 || c.Feature >= env.Features {
+					return fmt.Errorf("%w: rule %d condition %d tests feature %d, envelope allows 0..%d",
+						ErrInvalid, ri, ci, c.Feature, env.Features-1)
+				}
+				if err := finiteScalar(fmt.Sprintf("rule[%d].threshold[%d]", ri, ci), c.Threshold); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: no validator for %T", ErrKind, m)
+	}
+}
+
+// validateTreeNode walks the decoded tree: every interior node must
+// have both children and an in-range split feature, every value must be
+// finite, and the total node count stays bounded.
+func validateTreeNode(n *tree.Node, features int, count *int) error {
+	if n == nil {
+		return fmt.Errorf("%w: tree has a non-leaf node with a missing child", ErrInvalid)
+	}
+	*count++
+	if *count > maxTreeNodes {
+		return fmt.Errorf("%w: tree exceeds %d nodes", ErrInvalid, maxTreeNodes)
+	}
+	if n.Leaf {
+		return finiteScalar("leaf value", n.Value)
+	}
+	if n.Feature < 0 || n.Feature >= features {
+		return fmt.Errorf("%w: tree splits on feature %d, envelope allows 0..%d",
+			ErrInvalid, n.Feature, features-1)
+	}
+	if err := finiteScalar("threshold", n.Threshold); err != nil {
+		return err
+	}
+	if err := validateTreeNode(n.Left, features, count); err != nil {
+		return err
+	}
+	return validateTreeNode(n.Right, features, count)
+}

@@ -30,8 +30,14 @@ type Manifest struct {
 	VCSModified bool      `json:"vcs_modified,omitempty"`
 	Start       time.Time `json:"start"`
 	WallSeconds float64   `json:"wall_seconds"`
-	Stages      []Stage   `json:"stages"`
-	Metrics     []Metric  `json:"metrics"`
+	// FaultSites names the fault-injection sites active during the run
+	// (empty for a clean run). CLIs set it from fault.ActiveSites() —
+	// obs cannot import internal/fault (fault's counters come from obs)
+	// — so a chaos run is identifiable from its manifest alone and can
+	// be reproduced from its seed.
+	FaultSites []string `json:"fault_sites,omitempty"`
+	Stages     []Stage  `json:"stages"`
+	Metrics    []Metric `json:"metrics"`
 }
 
 // BuildRevision reports the VCS revision the running binary was built

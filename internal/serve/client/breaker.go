@@ -1,0 +1,129 @@
+package client
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Breaker transition metrics: how often the circuit opened, and how
+// half-open probes resolved.
+var (
+	breakerOpens    = obs.GetCounter("client.breaker_opens")
+	breakerCloses   = obs.GetCounter("client.breaker_closes")
+	breakerReopens  = obs.GetCounter("client.breaker_reopens")
+	breakerHalfOpen = obs.GetCounter("client.breaker_half_opens")
+)
+
+// breaker is a three-state circuit breaker.
+//
+//	closed    — calls flow; consecutive failures are counted, and
+//	            reaching the threshold opens the circuit.
+//	open      — calls fail fast until the cooldown elapses.
+//	half-open — exactly one probe call is allowed through; success
+//	            closes the circuit, failure re-opens it (and restarts
+//	            the cooldown).
+//
+// The clock is injected so tests (and the deterministic chaos harness)
+// can drive transitions without real sleeps.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	st       breakerStateID
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // half-open: the single probe slot is taken
+}
+
+type breakerStateID int
+
+const (
+	stClosed breakerStateID = iota
+	stOpen
+	stHalfOpen
+)
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a call may proceed. When the circuit is open
+// and cooling down it returns false and how long until a probe would be
+// admitted; when the cooldown has elapsed it admits a single half-open
+// probe.
+func (b *breaker) allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.st {
+	case stClosed:
+		return true, 0
+	case stOpen:
+		elapsed := b.now().Sub(b.openedAt)
+		if elapsed < b.cooldown {
+			return false, b.cooldown - elapsed
+		}
+		b.st = stHalfOpen
+		b.probing = true
+		breakerHalfOpen.Inc()
+		return true, 0
+	default: // stHalfOpen
+		if b.probing {
+			// A probe is already in flight; everyone else waits it out.
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// onSuccess records a successful call.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.st == stHalfOpen {
+		breakerCloses.Inc()
+	}
+	b.st = stClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// onFailure records a failed call; enough consecutive failures (or a
+// failed half-open probe) open the circuit.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.st {
+	case stHalfOpen:
+		b.st = stOpen
+		b.openedAt = b.now()
+		b.probing = false
+		breakerReopens.Inc()
+	case stClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.st = stOpen
+			b.openedAt = b.now()
+			breakerOpens.Inc()
+		}
+	default: // already open (e.g. a slow call finishing after the trip)
+	}
+}
+
+// state names the current state for tests and introspection.
+func (b *breaker) state() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.st {
+	case stOpen:
+		return "open"
+	case stHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -1,0 +1,364 @@
+// Package client is the resilient, typed HTTP client for the serving
+// layer (internal/serve): per-attempt timeouts, capped exponential
+// backoff with deterministic jitter, a retry budget, and a three-state
+// circuit breaker. It is the caller-side half of the resilience story —
+// the server sheds, times out, and isolates; the client retries what is
+// safe to retry, backs off instead of hammering, and stops calling a
+// host that is clearly down.
+//
+// Retry policy: 5xx and 429 responses and transport errors are
+// retryable (predict is idempotent — same instances, same model, same
+// answer, the repo-wide determinism contract). 4xx responses other
+// than 429 are the caller's bug and are never retried. Every retry
+// spends one token from a shared budget that successes refill, so a
+// fleet-wide outage degrades to "one try each" instead of a retry
+// storm. The breaker opens after a run of consecutive failures, fails
+// fast while open, and lets a single probe through after a cooldown
+// (half-open); the probe's outcome closes or re-opens it.
+//
+// Determinism: all jitter comes from a seeded math/rand source owned by
+// the client, and the breaker clock is injectable, so chaos tests
+// replay identical retry schedules from a seed (see chaos_e2e_test).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Client metrics: attempts, retries, failures, and breaker behavior.
+var (
+	attemptsTotal  = obs.GetCounter("client.attempts")
+	retriesTotal   = obs.GetCounter("client.retries")
+	failuresTotal  = obs.GetCounter("client.failures")
+	budgetExhaust  = obs.GetCounter("client.retry_budget_exhausted")
+	breakerFastNos = obs.GetCounter("client.breaker_fast_failures")
+)
+
+// Sentinel errors; match with errors.Is.
+var (
+	// ErrBreakerOpen is returned when the circuit breaker refuses the
+	// call without attempting it.
+	ErrBreakerOpen = errors.New("client: circuit breaker open")
+	// ErrBudgetExhausted is returned when a retryable failure could not
+	// be retried because the retry budget is empty.
+	ErrBudgetExhausted = errors.New("client: retry budget exhausted")
+	// ErrPermanent wraps non-retryable HTTP failures (4xx except 429).
+	ErrPermanent = errors.New("client: permanent failure")
+)
+
+// Config tunes the client. The zero value gets sane defaults.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:9090".
+	BaseURL string
+	// Timeout bounds each attempt (connection + response). Default 5s.
+	Timeout time.Duration
+	// MaxAttempts caps tries per call (first + retries). Default 4.
+	MaxAttempts int
+	// BackoffBase is the first retry's nominal delay. Default 10ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential growth. Default 1s.
+	BackoffMax time.Duration
+	// RetryBudget is the token pool shared by all retries; each retry
+	// spends one, each success refunds one (up to the cap). Default 32.
+	RetryBudget int
+	// BreakerThreshold opens the breaker after this many consecutive
+	// failures. Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before letting
+	// a half-open probe through. Default 2s.
+	BreakerCooldown time.Duration
+	// Seed drives the backoff jitter. Same seed, same jitter sequence.
+	Seed int64
+	// Priority, when set, is sent as the X-Priority header (low | high)
+	// so the server's shedder can triage this client's traffic.
+	Priority string
+	// HTTPClient overrides the transport; by default a plain
+	// http.Client with the per-attempt timeout.
+	HTTPClient *http.Client
+	// now overrides the breaker clock in tests.
+	now func() time.Time
+	// sleep overrides backoff sleeping in tests.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c *Config) defaults() {
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 32
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.sleep == nil {
+		c.sleep = sleepCtx
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Client is a resilient caller of one serving host. Safe for
+// concurrent use; the jitter stream and retry budget are locked.
+type Client struct {
+	cfg     Config
+	http    *http.Client
+	breaker *breaker
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	budget int
+}
+
+// New builds a client for the server at cfg.BaseURL.
+func New(cfg Config) *Client {
+	cfg.defaults()
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: cfg.Timeout}
+	}
+	return &Client{
+		cfg:     cfg,
+		http:    hc,
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		budget:  cfg.RetryBudget,
+	}
+}
+
+// Prediction is the typed result of one Predict call.
+type Prediction struct {
+	Model       string    `json:"model"`
+	Kind        string    `json:"kind"`
+	Predictions []float64 `json:"predictions"`
+}
+
+// errorBody is the server's {"error": ...} shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// httpStatusError is a non-2xx reply.
+type httpStatusError struct {
+	status int
+	msg    string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.status, e.msg)
+}
+
+// retryable reports whether err is worth another attempt: transport
+// errors, 5xx, and 429 are; other 4xx are permanent.
+func retryable(err error) bool {
+	var se *httpStatusError
+	if errors.As(err, &se) {
+		return se.status >= 500 || se.status == http.StatusTooManyRequests
+	}
+	// Transport-level failure (refused connection, per-attempt timeout).
+	return !errors.Is(err, ErrPermanent)
+}
+
+// Predict scores instances against the named model, retrying through
+// the backoff schedule, the retry budget, and the circuit breaker.
+func (c *Client) Predict(ctx context.Context, modelName string, instances [][]float64) (*Prediction, error) {
+	body, err := json.Marshal(map[string][][]float64{"instances": instances})
+	if err != nil {
+		return nil, fmt.Errorf("client: marshal request: %w", err)
+	}
+	var out Prediction
+	err = c.call(ctx, http.MethodPost, "/predict/"+modelName, body, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz reports whether the server answers its liveness probe.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.call(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Readyz reports whether the server is ready for traffic.
+func (c *Client) Readyz(ctx context.Context) error {
+	return c.call(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// Metrics fetches the server's observability snapshot.
+func (c *Client) Metrics(ctx context.Context) ([]obs.Metric, error) {
+	var snap []obs.Metric
+	if err := c.call(ctx, http.MethodGet, "/metrics", nil, &snap); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// call drives one logical request through attempts, backoff, budget,
+// and breaker. A breaker-open refusal sleeps until the cooldown allows
+// a probe (counting the wait as an attempt) so the deterministic
+// attempt sequence is preserved rather than failing fast forever.
+func (c *Client) call(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if !c.spendRetryToken() {
+				budgetExhaust.Inc()
+				return fmt.Errorf("%w after %d attempts: %v", ErrBudgetExhausted, attempt, lastErr)
+			}
+			retriesTotal.Inc()
+			if err := c.cfg.sleep(ctx, c.backoff(attempt-1)); err != nil {
+				return err
+			}
+		}
+		if ok, retryAfter := c.breaker.allow(); !ok {
+			breakerFastNos.Inc()
+			lastErr = fmt.Errorf("%w (retry after %v)", ErrBreakerOpen, retryAfter)
+			// Wait out the cooldown so the next attempt can be the
+			// half-open probe; this consumes an attempt like any retry.
+			if err := c.cfg.sleep(ctx, retryAfter); err != nil {
+				return err
+			}
+			continue
+		}
+		attemptsTotal.Inc()
+		err := c.once(ctx, method, path, body, out)
+		if err == nil {
+			c.breaker.onSuccess()
+			c.refundRetryToken()
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			// The caller's bug, not the server's health: no breaker
+			// penalty, no retry.
+			failuresTotal.Inc()
+			return err
+		}
+		c.breaker.onFailure()
+	}
+	failuresTotal.Inc()
+	return fmt.Errorf("client: %d attempts failed: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// once is a single HTTP attempt with the per-attempt timeout.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.cfg.Priority != "" {
+		req.Header.Set("X-Priority", c.cfg.Priority)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb errorBody
+		_ = json.Unmarshal(data, &eb)
+		se := &httpStatusError{status: resp.StatusCode, msg: eb.Error}
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+			return fmt.Errorf("%w: %s", ErrPermanent, se.Error())
+		}
+		return se
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("client: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// backoff returns the sleep before retry number retry (0-based): the
+// capped exponential raw = min(base<<retry, max), jittered uniformly
+// into [raw/2, raw] from the client's seeded stream. Deterministic per
+// seed; never more than BackoffMax; never less than half the nominal.
+func (c *Client) backoff(retry int) time.Duration {
+	raw := c.cfg.BackoffBase
+	for i := 0; i < retry && raw < c.cfg.BackoffMax; i++ {
+		raw *= 2
+	}
+	if raw > c.cfg.BackoffMax {
+		raw = c.cfg.BackoffMax
+	}
+	c.mu.Lock()
+	f := c.rng.Float64()
+	c.mu.Unlock()
+	half := raw / 2
+	return half + time.Duration(f*float64(raw-half))
+}
+
+func (c *Client) spendRetryToken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget <= 0 {
+		return false
+	}
+	c.budget--
+	return true
+}
+
+func (c *Client) refundRetryToken() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget < c.cfg.RetryBudget {
+		c.budget++
+	}
+}
+
+// BreakerState exposes the breaker's current state for tests and
+// operational introspection.
+func (c *Client) BreakerState() string { return c.breaker.state() }

@@ -15,14 +15,28 @@
 //     max batch size and max queue wait.
 //   - A bounded kernel-row LRU per kernel model (see cache.go) reuses
 //     k(x, SV_*) rows across repeated inputs.
-//   - Bounded in-flight concurrency: when MaxInFlight predict requests
-//     are already being served, new ones are rejected with 429 rather
-//     than queued without limit — backpressure instead of collapse.
+//   - Bounded in-flight concurrency with priority-aware load shedding:
+//     predict requests declare a priority via the X-Priority header
+//     (low | normal | high) and each tier sheds (429) at its own slice
+//     of MaxInFlight — low at 50%, normal at 90%, high only at 100% —
+//     so overload sacrifices the least-important traffic first.
+//     /healthz and /readyz never pass through the shedder: probes stay
+//     fast and truthful under full load.
+//   - Per-request deadlines (Config.RequestTimeout): the request
+//     context propagates into the batcher and down to kernel eval, and
+//     an expired deadline returns 504 instead of holding a connection.
+//   - Panic isolation: a recovery middleware turns any handler panic
+//     into a 500 plus a serve.panics_recovered counter increment — one
+//     poisoned request cannot take down the process.
+//   - Fault-injection sites (internal/fault) at kernel evaluation and
+//     request decoding, so chaos tests can drive errors, latency, and
+//     corruption through the full stack deterministically.
 //   - /healthz (process up) and /readyz (models loaded, not draining),
 //     per-endpoint latency histograms and counters through internal/obs
 //     (exported at /metrics), and graceful drain on shutdown: readiness
-//     flips first, in-flight requests finish within a deadline, queues
-//     empty before the process exits.
+//     flips first, in-flight requests finish within Config.DrainTimeout
+//     (a stalled queue is context-canceled, then abandoned), so SIGTERM
+//     always exits within the deadline.
 //
 // The serving layer inherits the repository's determinism contract:
 // batching, caching, and concurrency change only the grouping of work,
@@ -31,9 +45,11 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -41,6 +57,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/linalg"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -57,7 +74,41 @@ var (
 	instances     = obs.GetCounter("serve.instances_scored")
 	cacheHits     = obs.GetCounter("serve.kernel_row_cache_hits")
 	cacheMisses   = obs.GetCounter("serve.kernel_row_cache_misses")
+
+	panicsRecovered  = obs.GetCounter("serve.panics_recovered")
+	deadlineExceeded = obs.GetCounter("serve.deadline_exceeded")
+	shedByPriority   = map[priority]*obs.Counter{
+		prioLow:    obs.GetCounter("serve.shed.low"),
+		prioNormal: obs.GetCounter("serve.shed.normal"),
+		prioHigh:   obs.GetCounter("serve.shed.high"),
+	}
 )
+
+// MaxRequestBytes caps a predict request body. Far beyond any
+// legitimate batch, small enough that a hostile body is a 413, not an
+// allocation storm.
+const MaxRequestBytes = 32 << 20
+
+// priority is a predict request's load-shedding tier.
+type priority int
+
+const (
+	prioLow priority = iota
+	prioNormal
+	prioHigh
+)
+
+// priorityOf reads the X-Priority header; unknown values are normal.
+func priorityOf(r *http.Request) priority {
+	switch strings.ToLower(r.Header.Get("X-Priority")) {
+	case "low":
+		return prioLow
+	case "high":
+		return prioHigh
+	default:
+		return prioNormal
+	}
+}
 
 // Config controls the serving behavior.
 type Config struct {
@@ -68,11 +119,22 @@ type Config struct {
 	// waiting for more requests. Default 2ms.
 	MaxWait time.Duration
 	// MaxInFlight bounds concurrently served predict requests; excess
-	// requests get 429. Default 256.
+	// requests get 429, lowest priority first (low tier sheds at 50% of
+	// the bound, normal at 90%, high at 100%). Default 256.
 	MaxInFlight int
 	// CacheRows is the kernel-row LRU capacity per kernel model; 0
 	// disables the cache. Default 1024.
 	CacheRows int
+	// RequestTimeout is the per-request deadline for predict requests:
+	// the request context (and through it the batcher and kernel eval)
+	// is canceled when it expires, and the caller gets 504. Zero
+	// disables the deadline.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds Close: each model queue gets this long to
+	// drain normally before its scoring context is canceled (and, as a
+	// last resort against a scorer that ignores cancellation, the queue
+	// goroutine abandoned). Default 5s.
+	DrainTimeout time.Duration
 }
 
 func (c *Config) defaults() {
@@ -87,6 +149,12 @@ func (c *Config) defaults() {
 	}
 	if c.CacheRows < 0 {
 		c.CacheRows = 0
+	}
+	if c.RequestTimeout < 0 {
+		c.RequestTimeout = 0
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
 	}
 }
 
@@ -109,7 +177,7 @@ type Server struct {
 	mu     sync.RWMutex
 	models map[string]*servedModel
 
-	inflight chan struct{}
+	inflight atomic.Int64
 	draining atomic.Bool
 	closed   atomic.Bool
 }
@@ -119,11 +187,45 @@ func New(cfg Config) *Server {
 	cfg.defaults()
 	inFlightGauge.Set(int64(cfg.MaxInFlight))
 	return &Server{
-		cfg:      cfg,
-		models:   make(map[string]*servedModel),
-		inflight: make(chan struct{}, cfg.MaxInFlight),
+		cfg:    cfg,
+		models: make(map[string]*servedModel),
 	}
 }
+
+// limitFor is the in-flight bound for one priority tier. Every tier
+// admits at least one request so a tiny MaxInFlight cannot starve low-
+// priority traffic entirely.
+func (s *Server) limitFor(p priority) int64 {
+	m := int64(s.cfg.MaxInFlight)
+	switch p {
+	case prioLow:
+		return max64(1, m/2)
+	case prioHigh:
+		return m
+	default:
+		return max64(1, m*9/10)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// acquire claims an in-flight slot for priority p, or reports shed.
+func (s *Server) acquire(p priority) bool {
+	if s.inflight.Add(1) > s.limitFor(p) {
+		s.inflight.Add(-1)
+		throttled.Inc()
+		shedByPriority[p].Inc()
+		return false
+	}
+	return true
+}
+
+func (s *Server) release() { s.inflight.Add(-1) }
 
 // Load registers an artifact under name (the artifact's own name when
 // empty), replacing any model already registered under it. The replaced
@@ -155,7 +257,7 @@ func (s *Server) Load(name string, a *model.Artifact) error {
 	modelsLoaded.Set(int64(len(s.models)))
 	s.mu.Unlock()
 	if old != nil {
-		go old.batcher.close()
+		go old.batcher.closeWithin(s.cfg.DrainTimeout)
 	}
 	return nil
 }
@@ -194,9 +296,23 @@ func (s *Server) model(name string) *servedModel {
 // row cache: cached rows are reused, missing rows are evaluated in one
 // parallel sweep, and every score is combined in request order by the
 // model's own serial accumulation — bit-identical to the uncached path.
-func (sm *servedModel) scoreBatch(x *linalg.Matrix) []float64 {
+// The fault.SiteKernelEval injection site sits at the front: an
+// injected error fails the batch, an injected delay stalls it under the
+// batch context, so drain and request deadlines stay enforceable.
+func (sm *servedModel) scoreBatch(ctx context.Context, x *linalg.Matrix) ([]float64, error) {
+	if o := fault.Check(fault.SiteKernelEval); o.Err != nil || o.Delay > 0 {
+		if err := o.Wait(ctx); err != nil {
+			return nil, err
+		}
+		if o.Err != nil {
+			return nil, o.Err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if sm.kx == nil || sm.cache == nil {
-		return sm.scorer.ScoreBatch(x)
+		return sm.scorer.ScoreBatch(x), nil
 	}
 	n := x.Rows
 	rows := make([][]float64, n)
@@ -231,7 +347,7 @@ func (sm *servedModel) scoreBatch(x *linalg.Matrix) []float64 {
 	for i := 0; i < n; i++ {
 		out[i] = sm.kx.Combine(rows[i])
 	}
-	return out
+	return out, nil
 }
 
 // predictRequest is the body of POST /predict/{model}.
@@ -264,7 +380,7 @@ type loadRequest struct {
 
 // Handler returns the server's HTTP mux:
 //
-//	GET  /healthz          process liveness (always 200)
+//	GET  /healthz          process liveness (always 200, never shed)
 //	GET  /readyz           503 until models are loaded; 503 when draining
 //	GET  /models           registered models and their provenance
 //	POST /models/load      hot-load an artifact file: {"path": ..., "name": ...}
@@ -281,8 +397,10 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// wrap mints the per-endpoint counter and latency histogram and times
-// every request through them.
+// wrap mints the per-endpoint counter and latency histogram, times
+// every request through them, and isolates handler panics: a panicking
+// handler answers 500 (best-effort, if nothing was written yet) and
+// increments serve.panics_recovered instead of killing the process.
 func (s *Server) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
 	scope := obs.Scope("serve." + name)
 	requests := scope.Counter("requests")
@@ -291,6 +409,12 @@ func (s *Server) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
 		requests.Inc()
 		t := latency.Start()
 		defer t.Stop()
+		defer func() {
+			if rec := recover(); rec != nil {
+				panicsRecovered.Inc()
+				httpError(w, http.StatusInternalServerError, "internal panic: "+toString(rec))
+			}
+		}()
 		h(w, r)
 	}
 }
@@ -343,7 +467,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req loadRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
@@ -375,14 +499,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	// Backpressure: reject rather than queue unboundedly.
-	select {
-	case s.inflight <- struct{}{}:
-		defer func() { <-s.inflight }()
-	default:
-		throttled.Inc()
+	// Backpressure: reject rather than queue unboundedly, shedding the
+	// lowest-priority tier first.
+	if !s.acquire(priorityOf(r)) {
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "too many in-flight requests")
 		return
+	}
+	defer s.release()
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
 	}
 
 	name := strings.TrimPrefix(r.URL.Path, "/predict/")
@@ -391,8 +521,34 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("no model %q loaded", name))
 		return
 	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", MaxRequestBytes))
+			return
+		}
+		httpError(w, http.StatusBadRequest, "read request body: "+err.Error())
+		return
+	}
+	// Chaos coverage of the decode boundary: injected errors surface as
+	// retryable 500s, injected delays respect the request deadline, and
+	// injected corruption flips body bytes so the JSON layer sees
+	// hostile input (a deterministic 400, which clients must not retry).
+	if o := fault.Check(fault.SitePredictDecode); o.Err != nil || o.Delay > 0 || o.Corrupt {
+		if werr := o.Wait(ctx); werr != nil {
+			s.deadline(w, werr)
+			return
+		}
+		if o.Err != nil {
+			httpError(w, http.StatusInternalServerError, o.Err.Error())
+			return
+		}
+		body = o.CorruptBytes(body)
+	}
 	var req predictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
@@ -413,8 +569,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// request batch with each other and with concurrent requests.
 	chans := make([]<-chan batchResponse, len(req.Instances))
 	for i, inst := range req.Instances {
-		ch, err := sm.batcher.submit(inst)
+		ch, err := sm.batcher.submit(ctx, inst)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				s.deadline(w, err)
+				return
+			}
 			httpError(w, http.StatusServiceUnavailable, err.Error())
 			return
 		}
@@ -422,8 +582,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	preds := make([]float64, len(chans))
 	for i, ch := range chans {
-		resp := <-ch
+		var resp batchResponse
+		select {
+		case resp = <-ch:
+		case <-ctx.Done():
+			// Abandon the wait: every pending reply channel is buffered,
+			// so the batcher never blocks delivering to a gone caller.
+			s.deadline(w, ctx.Err())
+			return
+		}
 		if resp.err != nil {
+			if errors.Is(resp.err, context.DeadlineExceeded) || errors.Is(resp.err, context.Canceled) {
+				s.deadline(w, resp.err)
+				return
+			}
 			httpError(w, http.StatusInternalServerError, resp.err.Error())
 			return
 		}
@@ -433,6 +605,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, predictResponse{
 		Model: name, Kind: string(sm.artifact.Envelope.Kind), Predictions: preds,
 	})
+}
+
+// deadline answers 504 for a request whose deadline expired in the
+// serving path and counts it.
+func (s *Server) deadline(w http.ResponseWriter, err error) {
+	deadlineExceeded.Inc()
+	httpError(w, http.StatusGatewayTimeout, "request deadline exceeded: "+err.Error())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -450,7 +629,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // requests already accepted keep being served.
 func (s *Server) StartDraining() { s.draining.Store(true) }
 
-// Close drains every model queue and releases the registry. Idempotent.
+// Close drains every model queue and releases the registry. Each queue
+// gets Config.DrainTimeout to empty; one that cannot (a stalled scorer)
+// is context-canceled and, at the last resort, abandoned — Close always
+// returns, so a SIGTERM handler calling it always exits. Idempotent.
 func (s *Server) Close() {
 	s.StartDraining()
 	if s.closed.Swap(true) {
@@ -462,16 +644,30 @@ func (s *Server) Close() {
 		models = append(models, sm)
 	}
 	s.mu.Unlock()
+	var wg sync.WaitGroup
 	for _, sm := range models {
-		sm.batcher.close()
+		wg.Add(1)
+		go func(sm *servedModel) {
+			defer wg.Done()
+			sm.batcher.closeWithin(s.cfg.DrainTimeout)
+		}(sm)
 	}
+	wg.Wait()
 }
 
+// writeJSON marshals before committing the status line: a value JSON
+// cannot represent (a +Inf prediction from an overflowing instance,
+// found by FuzzPredictHandler) becomes a clean 500 instead of a 200
+// header followed by an empty body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data, _ = json.Marshal(map[string]string{"error": "encode response: " + err.Error()})
+		status = http.StatusInternalServerError
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.Encode(v) //nolint:errcheck — nothing to do on a failed reply write
+	w.Write(append(data, '\n')) //nolint:errcheck — nothing to do on a failed reply write
 }
 
 func httpError(w http.ResponseWriter, status int, msg string) {

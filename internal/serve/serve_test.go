@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -213,11 +214,17 @@ func TestCacheDoesNotChangePredictions(t *testing.T) {
 		if sm.cache == nil {
 			t.Fatal("kernel model should have a row cache")
 		}
-		first := sm.scoreBatch(tr.Probes)
+		first, err := sm.scoreBatch(context.Background(), tr.Probes)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if sm.cache.len() == 0 {
 			t.Fatal("cache stayed empty after scoring")
 		}
-		second := sm.scoreBatch(tr.Probes) // all hits
+		second, err := sm.scoreBatch(context.Background(), tr.Probes) // all hits
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i := range first {
 			if first[i] != second[i] || first[i] != tr.Want[i] {
 				t.Fatalf("probe %d: uncached %v, cached %v, want %v", i, first[i], second[i], tr.Want[i])
@@ -226,19 +233,19 @@ func TestCacheDoesNotChangePredictions(t *testing.T) {
 	}
 }
 
-// TestBackpressure429: with the in-flight semaphore full, predict
+// TestBackpressure429: with the in-flight counter full, predict
 // requests are rejected with 429 instead of queueing without bound.
 func TestBackpressure429(t *testing.T) {
 	s := newTestServer(t, Config{MaxInFlight: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	s.inflight <- struct{}{} // occupy the only slot
+	s.inflight.Store(1) // occupy the only slot
 	status, _ := postPredict(t, ts.URL, "ridge", [][]float64{make([]float64, 8)})
 	if status != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", status)
 	}
-	<-s.inflight
+	s.inflight.Store(0)
 	status, _ = postPredict(t, ts.URL, "ridge", [][]float64{make([]float64, 8)})
 	if status != http.StatusOK {
 		t.Fatalf("after releasing the slot: status = %d, want 200", status)
@@ -379,19 +386,19 @@ func TestPredictValidation(t *testing.T) {
 // TestBatcherDrain: every request accepted before close is answered;
 // requests after close get ErrDraining.
 func TestBatcherDrain(t *testing.T) {
-	score := func(x *linalg.Matrix) []float64 {
+	score := func(_ context.Context, x *linalg.Matrix) ([]float64, error) {
 		time.Sleep(time.Millisecond) // let requests pile up behind a batch
 		out := make([]float64, x.Rows)
 		for i := range out {
 			out[i] = x.Row(i)[0] * 2
 		}
-		return out
+		return out, nil
 	}
 	b := newBatcher(score, 1, 4, 50*time.Millisecond)
 	const n = 32
 	chans := make([]<-chan batchResponse, n)
 	for i := 0; i < n; i++ {
-		ch, err := b.submit([]float64{float64(i)})
+		ch, err := b.submit(context.Background(), []float64{float64(i)})
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -407,7 +414,7 @@ func TestBatcherDrain(t *testing.T) {
 			t.Fatalf("request %d: %v, want %v", i, resp.value, float64(i)*2)
 		}
 	}
-	if _, err := b.submit([]float64{1}); err != ErrDraining {
+	if _, err := b.submit(context.Background(), []float64{1}); err != ErrDraining {
 		t.Fatalf("submit after close: %v, want ErrDraining", err)
 	}
 	b.close() // idempotent
@@ -417,23 +424,23 @@ func TestBatcherDrain(t *testing.T) {
 // and the batcher keeps serving.
 func TestBatcherPanicRecovery(t *testing.T) {
 	calls := 0
-	score := func(x *linalg.Matrix) []float64 {
+	score := func(_ context.Context, x *linalg.Matrix) ([]float64, error) {
 		calls++
 		if calls == 1 {
 			panic("boom")
 		}
-		return make([]float64, x.Rows)
+		return make([]float64, x.Rows), nil
 	}
 	b := newBatcher(score, 1, 1, time.Millisecond)
 	defer b.close()
-	ch, err := b.submit([]float64{1})
+	ch, err := b.submit(context.Background(), []float64{1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp := <-ch; resp.err == nil {
 		t.Fatal("panic was not surfaced as an error")
 	}
-	ch, err = b.submit([]float64{2})
+	ch, err = b.submit(context.Background(), []float64{2})
 	if err != nil {
 		t.Fatal(err)
 	}

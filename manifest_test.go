@@ -10,11 +10,13 @@ package repro_test
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"testing"
 	"time"
 
 	"repro"
 	"repro/internal/apps/testsel"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 )
@@ -93,5 +95,44 @@ func TestManifestRoundTripCarriesFig7Metrics(t *testing.T) {
 		if !ok || m.Value <= 0 {
 			t.Errorf("metric %s missing or zero after a fig7 run: %+v (ok=%v)", name, m, ok)
 		}
+	}
+}
+
+// A chaos run must be identifiable from its manifest alone: the CLIs
+// record fault.ActiveSites() in the fault_sites field, and a clean run
+// omits the field entirely.
+func TestManifestRecordsFaultSites(t *testing.T) {
+	fault.Activate(fault.Uniform(99, fault.SiteConfig{ErrRate: 0.5}, fault.ServeSites()...))
+	defer fault.Deactivate()
+
+	man := obs.NewManifest("edamine", 99, 1)
+	man.FaultSites = fault.ActiveSites() // as cmd/edamine and cmd/edaserved do
+	man.Finish()
+
+	data, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back obs.Manifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{fault.SiteModelDecode, fault.SiteKernelEval, fault.SitePredictDecode}
+	// ActiveSites is sorted; sort the expectation the same way.
+	if got := back.FaultSites; !reflect.DeepEqual(got, fault.ActiveSites()) || len(got) != len(want) {
+		t.Fatalf("fault_sites = %v, want the %d active serve sites %v", got, len(want), fault.ActiveSites())
+	}
+
+	// Clean run: the field must be omitted, so manifest diffs between a
+	// chaos run and a clean run always show it.
+	fault.Deactivate()
+	clean := obs.NewManifest("edamine", 99, 1)
+	clean.FaultSites = fault.ActiveSites()
+	cleanData, err := json.Marshal(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(cleanData, []byte("fault_sites")) {
+		t.Fatalf("clean manifest still carries fault_sites: %s", cleanData)
 	}
 }
