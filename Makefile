@@ -2,7 +2,7 @@
 # plus the full suite under the race detector (see scripts/check.sh).
 # `make ci` is everything the GitHub workflow runs, locally.
 
-.PHONY: build test check bench smoke fuzz ci
+.PHONY: build test check bench smoke fuzz cover conformance-slow ci
 
 build:
 	go build ./...
@@ -28,11 +28,22 @@ smoke:
 fuzz:
 	./scripts/fuzz.sh
 
+# Per-package coverage + the ratcheted total-coverage gate
+# (scripts/cover_floor.txt). Fails when coverage drops below the floor.
+cover:
+	./scripts/cover.sh
+
+# The deep conformance sweep: same seeds and contracts as `go test .`,
+# just many more generated cases per learner (nightly-style CI job).
+conformance-slow:
+	go test -tags=slowconformance -run 'TestConformance' -count=1 -v .
+
 # The full CI pipeline locally: the race-clean correctness gate, the
 # short benchmark sweep that writes BENCH_ci.json, the serving smoke,
 # and the bounded fuzz sweep.
 ci:
 	./scripts/check.sh
+	./scripts/cover.sh
 	./scripts/bench.sh
 	./scripts/serve_smoke.sh
 	./scripts/fuzz.sh

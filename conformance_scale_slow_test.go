@@ -1,0 +1,13 @@
+//go:build slowconformance
+
+package repro_test
+
+// Long-run conformance scale, selected with -tags=slowconformance (the
+// CI nightly-style job). Same seeds, same generators — just a deeper
+// sweep of the identical contracts, so any failure it finds is
+// reproducible at default scale with the printed replay line.
+
+const (
+	sweepScale = 8
+	diffCases  = 250
+)

@@ -1,0 +1,16 @@
+//go:build !slowconformance
+
+package repro_test
+
+// Default conformance scale: sized so `go test ./...` stays fast enough
+// for every push. The slowconformance build tag (see
+// conformance_scale_slow_test.go) multiplies the sweeps for the
+// nightly-style long run: `go test -tags=slowconformance -run Conformance .`
+
+const (
+	// sweepScale multiplies each conformer's per-sweep case count.
+	sweepScale = 1
+	// diffCases is the per-kind case count for the differential
+	// scoring-path sweep over the persisted model kinds.
+	diffCases = 50
+)

@@ -1,0 +1,70 @@
+package modelzoo_test
+
+// Model-zoo smoke tests (ISSUE 5 satellite): the zoo trains one model
+// per persistable kind, and every trained model must survive the
+// testkit differential driver — all scoring paths bit-identical — plus
+// the save/load round trip the app itself implements.
+
+import (
+	"testing"
+
+	"repro/internal/apps/modelzoo"
+	"repro/internal/model"
+	"repro/internal/testkit"
+)
+
+func TestTrainAllCoversEveryKind(t *testing.T) {
+	trained, err := modelzoo.TrainAll(31, 60, 20)
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	seen := map[model.Kind]bool{}
+	for _, tr := range trained {
+		seen[tr.Kind] = true
+	}
+	for _, k := range model.Kinds() {
+		if !seen[k] {
+			t.Errorf("zoo trains no %s model", k)
+		}
+	}
+}
+
+func TestZooModelsPassDifferential(t *testing.T) {
+	trained, err := modelzoo.TrainAll(31, 60, 20)
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	for _, tr := range trained {
+		tr := tr
+		t.Run(string(tr.Kind), func(t *testing.T) {
+			t.Parallel()
+			if err := testkit.DiffPaths(tr.Model, tr.Probes); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestZooSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	saved, err := modelzoo.Run(modelzoo.Config{Seed: 31, SaveDir: dir, Train: 60, Probes: 20})
+	if err != nil {
+		t.Fatalf("save run: %v", err)
+	}
+	loaded, err := modelzoo.Run(modelzoo.Config{Seed: 31, LoadDir: dir, Train: 60, Probes: 20})
+	if err != nil {
+		t.Fatalf("load run: %v", err)
+	}
+	if len(saved.Models) != len(loaded.Models) {
+		t.Fatalf("saved %d models, loaded %d", len(saved.Models), len(loaded.Models))
+	}
+	for i, m := range loaded.Models {
+		if !m.BitIdentical {
+			t.Errorf("%s: loaded artifact not bit-identical to trained model", m.Kind)
+		}
+		if m.Checksum == "" || m.Checksum != saved.Models[i].Checksum {
+			t.Errorf("%s: checksum mismatch across save/load (%q vs %q)",
+				m.Kind, saved.Models[i].Checksum, m.Checksum)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package template_test
+
+// Stage-wiring smoke tests driven by the testkit generators (ISSUE 5
+// satellite): generated ISA workloads flow through the three-stage
+// template-refinement pipeline, and the pipeline's structural contract
+// — three stages, configured test counts, deterministic replay from the
+// seed — holds for any generated seed.
+
+import (
+	"testing"
+
+	"repro/internal/apps/template"
+	"repro/internal/isa"
+	"repro/internal/testkit"
+)
+
+func TestGeneratedProgramsRespectTemplate(t *testing.T) {
+	const seed, k = 7, 32
+	progs := testkit.GenPrograms(seed, k)
+	if len(progs) != k {
+		t.Fatalf("got %d programs, want %d", len(progs), k)
+	}
+	wantLen := isa.DefaultTemplate().Len
+	for i, p := range progs {
+		if len(p) != wantLen {
+			t.Fatalf("program %d has %d instructions, template says %d", i, len(p), wantLen)
+		}
+	}
+	again := testkit.GenPrograms(seed, k)
+	for i := range progs {
+		if progs[i].String() != again[i].String() {
+			t.Fatalf("program %d differs between identically-seeded generations", i)
+		}
+	}
+	if other := testkit.GenPrograms(seed+1, k); other[0].String() == progs[0].String() {
+		t.Fatal("different seeds produced an identical first program")
+	}
+}
+
+func TestStageWiringSmoke(t *testing.T) {
+	cfg := template.Config{Seed: testkit.Mix(11, 1), Stage0Tests: 80, Stage1Tests: 40, Stage2Tests: 20}
+	res, err := template.Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Stages) != 3 {
+		t.Fatalf("got %d stages, want 3", len(res.Stages))
+	}
+	wantTests := []int{80, 40, 20}
+	total := 0
+	for i, s := range res.Stages {
+		if s.Tests != wantTests[i] {
+			t.Errorf("stage %d ran %d tests, want %d", i, s.Tests, wantTests[i])
+		}
+		// A single test can hit an event many times, so hits are only
+		// bounded below.
+		for e, h := range s.EventHits {
+			if h < 0 {
+				t.Errorf("stage %d event %d: negative hit count %d", i, e, h)
+			}
+		}
+		total += s.Covered()
+	}
+	if total == 0 {
+		t.Fatal("no stage covered any event — the simulate/learn wiring is dead")
+	}
+	if res.Stages[1].Rules == nil && res.Stages[2].Rules == nil {
+		t.Error("learning stages produced no rules")
+	}
+}
+
+func TestStageWiringDeterministic(t *testing.T) {
+	cfg := template.Config{Seed: 42, Stage0Tests: 60, Stage1Tests: 30, Stage2Tests: 15}
+	a, err := template.Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	b, err := template.Run(cfg)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	for i := range a.Stages {
+		if a.Stages[i].EventHits != b.Stages[i].EventHits {
+			t.Fatalf("stage %d hits differ between identically-seeded runs", i)
+		}
+	}
+}

@@ -19,6 +19,12 @@ type KMeansResult struct {
 	Labels  []int
 	Inertia float64 // total within-cluster squared distance
 	Iters   int
+	// Trace records the within-cluster SSE after each iteration's
+	// assignment step (one entry per iteration). Lloyd's algorithm
+	// guarantees the sequence is non-increasing — the convergence
+	// invariant the conformance suite (internal/testkit) asserts on
+	// every generated clustering.
+	Trace []float64
 }
 
 // KMeans runs k-means with k-means++ seeding until convergence or maxIters.
@@ -32,6 +38,7 @@ func KMeans(rng *rand.Rand, x *linalg.Matrix, k, maxIters int) (*KMeansResult, e
 	}
 	centers := kmeansPPInit(rng, x, k)
 	labels := make([]int, n)
+	var trace []float64
 	for it := 1; it <= maxIters; it++ {
 		changed := false
 		for i := 0; i < n; i++ {
@@ -47,6 +54,7 @@ func KMeans(rng *rand.Rand, x *linalg.Matrix, k, maxIters int) (*KMeansResult, e
 				changed = true
 			}
 		}
+		trace = append(trace, inertia(x, centers, labels))
 		// Recompute centers.
 		counts := make([]int, k)
 		newC := linalg.NewMatrix(k, d)
@@ -75,11 +83,11 @@ func KMeans(rng *rand.Rand, x *linalg.Matrix, k, maxIters int) (*KMeansResult, e
 		centers = newC
 		if !changed {
 			return &KMeansResult{Centers: centers, Labels: labels,
-				Inertia: inertia(x, centers, labels), Iters: it}, nil
+				Inertia: inertia(x, centers, labels), Iters: it, Trace: trace}, nil
 		}
 	}
 	return &KMeansResult{Centers: centers, Labels: labels,
-		Inertia: inertia(x, centers, labels), Iters: maxIters}, nil
+		Inertia: inertia(x, centers, labels), Iters: maxIters, Trace: trace}, nil
 }
 
 func inertia(x, centers *linalg.Matrix, labels []int) float64 {

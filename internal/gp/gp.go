@@ -105,6 +105,20 @@ func (g *Regressor) PredictBatch(x *linalg.Matrix) []float64 {
 	return out
 }
 
+// PredictVarBatch returns the posterior mean and variance for every row
+// of x. Each row is computed by exactly the expressions of PredictVar, so
+// the batch path is bit-identical to calling PredictVar row by row; the
+// conformance suite (internal/testkit) relies on that and on the
+// mathematical bounds 0 ≤ var ≤ k(x,x) to validate every generated fit.
+func (g *Regressor) PredictVarBatch(x *linalg.Matrix) (mu, variance []float64) {
+	mu = make([]float64, x.Rows)
+	variance = make([]float64, x.Rows)
+	for i := range mu {
+		mu[i], variance[i] = g.PredictVar(x.Row(i))
+	}
+	return mu, variance
+}
+
 // PredictVar returns the posterior mean and variance at x.
 func (g *Regressor) PredictVar(x []float64) (mu, variance float64) {
 	n := g.X.Rows

@@ -8,6 +8,7 @@ package linear
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/dataset"
@@ -102,6 +103,22 @@ func (r *Regression) PredictBatch(x *linalg.Matrix) []float64 {
 // tree scoring pass is too cheap to amortize goroutine startup below a
 // few hundred rows.
 const batchCutover = 256
+
+// Validate checks that the fitted weights and intercept are finite — the
+// invariant the conformance suite asserts after every generated fit
+// (including fits on adversarial inputs such as constant or duplicated
+// features, which the normal-equation jitter must keep solvable).
+func (r *Regression) Validate() error {
+	for j, w := range r.W {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("linear: non-finite weight %v at %d", w, j)
+		}
+	}
+	if math.IsNaN(r.B) || math.IsInf(r.B, 0) {
+		return fmt.Errorf("linear: non-finite intercept %v", r.B)
+	}
+	return nil
+}
 
 // PredictAll predicts every row of d.
 func (r *Regression) PredictAll(d *dataset.Dataset) []float64 {

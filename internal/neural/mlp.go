@@ -211,6 +211,40 @@ func (m *MLP) PredictAll(d *dataset.Dataset) []float64 {
 	return out
 }
 
+// Validate checks that every trained parameter is finite and the layer
+// shapes are mutually consistent. SGD on adversarial inputs (huge
+// magnitudes, subnormals) can silently blow weights up to ±Inf/NaN; the
+// conformance suite asserts this invariant after every generated fit.
+func (m *MLP) Validate() error {
+	if len(m.W) != len(m.Bias) {
+		return errors.New("neural: weight/bias layer count mismatch")
+	}
+	if len(m.Sizes) != len(m.W)+1 {
+		return errors.New("neural: layer sizes do not match weight layers")
+	}
+	for l := range m.W {
+		if len(m.W[l]) != m.Sizes[l+1] || len(m.Bias[l]) != m.Sizes[l+1] {
+			return errors.New("neural: layer width mismatch")
+		}
+		for _, row := range m.W[l] {
+			if len(row) != m.Sizes[l] {
+				return errors.New("neural: weight row width mismatch")
+			}
+			for _, w := range row {
+				if math.IsNaN(w) || math.IsInf(w, 0) {
+					return errors.New("neural: non-finite weight")
+				}
+			}
+		}
+		for _, b := range m.Bias[l] {
+			if math.IsNaN(b) || math.IsInf(b, 0) {
+				return errors.New("neural: non-finite bias")
+			}
+		}
+	}
+	return nil
+}
+
 // NumParams returns the total number of trainable parameters — the model
 // complexity axis for the Figure 5 sweep.
 func (m *MLP) NumParams() int {

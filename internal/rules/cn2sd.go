@@ -374,6 +374,37 @@ func (rs *RuleSet) Predict(x []float64) float64 {
 	return float64(rs.Default)
 }
 
+// Validate checks the structural invariants of a fitted (or decoded)
+// rule set for inputs of the given width: every condition uses a known
+// operator, a finite threshold, and a feature index inside [0, dim), and
+// every rule's bookkeeping satisfies 0 ≤ Positives ≤ Coverage with a
+// finite WRAcc. A valid rule set classifies any dim-wide input (some
+// rule fires, or the default class applies) — the coverage invariant the
+// conformance suite asserts on every generated fit and decoded artifact.
+func (rs *RuleSet) Validate(dim int) error {
+	for ri, r := range rs.Rules {
+		if r.Coverage < 0 || r.Positives < 0 || r.Positives > r.Coverage {
+			return fmt.Errorf("rules: rule %d has positives=%d coverage=%d", ri, r.Positives, r.Coverage)
+		}
+		if math.IsNaN(r.WRAcc) || math.IsInf(r.WRAcc, 0) {
+			return fmt.Errorf("rules: rule %d has non-finite wracc %v", ri, r.WRAcc)
+		}
+		for ci, c := range r.Conditions {
+			if c.Op != LE && c.Op != GT {
+				return fmt.Errorf("rules: rule %d condition %d has unknown op %d", ri, ci, c.Op)
+			}
+			if c.Feature < 0 || c.Feature >= dim {
+				return fmt.Errorf("rules: rule %d condition %d uses feature %d outside [0,%d)",
+					ri, ci, c.Feature, dim)
+			}
+			if math.IsNaN(c.Threshold) {
+				return fmt.Errorf("rules: rule %d condition %d has NaN threshold", ri, ci)
+			}
+		}
+	}
+	return nil
+}
+
 // PredictAll predicts every row of d.
 func (rs *RuleSet) PredictAll(d *dataset.Dataset) []float64 {
 	out := make([]float64, d.Len())

@@ -185,6 +185,33 @@ func (m *OneClass) DecisionBatch(x *linalg.Matrix) []float64 {
 	return out
 }
 
+// DualViolation reports how far the stored dual variables stray from the
+// ν-one-class feasible region: sumErr is |Σ α_i − 1| (the equality
+// constraint) and boxErr is the largest violation of 0 ≤ α_i ≤ 1/(ν·n),
+// where n is recovered from ν and the stored upper bound's trainN.
+// trainN is the size of the original training set (the box bound depends
+// on it, not on the surviving support-vector count). The conformance
+// suite asserts both stay within solver tolerance.
+func (m *OneClass) DualViolation(trainN int) (sumErr, boxErr float64) {
+	upper := 1.0 / (m.Nu * float64(trainN))
+	sum := 0.0
+	boxErr = math.Inf(-1)
+	for _, a := range m.Alpha {
+		sum += a
+		v := -a // below-zero violation
+		if over := a - upper; over > v {
+			v = over
+		}
+		if v > boxErr {
+			boxErr = v
+		}
+	}
+	if len(m.Alpha) == 0 {
+		boxErr = 0
+	}
+	return math.Abs(sum - 1), boxErr
+}
+
 // Novel reports whether x lies outside the learned support region.
 func (m *OneClass) Novel(x []float64) bool { return m.Decision(x) < 0 }
 

@@ -233,6 +233,28 @@ func (m *SVC) PredictAll(d *dataset.Dataset) []float64 {
 // NumSV returns the number of support vectors.
 func (m *SVC) NumSV() int { return m.SV.Rows }
 
+// DualViolation returns the largest violation of the dual box constraint
+// 0 ≤ α_i ≤ C over the stored coefficients (Alpha_i = α_i·y_i, so the
+// constraint is |Alpha_i| ≤ C and Alpha_i ≠ 0 for a support vector).
+// A correctly trained or correctly restored SVC returns a value ≤ 0; the
+// conformance suite (internal/testkit) asserts this on every generated
+// fit and on every decoded artifact.
+func (m *SVC) DualViolation(c float64) float64 {
+	worst := math.Inf(-1)
+	if len(m.Alpha) == 0 {
+		return 0
+	}
+	for _, a := range m.Alpha {
+		if v := math.Abs(a) - c; v > worst {
+			worst = v
+		}
+		if a == 0 { // a stored support vector must carry weight
+			worst = math.Max(worst, math.SmallestNonzeroFloat64)
+		}
+	}
+	return worst
+}
+
 // Complexity returns Σ|α_i|, the paper's model-complexity measure for SVMs.
 func (m *SVC) Complexity() float64 {
 	s := 0.0

@@ -1,0 +1,164 @@
+package testkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/linalg"
+	"repro/internal/model"
+	"repro/internal/parallel"
+	"repro/internal/serve"
+)
+
+// Differential driver: one fitted model, every execution path the repo
+// offers, one contract. The reference is per-row ScoreRow on the
+// freshly encoded artifact; every other path — batched scoring at
+// several worker counts, the marshal→decode→score persistence round
+// trip, and the in-process HTTP server at two batching configurations —
+// must reproduce it bit for bit. Any disagreement is a determinism bug
+// in a scoring path, not a modelling question, which is why the policy
+// here is always Exact and never a tolerance.
+
+// DiffWorkerCounts are the worker-pool sizes every batch path is
+// exercised at. 1 forces the serial path, 2 exercises striping, 8
+// exceeds the row count of small probe sets so some workers go idle.
+var DiffWorkerCounts = []int{1, 2, 8}
+
+// DiffPaths fits nothing: it takes an already-fitted persistable model,
+// encodes it, and checks every scoring path against the per-row
+// reference on the probe matrix. The returned error names the first
+// disagreeing path.
+func DiffPaths(m any, probes *linalg.Matrix) error {
+	art, err := model.Encode(m, model.Meta{Name: "testkit-diff"})
+	if err != nil {
+		return fmt.Errorf("encode: %w", err)
+	}
+	scorer, err := art.Scorer()
+	if err != nil {
+		return fmt.Errorf("scorer: %w", err)
+	}
+
+	// Reference: per-row scoring with the worker pool pinned to 1.
+	ref := scoreRows(scorer, probes, 1)
+
+	// Path: ScoreBatch at each worker count.
+	for _, w := range DiffWorkerCounts {
+		if err := compareAt(ref, func() []float64 { return scorer.ScoreBatch(probes) }, w); err != nil {
+			return fmt.Errorf("batch path, %d workers: %w", w, err)
+		}
+	}
+
+	// Path: marshal → decode → Scorer, rebuilt entirely from bytes.
+	data, err := art.Marshal()
+	if err != nil {
+		return fmt.Errorf("marshal: %w", err)
+	}
+	decoded, err := model.Decode(data)
+	if err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	dscorer, err := decoded.Scorer()
+	if err != nil {
+		return fmt.Errorf("decoded scorer: %w", err)
+	}
+	if err := compareAt(ref, func() []float64 { return scoreRows(dscorer, probes, 1) }, 1); err != nil {
+		return fmt.Errorf("decoded row path: %w", err)
+	}
+	for _, w := range DiffWorkerCounts {
+		if err := compareAt(ref, func() []float64 { return dscorer.ScoreBatch(probes) }, w); err != nil {
+			return fmt.Errorf("decoded batch path, %d workers: %w", w, err)
+		}
+	}
+
+	// Path: in-process HTTP serving, unbatched and micro-batched. JSON
+	// cannot carry ±Inf/NaN, so only all-finite probe rows (with finite
+	// reference scores) ride this path; the non-finite rows are already
+	// covered bitwise by every in-process path above.
+	finite := finiteProbeRows(probes, ref)
+	if len(finite) > 0 {
+		sub := linalg.NewMatrix(len(finite), probes.Cols)
+		want := make([]float64, len(finite))
+		for to, from := range finite {
+			copy(sub.Row(to), probes.Row(from))
+			want[to] = ref[from]
+		}
+		for _, cfg := range []serve.Config{
+			{MaxBatch: 1},
+			{MaxBatch: 8, MaxWait: time.Millisecond},
+		} {
+			got, err := scoreViaHTTP(art, cfg, sub)
+			if err != nil {
+				return fmt.Errorf("http path (maxBatch=%d): %w", cfg.MaxBatch, err)
+			}
+			if err := Exact.Compare(want, got); err != nil {
+				return fmt.Errorf("http path (maxBatch=%d): %w", cfg.MaxBatch, err)
+			}
+		}
+	}
+	return nil
+}
+
+// scoreRows runs ScoreRow per row with the worker pool pinned to n.
+func scoreRows(s model.Scorer, x *linalg.Matrix, n int) []float64 {
+	defer parallel.SetWorkers(parallel.SetWorkers(n))
+	out := make([]float64, x.Rows)
+	for i := range out {
+		out[i] = s.ScoreRow(x.Row(i))
+	}
+	return out
+}
+
+// compareAt pins the worker pool to n, evaluates f, and checks bit
+// identity against ref.
+func compareAt(ref []float64, f func() []float64, n int) error {
+	defer parallel.SetWorkers(parallel.SetWorkers(n))
+	return Exact.Compare(ref, f())
+}
+
+// finiteProbeRows returns the indices of probe rows that are all-finite
+// AND whose reference score is finite (JSON-representable end to end).
+func finiteProbeRows(probes *linalg.Matrix, ref []float64) []int {
+	var idx []int
+	for i := 0; i < probes.Rows; i++ {
+		if allFinite(probes.Row(i)) && allFinite(ref[i:i+1]) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// scoreViaHTTP loads the artifact into a fresh server, posts all rows
+// as one predict request through httptest, and returns the predictions.
+func scoreViaHTTP(art *model.Artifact, cfg serve.Config, x *linalg.Matrix) ([]float64, error) {
+	srv := serve.New(cfg)
+	defer srv.Close()
+	const name = "diff"
+	if err := srv.Load(name, art); err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	instances := make([][]float64, x.Rows)
+	for i := range instances {
+		instances[i] = x.Row(i)
+	}
+	body, err := json.Marshal(map[string]any{"instances": instances})
+	if err != nil {
+		return nil, fmt.Errorf("marshal request: %w", err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/predict/"+name, bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Predictions []float64 `json:"predictions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("unmarshal response: %w", err)
+	}
+	return resp.Predictions, nil
+}

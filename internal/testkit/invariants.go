@@ -1,0 +1,224 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/gp"
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+)
+
+// Mathematical invariant checkers. Each returns nil or an error naming
+// the violation; the conformance driver runs them against every
+// generated fit. They encode the paper's Section 2 mathematics as
+// executable properties: Mercer kernels produce PSD Gram matrices, dual
+// solutions respect their feasible regions, posterior variances respect
+// their prior bounds, partitions cover the input space, and validation
+// folds partition the sample set.
+
+// CheckGramPSD asserts the Gram matrix of x under k is positive
+// semidefinite within tol (all eigenvalues ≥ −tol) — the Mercer
+// condition every valid kernel must satisfy on any sample set,
+// including rank-deficient ones built from duplicated rows.
+func CheckGramPSD(k kernel.Kernel, x *linalg.Matrix, tol float64) error {
+	g := kernel.Gram(k, x)
+	if !kernel.IsPSD(g, tol) {
+		return fmt.Errorf("gram matrix of %s on %dx%d data is not PSD within %g",
+			k.Name(), x.Rows, x.Cols, tol)
+	}
+	return nil
+}
+
+// CheckKernelSymmetry asserts k(a,b) and k(b,a) agree bit for bit over
+// all row pairs of x. Every closed-form kernel in this repo is built
+// from commutative primitives, so symmetry holds exactly, not just
+// within tolerance.
+func CheckKernelSymmetry(k kernel.Kernel, x *linalg.Matrix) error {
+	for i := 0; i < x.Rows; i++ {
+		for j := i + 1; j < x.Rows; j++ {
+			ab, ba := k.Eval(x.Row(i), x.Row(j)), k.Eval(x.Row(j), x.Row(i))
+			if math.Float64bits(ab) != math.Float64bits(ba) {
+				return fmt.Errorf("%s asymmetric on rows (%d,%d): k(a,b)=%v, k(b,a)=%v",
+					k.Name(), i, j, ab, ba)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckGPVarianceBounds asserts the GP posterior variance at every
+// all-finite probe row stays inside its mathematical bounds:
+// 0 ≤ var(x) ≤ k(x,x) + tol (conditioning on data can only shrink the
+// prior variance). Non-finite probes are skipped — their variance is
+// deliberately NaN.
+func CheckGPVarianceBounds(g *gp.Regressor, probes *linalg.Matrix, tol float64) error {
+	_, vars := g.PredictVarBatch(probes)
+	for i, v := range vars {
+		row := probes.Row(i)
+		if !allFinite(row) {
+			continue
+		}
+		if v < 0 {
+			return fmt.Errorf("probe %d: negative posterior variance %v", i, v)
+		}
+		if prior := g.K.Eval(row, row); v > prior+tol {
+			return fmt.Errorf("probe %d: posterior variance %v exceeds prior %v + %g", i, v, prior, tol)
+		}
+	}
+	return nil
+}
+
+// CheckFoldPartition asserts the k-fold index sets form a partition:
+// test folds are pairwise disjoint, their union is exactly [0, n), and
+// each fold's train set is the complement of its test set.
+func CheckFoldPartition(trainIdx, testIdx [][]int, n int) error {
+	if len(trainIdx) != len(testIdx) {
+		return fmt.Errorf("%d train folds but %d test folds", len(trainIdx), len(testIdx))
+	}
+	seen := make([]int, n)
+	for f, fold := range testIdx {
+		inTest := make(map[int]bool, len(fold))
+		for _, i := range fold {
+			if i < 0 || i >= n {
+				return fmt.Errorf("fold %d: test index %d outside [0,%d)", f, i, n)
+			}
+			if seen[i] != 0 {
+				return fmt.Errorf("index %d appears in test folds %d and %d", i, seen[i]-1, f)
+			}
+			seen[i] = f + 1
+			inTest[i] = true
+		}
+		if len(trainIdx[f])+len(fold) != n {
+			return fmt.Errorf("fold %d: train %d + test %d != %d", f, len(trainIdx[f]), len(fold), n)
+		}
+		for _, i := range trainIdx[f] {
+			if inTest[i] {
+				return fmt.Errorf("fold %d: index %d is in both train and test", f, i)
+			}
+		}
+	}
+	for i, f := range seen {
+		if f == 0 {
+			return fmt.Errorf("index %d appears in no test fold", i)
+		}
+	}
+	return nil
+}
+
+// CheckStratification asserts a stratified split preserved per-class
+// proportions: for every class, the training share is within slack of
+// the requested fraction (slack absorbs integer rounding on small
+// classes).
+func CheckStratification(orig, train *dataset.Dataset, frac, slack float64) error {
+	origCounts := orig.ClassCounts()
+	trainCounts := train.ClassCounts()
+	for c, total := range origCounts {
+		got := float64(trainCounts[c]) / float64(total)
+		if math.Abs(got-frac) > slack+1.0/float64(total) {
+			return fmt.Errorf("class %d: train share %.3f, want %.3f ± %.3f (n=%d)",
+				c, got, frac, slack, total)
+		}
+	}
+	return nil
+}
+
+// CheckMonotoneNonIncreasing asserts the sequence never rises by more
+// than relTol of its current magnitude — the Lloyd's-algorithm SSE
+// contract and any other descent-style convergence trace.
+func CheckMonotoneNonIncreasing(trace []float64, relTol float64) error {
+	for i := 1; i < len(trace); i++ {
+		if trace[i] > trace[i-1]+relTol*math.Abs(trace[i-1]) {
+			return fmt.Errorf("step %d rose: %v -> %v", i, trace[i-1], trace[i])
+		}
+	}
+	return nil
+}
+
+// CheckClassBalance asserts the dataset's class counts are equal within
+// slack samples — the SMOTE/oversampling output contract.
+func CheckClassBalance(d *dataset.Dataset, slack int) error {
+	counts := d.ClassCounts()
+	lo, hi := math.MaxInt, 0
+	for _, n := range counts {
+		if n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if hi-lo > slack {
+		return fmt.Errorf("class counts %v differ by %d > %d", counts, hi-lo, slack)
+	}
+	return nil
+}
+
+// CheckWithinClassBox asserts every row of got labelled c lies inside
+// the per-coordinate bounding box of the rows of ref labelled c — the
+// SMOTE interpolation contract (synthetic minority samples are convex
+// combinations of real ones, so they cannot escape the box).
+func CheckWithinClassBox(ref, got *dataset.Dataset, c int) error {
+	lo := constRow(ref.Dim(), math.Inf(1))
+	hi := constRow(ref.Dim(), math.Inf(-1))
+	for i := 0; i < ref.Len(); i++ {
+		if int(ref.Y[i]) != c {
+			continue
+		}
+		for j, v := range ref.Row(i) {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	for i := 0; i < got.Len(); i++ {
+		if int(got.Y[i]) != c {
+			continue
+		}
+		for j, v := range got.Row(i) {
+			if v < lo[j] || v > hi[j] {
+				return fmt.Errorf("row %d feature %d: %v outside class-%d box [%v, %v]",
+					i, j, v, c, lo[j], hi[j])
+			}
+		}
+	}
+	return nil
+}
+
+// CheckFinite asserts every value is finite.
+func CheckFinite(name string, vals []float64) error {
+	for i, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%s[%d] = %v is not finite", name, i, v)
+		}
+	}
+	return nil
+}
+
+// CheckInSet asserts every value is one of the allowed values (class
+// labels, cluster indices as floats).
+func CheckInSet(name string, vals []float64, allowed ...float64) error {
+	ok := make(map[float64]bool, len(allowed))
+	for _, a := range allowed {
+		ok[a] = true
+	}
+	for i, v := range vals {
+		if !ok[v] {
+			return fmt.Errorf("%s[%d] = %v not in %v", name, i, v, allowed)
+		}
+	}
+	return nil
+}
+
+func allFinite(row []float64) bool {
+	for _, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

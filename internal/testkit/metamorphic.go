@@ -1,0 +1,249 @@
+package testkit
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+)
+
+// Metamorphic transforms. Each transform rewrites a generated case into
+// a related one with a known oracle: refitting the learner on the
+// transformed training set and rescoring must reproduce the original
+// predictions after the oracle's mapping, within the relation's
+// tolerance. This tests the learner's formulation — invariances the
+// paper's methodology takes for granted (sample order must not matter,
+// feature order must not matter, relabelling must commute with
+// prediction, affine units must not change a regressor's geometry) —
+// without any hand-written expected values.
+
+// Oracle maps the predictions of the original fitted model to the
+// predictions the refit model must produce on the transformed case.
+type Oracle func(pred []float64) []float64
+
+// Identity is the oracle of transforms that must not change predictions.
+func Identity(pred []float64) []float64 { return pred }
+
+// Transform rewrites a case; Apply returns the transformed case plus the
+// oracle. The rand.Rand is the relation's private stream, so the
+// transform is as reproducible as the case itself.
+type Transform struct {
+	Name  string
+	Apply func(r *rand.Rand, c *Case) (*Case, Oracle)
+}
+
+// Relation pairs a transform with the tolerance the conformer grants it.
+type Relation struct {
+	Transform Transform
+	Tol       Tolerance
+}
+
+// Rel is sugar for building a Relation.
+func Rel(t Transform, tol Tolerance) Relation { return Relation{Transform: t, Tol: tol} }
+
+// RefitIdentity is the degenerate transform: same data, same seed,
+// refit. Its relation asserts deterministic training — two fits from
+// identical inputs must agree to the policy's precision (bit-exactly for
+// every learner in this repo).
+func RefitIdentity() Transform {
+	return Transform{
+		Name: "refit-identity",
+		Apply: func(_ *rand.Rand, c *Case) (*Case, Oracle) {
+			return c, Identity
+		},
+	}
+}
+
+// PermuteRows reorders the training rows; probes are untouched, so the
+// oracle is the identity: a learner must not care about sample order
+// (beyond the tolerance its fit procedure earns).
+func PermuteRows() Transform {
+	return Transform{
+		Name: "permute-rows",
+		Apply: func(r *rand.Rand, c *Case) (*Case, Oracle) {
+			perm := r.Perm(c.Train.Len())
+			out := *c
+			out.Train = c.Train.Subset(perm)
+			if c.YMat != nil {
+				out.YMat = permuteMatrixRows(c.YMat, perm)
+			}
+			return &out, Identity
+		},
+	}
+}
+
+// PermuteRowsAligned is PermuteRows for conformers whose prediction
+// vector is indexed by training row (transductive learners: label
+// propagation, clustering): the oracle permutes the original
+// predictions the same way.
+func PermuteRowsAligned() Transform {
+	return Transform{
+		Name: "permute-rows-aligned",
+		Apply: func(r *rand.Rand, c *Case) (*Case, Oracle) {
+			perm := r.Perm(c.Train.Len())
+			out := *c
+			out.Train = c.Train.Subset(perm)
+			if c.YMat != nil {
+				out.YMat = permuteMatrixRows(c.YMat, perm)
+			}
+			return &out, func(pred []float64) []float64 {
+				mapped := make([]float64, len(pred))
+				for to, from := range perm {
+					mapped[to] = pred[from]
+				}
+				return mapped
+			}
+		},
+	}
+}
+
+// PermuteFeatures reorders the feature columns of the training set and
+// the probes consistently; predictions must be unchanged.
+func PermuteFeatures() Transform {
+	return Transform{
+		Name: "permute-features",
+		Apply: func(r *rand.Rand, c *Case) (*Case, Oracle) {
+			perm := r.Perm(c.Train.Dim())
+			out := *c
+			out.Train = c.Train.SelectFeatures(perm)
+			out.Probes = permuteMatrixCols(c.Probes, perm)
+			return &out, Identity
+		},
+	}
+}
+
+// FlipLabels01 swaps the binary labels 0↔1; the oracle flips the
+// predicted classes the same way.
+func FlipLabels01() Transform {
+	return Transform{
+		Name: "flip-labels",
+		Apply: func(_ *rand.Rand, c *Case) (*Case, Oracle) {
+			y := make([]float64, len(c.Train.Y))
+			for i, v := range c.Train.Y {
+				y[i] = 1 - v
+			}
+			out := *c
+			out.Train = dataset.MustNew(c.Train.X, y, c.Train.Names)
+			return &out, func(pred []float64) []float64 {
+				mapped := make([]float64, len(pred))
+				for i, v := range pred {
+					mapped[i] = 1 - v
+				}
+				return mapped
+			}
+		},
+	}
+}
+
+// AffineLabels rescales the regression response y' = a·y + b; an
+// affine-equivariant regressor must predict a·pred + b.
+func AffineLabels(a, b float64) Transform {
+	return Transform{
+		Name: "affine-labels",
+		Apply: func(_ *rand.Rand, c *Case) (*Case, Oracle) {
+			y := make([]float64, len(c.Train.Y))
+			for i, v := range c.Train.Y {
+				y[i] = a*v + b
+			}
+			out := *c
+			out.Train = dataset.MustNew(c.Train.X, y, c.Train.Names)
+			return &out, func(pred []float64) []float64 {
+				mapped := make([]float64, len(pred))
+				for i, v := range pred {
+					mapped[i] = a*v + b
+				}
+				return mapped
+			}
+		},
+	}
+}
+
+// AffineYMat is AffineLabels for matrix responses (PLS/CCA).
+func AffineYMat(a, b float64) Transform {
+	return Transform{
+		Name: "affine-ymat",
+		Apply: func(_ *rand.Rand, c *Case) (*Case, Oracle) {
+			out := *c
+			y := c.YMat.Clone()
+			for i := range y.Data {
+				y.Data[i] = a*y.Data[i] + b
+			}
+			out.YMat = y
+			return &out, func(pred []float64) []float64 {
+				mapped := make([]float64, len(pred))
+				for i, v := range pred {
+					mapped[i] = a*v + b
+				}
+				return mapped
+			}
+		},
+	}
+}
+
+// ScaleFeatures multiplies every feature of the training set and the
+// probes by s > 0. Scale-equivariant learners (trees: thresholds scale;
+// kNN with Euclidean distance: neighbour order is preserved) must keep
+// their predictions.
+func ScaleFeatures(s float64) Transform {
+	return Transform{
+		Name: "scale-features",
+		Apply: func(_ *rand.Rand, c *Case) (*Case, Oracle) {
+			out := *c
+			x := c.Train.X.Clone()
+			for i := range x.Data {
+				x.Data[i] *= s
+			}
+			out.Train = dataset.MustNew(x, c.Train.Y, c.Train.Names)
+			p := c.Probes.Clone()
+			for i := range p.Data {
+				p.Data[i] *= s
+			}
+			out.Probes = p
+			return &out, Identity
+		},
+	}
+}
+
+// DuplicateRows appends an exact copy of every training row (the
+// duplicate-and-reweight relation with uniform weight 2): counts double,
+// proportions and optimal parameters are unchanged, so the refit model
+// must agree with the original.
+func DuplicateRows() Transform {
+	return Transform{
+		Name: "duplicate-rows",
+		Apply: func(_ *rand.Rand, c *Case) (*Case, Oracle) {
+			out := *c
+			out.Train = WithDuplicatedRows(c.Train, c.Train.Len())
+			if c.YMat != nil {
+				idx := make([]int, 0, 2*c.YMat.Rows)
+				for i := 0; i < c.YMat.Rows; i++ {
+					idx = append(idx, i)
+				}
+				for i := 0; i < c.YMat.Rows; i++ {
+					idx = append(idx, i)
+				}
+				out.YMat = permuteMatrixRows(c.YMat, idx)
+			}
+			return &out, Identity
+		},
+	}
+}
+
+func permuteMatrixRows(m *linalg.Matrix, idx []int) *linalg.Matrix {
+	out := linalg.NewMatrix(len(idx), m.Cols)
+	for to, from := range idx {
+		copy(out.Row(to), m.Row(from))
+	}
+	return out
+}
+
+func permuteMatrixCols(m *linalg.Matrix, perm []int) *linalg.Matrix {
+	out := linalg.NewMatrix(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src, dst := m.Row(i), out.Row(i)
+		for c, j := range perm {
+			dst[c] = src[j]
+		}
+	}
+	return out
+}

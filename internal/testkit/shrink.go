@@ -1,0 +1,59 @@
+package testkit
+
+// Shrinking: once a case fails, bisect its training set down to a
+// minimal subset that still fails (delta debugging over rows). The
+// shrunk size goes into the failure report next to the replay
+// one-liner, so a 400-row generated failure arrives on a human's desk
+// as "these 6 rows break it".
+
+// shrinkBudget bounds the number of candidate evaluations — each
+// candidate refits the model (possibly several times, for the
+// relations), so the shrinker must not turn one failure into minutes of
+// work.
+const shrinkBudget = 200
+
+// ShrinkRows reduces cs.Train to a (locally) minimal row subset for
+// which fails still reports true. Probes are untouched; YMat rows track
+// the training rows. Any error inside fails counts as a failure — the
+// shrinker looks for the smallest case that misbehaves in any way, not
+// necessarily the identical message.
+func ShrinkRows(cs *Case, fails func(*Case) bool) *Case {
+	cur := cs
+	budget := shrinkBudget
+	chunk := cur.Train.Len() / 2
+	for chunk >= 1 && budget > 0 {
+		removed := false
+		for start := 0; start+chunk <= cur.Train.Len() && budget > 0; start += chunk {
+			if cur.Train.Len()-chunk < 1 {
+				break
+			}
+			cand := withoutRows(cur, start, chunk)
+			budget--
+			if fails(cand) {
+				cur = cand
+				removed = true
+				start -= chunk // the window shifted left; re-test this offset
+			}
+		}
+		if !removed {
+			chunk /= 2
+		}
+	}
+	return cur
+}
+
+// withoutRows copies the case minus training rows [start, start+n).
+func withoutRows(cs *Case, start, n int) *Case {
+	keep := make([]int, 0, cs.Train.Len()-n)
+	for i := 0; i < cs.Train.Len(); i++ {
+		if i < start || i >= start+n {
+			keep = append(keep, i)
+		}
+	}
+	out := *cs
+	out.Train = cs.Train.Subset(keep)
+	if cs.YMat != nil {
+		out.YMat = permuteMatrixRows(cs.YMat, keep)
+	}
+	return &out
+}

@@ -1,0 +1,172 @@
+// Package testkit is the repository's property-based and metamorphic
+// conformance subsystem. The paper's central claim is methodological —
+// off-the-shelf learners only become trustworthy in EDA when the
+// surrounding formulation (sample preparation, validation, tolerance
+// discipline) is systematic — and this package encodes that discipline
+// once, as executable invariants, instead of scattering it across
+// hand-written spot checks.
+//
+// The pieces:
+//
+//   - gen.go: deterministic generators for datasets, kernel specs, ISA
+//     programs, and adversarial numeric edge cases (±Inf, NaN,
+//     subnormals, duplicated rows, constant features, rank-deficient
+//     Gram matrices). Everything derives from an int64 seed, so any
+//     failure is reproducible from the printed seed alone.
+//   - metamorphic.go: transforms with known oracles — row permutation,
+//     feature permutation, label flip, affine label rescaling, uniform
+//     feature scaling, duplicate-and-reweight — plus per-model
+//     tolerance policies describing how closely the refit model must
+//     agree.
+//   - invariants.go: mathematical invariant checkers (Gram PSD within
+//     tolerance, kernel symmetry, SVM dual feasibility, GP posterior
+//     variance bounds, tree/rule partition coverage, CV fold
+//     disjointness and stratification, k-means SSE monotonicity,
+//     SMOTE class balance).
+//   - diff.go: the differential driver. Every persisted model kind is
+//     pushed through serial scoring, batched scoring at 1/2/8 workers,
+//     encode→decode→Scorer, and an in-process HTTP server, and the
+//     paths must agree bit for bit.
+//   - shrink.go: on failure the driver bisects the training set to a
+//     minimal reproducing case and prints a testkit.Replay one-liner.
+//   - registry.go + conformers.go: the conformance registry. Every
+//     learner in the repo registers a Conformer; a completeness test at
+//     the repo root fails when a learner package exists without a
+//     registration.
+//
+// The root conformance_test.go drives everything; `go test -run
+// Conformance ./...` is the one command that hammers every learner with
+// generated inputs.
+package testkit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+)
+
+// Case is one generated conformance case: a training set plus a probe
+// matrix the fitted model is scored on. Cases are pure functions of
+// their seed (see Registry.Case), so a failure report carrying the seed
+// and case index is a complete reproduction recipe.
+type Case struct {
+	Seed  int64
+	Index int // case index within the conformer's sweep
+	// stream is the fully-mixed per-(conformer, index) seed set by
+	// Conformer.Case; Rng derives from it so two conformers sharing a
+	// root seed still draw independent values.
+	stream int64
+	Train  *dataset.Dataset
+	// Probes are the inputs every scoring path is evaluated on. They
+	// include adversarial rows (±Inf, subnormals, constants) unless the
+	// conformer opts out.
+	Probes *linalg.Matrix
+	// YMat is the multivariate response for learners that regress onto a
+	// matrix (PLS/CCA); nil elsewhere.
+	YMat *linalg.Matrix
+}
+
+// Rng returns a fresh deterministic generator for the case, optionally
+// offset so independent consumers (fit, transforms, probes) draw from
+// uncorrelated streams.
+func (c *Case) Rng(offset int64) *rand.Rand {
+	return rand.New(rand.NewSource(Mix(c.stream, offset)))
+}
+
+// Mix derives a child seed from a parent seed and a stream tag with a
+// SplitMix64-style finalizer, keeping neighbouring streams uncorrelated
+// even for small seeds (same construction as validate.CrossValidateSeeded).
+func Mix(seed, tag int64) int64 {
+	z := uint64(seed) + uint64(tag+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// MixString folds a name into a seed so per-conformer streams never
+// collide (FNV-1a over the name, then Mix).
+func MixString(seed int64, name string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return Mix(seed, int64(h))
+}
+
+// Tolerance is the per-model policy for how closely two prediction
+// vectors must agree. Exactly one regime applies:
+//
+//   - BitExact: every element identical down to the float64 bit pattern
+//     (NaNs must match bit patterns too). This is the repo-wide
+//     determinism contract for alternative execution paths of the SAME
+//     fitted model.
+//   - MaxFlipFrac > 0: for discrete outputs (class labels, novelty
+//     signs) at most that fraction of entries may differ. Used by
+//     metamorphic relations where refitting on transformed data may
+//     legitimately move a few boundary samples.
+//   - otherwise: |a-b| ≤ Abs + Rel·|a| per element. Used by metamorphic
+//     relations on continuous outputs, where float reassociation
+//     perturbs the last bits.
+type Tolerance struct {
+	BitExact    bool
+	Abs, Rel    float64
+	MaxFlipFrac float64
+}
+
+// Exact is the bit-identity policy.
+var Exact = Tolerance{BitExact: true}
+
+// Compare checks got against want under the policy. The returned error
+// names the first offending index.
+func (tol Tolerance) Compare(want, got []float64) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("length mismatch: want %d, got %d", len(want), len(got))
+	}
+	switch {
+	case tol.BitExact:
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				return fmt.Errorf("element %d: want %v (bits %016x), got %v (bits %016x)",
+					i, want[i], math.Float64bits(want[i]), got[i], math.Float64bits(got[i]))
+			}
+		}
+	case tol.MaxFlipFrac > 0:
+		flips, first := 0, -1
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				flips++
+				if first < 0 {
+					first = i
+				}
+			}
+		}
+		if limit := tol.MaxFlipFrac * float64(len(want)); float64(flips) > limit {
+			return fmt.Errorf("%d/%d entries differ (limit %.1f), first at %d: want %v, got %v",
+				flips, len(want), limit, first, want[first], got[first])
+		}
+	default:
+		for i := range want {
+			if math.IsNaN(want[i]) != math.IsNaN(got[i]) {
+				return fmt.Errorf("element %d: want %v, got %v (NaN mismatch)", i, want[i], got[i])
+			}
+			if math.IsNaN(want[i]) {
+				continue
+			}
+			if diff := math.Abs(want[i] - got[i]); diff > tol.Abs+tol.Rel*math.Abs(want[i]) {
+				return fmt.Errorf("element %d: want %v, got %v (diff %g > abs %g + rel %g)",
+					i, want[i], got[i], diff, tol.Abs, tol.Rel)
+			}
+		}
+	}
+	return nil
+}
+
+// Flips is a convenience constructor for the discrete-output policy.
+func Flips(frac float64) Tolerance { return Tolerance{MaxFlipFrac: frac} }
+
+// Approx is a convenience constructor for the continuous-output policy.
+func Approx(abs, rel float64) Tolerance { return Tolerance{Abs: abs, Rel: rel} }

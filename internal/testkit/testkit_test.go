@@ -1,0 +1,215 @@
+package testkit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+)
+
+func TestMixIsDeterministicAndSpreads(t *testing.T) {
+	if Mix(1, 2) != Mix(1, 2) {
+		t.Fatal("Mix is not deterministic")
+	}
+	seen := map[int64]bool{}
+	for tag := int64(0); tag < 100; tag++ {
+		s := Mix(42, tag)
+		if seen[s] {
+			t.Fatalf("Mix(42, %d) collides", tag)
+		}
+		seen[s] = true
+	}
+	if MixString(7, "svm/svc") == MixString(7, "svm/oneclass") {
+		t.Fatal("MixString does not separate names")
+	}
+}
+
+func TestCompareBitExact(t *testing.T) {
+	nan1 := math.NaN()
+	if err := Exact.Compare([]float64{1, nan1, math.Inf(1)}, []float64{1, nan1, math.Inf(1)}); err != nil {
+		t.Fatalf("identical vectors rejected: %v", err)
+	}
+	if err := Exact.Compare([]float64{1}, []float64{math.Nextafter(1, 2)}); err == nil {
+		t.Fatal("near-equal accepted by bit-exact policy")
+	}
+	// 0.0 and -0.0 differ in bits: the policy must notice.
+	if err := Exact.Compare([]float64{0}, []float64{math.Copysign(0, -1)}); err == nil {
+		t.Fatal("-0.0 accepted as bit-equal to +0.0")
+	}
+}
+
+func TestCompareFlips(t *testing.T) {
+	want := []float64{0, 0, 1, 1, 0, 1, 0, 1, 1, 0}
+	got := append([]float64(nil), want...)
+	got[3] = 0
+	if err := Flips(0.2).Compare(want, got); err != nil {
+		t.Fatalf("1/10 flips rejected at 20%%: %v", err)
+	}
+	got[5] = 0
+	got[8] = 0
+	if err := Flips(0.2).Compare(want, got); err == nil {
+		t.Fatal("3/10 flips accepted at 20%")
+	}
+}
+
+func TestCompareApprox(t *testing.T) {
+	tol := Approx(1e-9, 1e-9)
+	if err := tol.Compare([]float64{1e6}, []float64{1e6 + 1e-4}); err != nil {
+		t.Fatalf("within relative tolerance rejected: %v", err)
+	}
+	if err := tol.Compare([]float64{1}, []float64{1.001}); err == nil {
+		t.Fatal("out-of-tolerance accepted")
+	}
+	if err := tol.Compare([]float64{math.NaN()}, []float64{math.NaN()}); err != nil {
+		t.Fatalf("NaN/NaN rejected: %v", err)
+	}
+	if err := tol.Compare([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Fatal("NaN vs finite accepted")
+	}
+}
+
+func TestAdversarialRowsCoverEdgeCases(t *testing.T) {
+	m := AdversarialRows(3, true)
+	var hasInf, hasNegInf, hasSubnormal, hasNaN bool
+	for _, v := range m.Data {
+		switch {
+		case math.IsInf(v, 1):
+			hasInf = true
+		case math.IsInf(v, -1):
+			hasNegInf = true
+		case v != 0 && math.Abs(v) < 2.3e-308: // below smallest normal
+			hasSubnormal = true
+		case math.IsNaN(v):
+			hasNaN = true
+		}
+	}
+	if !hasInf || !hasNegInf || !hasSubnormal || !hasNaN {
+		t.Fatalf("missing edge cases: +Inf=%v -Inf=%v subnormal=%v NaN=%v",
+			hasInf, hasNegInf, hasSubnormal, hasNaN)
+	}
+	if noNaN := AdversarialRows(3, false); noNaN.Rows != m.Rows-1 {
+		t.Fatalf("withNaN toggles %d rows, want 1", m.Rows-noNaN.Rows)
+	}
+}
+
+func TestCaseDerivationIsPure(t *testing.T) {
+	c, ok := Lookup("linear/ridge")
+	if !ok {
+		t.Fatal("linear/ridge not registered")
+	}
+	a, b := c.Case(99, 3), c.Case(99, 3)
+	if err := Exact.Compare(a.Train.X.Data, b.Train.X.Data); err != nil {
+		t.Fatalf("same (seed,idx) produced different training data: %v", err)
+	}
+	if err := Exact.Compare(a.Probes.Data, b.Probes.Data); err != nil {
+		t.Fatalf("same (seed,idx) produced different probes: %v", err)
+	}
+	other := c.Case(100, 3)
+	if err := Exact.Compare(a.Train.X.Data, other.Train.X.Data); err == nil {
+		t.Fatal("different seeds produced identical training data")
+	}
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(Conformer{Name: "linear/ridge", Pkg: "linear"})
+}
+
+func TestShrinkRowsFindsMinimalCase(t *testing.T) {
+	// Plant a poison row; the failure predicate is "any poison present".
+	// The shrinker must reduce 64 rows to exactly the 1 poison row.
+	x := linalg.NewMatrix(64, 2)
+	y := make([]float64, 64)
+	for i := 0; i < 64; i++ {
+		x.Set(i, 0, float64(i))
+	}
+	const poison = 37
+	x.Set(poison, 1, -1)
+	cs := &Case{Train: dataset.MustNew(x, y, nil), Probes: linalg.NewMatrix(1, 2)}
+	min := ShrinkRows(cs, func(c *Case) bool {
+		for i := 0; i < c.Train.Len(); i++ {
+			if c.Train.Row(i)[1] == -1 {
+				return true
+			}
+		}
+		return false
+	})
+	if min.Train.Len() != 1 {
+		t.Fatalf("shrunk to %d rows, want 1", min.Train.Len())
+	}
+	if min.Train.Row(0)[1] != -1 {
+		t.Fatal("shrunk case lost the poison row")
+	}
+}
+
+func TestShrinkKeepsYMatAligned(t *testing.T) {
+	x := linalg.NewMatrix(16, 1)
+	ym := linalg.NewMatrix(16, 1)
+	for i := 0; i < 16; i++ {
+		x.Set(i, 0, float64(i))
+		ym.Set(i, 0, float64(i))
+	}
+	cs := &Case{Train: dataset.MustNew(x, nil, nil), YMat: ym, Probes: linalg.NewMatrix(1, 1)}
+	min := ShrinkRows(cs, func(c *Case) bool {
+		for i := 0; i < c.Train.Len(); i++ {
+			if c.Train.Row(i)[0] != c.YMat.At(i, 0) {
+				t.Fatalf("YMat misaligned during shrink: row %d", i)
+			}
+			if c.Train.Row(i)[0] == 11 {
+				return true
+			}
+		}
+		return false
+	})
+	if min.Train.Len() != 1 || min.Train.Row(0)[0] != 11 {
+		t.Fatalf("shrunk to %d rows (first=%v), want the single row 11",
+			min.Train.Len(), min.Train.Row(0)[0])
+	}
+}
+
+func TestReplayHintRoundTrips(t *testing.T) {
+	hint := ReplayHint(1234, "gp", 7)
+	if !strings.Contains(hint, `"gp"`) || !strings.Contains(hint, "1234") {
+		t.Fatalf("hint %q missing seed or name", hint)
+	}
+	if err := Replay(1234, "no/such/conformer", 0); err == nil {
+		t.Fatal("replay of unknown conformer did not error")
+	}
+}
+
+func TestMetamorphicTransformsPreserveShape(t *testing.T) {
+	c, _ := Lookup("linear/ridge")
+	cs := c.Case(5, 0)
+	for _, rel := range c.Relations {
+		r := cs.Rng(55)
+		cs2, oracle := rel.Transform.Apply(r, cs)
+		if cs2.Train.Dim() != cs.Train.Dim() {
+			t.Fatalf("%s changed dim", rel.Transform.Name)
+		}
+		if got := oracle(make([]float64, 4)); len(got) != 4 {
+			t.Fatalf("%s oracle changed length", rel.Transform.Name)
+		}
+	}
+}
+
+// TestEveryConformerPassesOneCase is the in-package smoke pass: one full
+// conformance check per registered learner. The root conformance_test.go
+// runs the real sweeps.
+func TestEveryConformerPassesOneCase(t *testing.T) {
+	for _, c := range All() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			cs := c.Case(2024, 0)
+			if err := c.Check(cs); err != nil {
+				t.Fatalf("%v\nreplay: %s", err, ReplayHint(2024, c.Name, 0))
+			}
+		})
+	}
+}

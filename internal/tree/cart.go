@@ -7,6 +7,7 @@ package tree
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/dataset"
@@ -277,6 +278,50 @@ func (t *Tree) PredictBatch(x *linalg.Matrix) []float64 {
 	return parallel.MapN(x.Rows, 256, func(i int) float64 {
 		return t.Predict(x.Row(i))
 	})
+}
+
+// Validate checks the structural partition invariant of a fitted (or
+// decoded) tree for inputs of the given width: every internal node has
+// both children, a finite threshold, and a feature index inside [0, dim);
+// every leaf carries at least one training sample; and each internal
+// node's sample count equals the sum of its children's. Together these
+// guarantee that any dim-wide input is routed to exactly one leaf — the
+// partition-coverage invariant the conformance suite asserts on every
+// generated fit and every decoded artifact.
+func (t *Tree) Validate(dim int) error {
+	if t.Root == nil {
+		return errors.New("tree: nil root")
+	}
+	var rec func(n *Node, path string) error
+	rec = func(n *Node, path string) error {
+		if n.Leaf {
+			if n.N < 1 {
+				return fmt.Errorf("tree: leaf at %q has n=%d < 1", path, n.N)
+			}
+			if math.IsNaN(n.Value) || math.IsInf(n.Value, 0) {
+				return fmt.Errorf("tree: leaf at %q has non-finite value %v", path, n.Value)
+			}
+			return nil
+		}
+		if n.Left == nil || n.Right == nil {
+			return fmt.Errorf("tree: internal node at %q is missing a child", path)
+		}
+		if n.Feature < 0 || n.Feature >= dim {
+			return fmt.Errorf("tree: internal node at %q splits on feature %d outside [0,%d)", path, n.Feature, dim)
+		}
+		if math.IsNaN(n.Threshold) || math.IsInf(n.Threshold, 0) {
+			return fmt.Errorf("tree: internal node at %q has non-finite threshold %v", path, n.Threshold)
+		}
+		if n.N != 0 && n.Left.N+n.Right.N != n.N {
+			return fmt.Errorf("tree: node at %q has n=%d but children sum to %d",
+				path, n.N, n.Left.N+n.Right.N)
+		}
+		if err := rec(n.Left, path+"L"); err != nil {
+			return err
+		}
+		return rec(n.Right, path+"R")
+	}
+	return rec(t.Root, "/")
 }
 
 // Depth returns the depth of the fitted tree (leaf-only tree has depth 0).

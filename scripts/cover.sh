@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Per-package coverage report plus a ratcheted total-coverage gate.
+#
+# Runs the full suite once with a combined coverage profile, prints
+# statement coverage per package, and fails if total coverage drops
+# below the floor recorded in scripts/cover_floor.txt. The floor only
+# ratchets up: when the suite comfortably clears it (>= floor + 2pts),
+# the script says so — raise the floor in the same PR that added the
+# coverage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile="${COVER_PROFILE:-cover.out}"
+floor_file="scripts/cover_floor.txt"
+
+echo "== coverage run =="
+go test -count=1 -coverprofile="$profile" ./... | grep -v '^---' | sed 's/^ok  */ok  /'
+
+echo
+echo "== per-package statement coverage =="
+go tool cover -func="$profile" |
+    awk -F'[:\t]' '
+        $1 ~ /\.go$/ {
+            n = split($1, parts, "/")
+            pkg = ""
+            for (i = 1; i < n; i++) pkg = pkg (i > 1 ? "/" : "") parts[i]
+            pct = $NF; sub(/%/, "", pct)
+            sum[pkg] += pct; cnt[pkg]++
+        }
+        END { for (p in sum) printf "%-40s %6.1f%%\n", p, sum[p] / cnt[p] }
+    ' | sort
+
+total="$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')"
+floor="$(cat "$floor_file")"
+echo
+echo "total statement coverage: ${total}%  (floor: ${floor}%)"
+
+awk -v total="$total" -v floor="$floor" 'BEGIN {
+    if (total + 0 < floor + 0) {
+        printf "FAIL: total coverage %.1f%% is below the ratcheted floor %.1f%%\n", total, floor
+        exit 1
+    }
+    if (total + 0 >= floor + 2) {
+        printf "note: coverage clears the floor by %.1f pts - consider ratcheting %s up\n", total - floor, "scripts/cover_floor.txt"
+    }
+}'
