@@ -6,7 +6,7 @@
 //
 //	edamine [-seed N] [-quick] [-manifest out.json] [-cpuprofile f]
 //	        [-memprofile f] [-trace f] [-save-model dir] [-load-model dir]
-//	        <experiment>
+//	        [-approx rff:D|nystrom:m] <experiment>
 //
 // Experiments: fig3, fig5, fig7, table1, fig9, fig10, fig11, fig12, sec2,
 // models, or "all".
@@ -14,7 +14,11 @@
 // The "models" experiment trains one model of every persistable kind
 // (see internal/model): with -save-model DIR it writes versioned
 // artifacts that cmd/edaserved can serve, with -load-model DIR it reads
-// artifacts back and verifies bit-identical predictions.
+// artifacts back and verifies bit-identical predictions. With -approx,
+// each kernel model (svc, oneclass, gp) is additionally compiled to an
+// approx-linear artifact (internal/kernel/approx) and the report prints
+// the artifact size, payload kind, and measured train-set error versus
+// the exact model.
 //
 // With -manifest, a machine-checkable run manifest (seed, workers, build
 // revision, per-stage wall times, and the full metric snapshot — see
@@ -54,6 +58,7 @@ var (
 	traceOut   = flag.String("trace", "", "write a runtime/trace execution trace to this file")
 	saveModel  = flag.String("save-model", "", "write versioned model artifacts from the 'models' experiment to this directory")
 	loadModel  = flag.String("load-model", "", "load model artifacts for the 'models' experiment from this directory and verify them")
+	approxSpec = flag.String("approx", "", "also compile kernel models to approx-linear artifacts: rff:D or nystrom:m ('models' experiment); prints the measured train-set error vs exact")
 	version    = flag.Bool("version", false, "print the build revision and exit")
 
 	// Chaos flags (see internal/fault): any nonzero rate activates a
@@ -118,7 +123,7 @@ func experiments() []experiment {
 		}},
 		{"models", "Model persistence — train, round-trip, and verify every servable model kind", func() (fmt.Stringer, error) {
 			return modelzoo.Run(modelzoo.Config{
-				Seed: *seed, SaveDir: *saveModel, LoadDir: *loadModel,
+				Seed: *seed, SaveDir: *saveModel, LoadDir: *loadModel, Approx: *approxSpec,
 				ManifestRef: *manifest, Train: scale(80, 160), Probes: scale(32, 64),
 			})
 		}},

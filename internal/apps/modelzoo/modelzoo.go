@@ -15,6 +15,7 @@ package modelzoo
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"path/filepath"
 	"strings"
@@ -45,6 +46,11 @@ type Config struct {
 	ManifestRef string // recorded in each artifact's envelope
 	Train       int    // training samples per model, default 160
 	Probes      int    // probe samples per model, default 64
+	// Approx, when non-empty ("rff:D" or "nystrom:m"), additionally
+	// compiles each kernel kind (svc, oneclass, gp) into an
+	// approx-linear artifact alongside the exact one, and reports the
+	// measured train-set decision error versus the exact model.
+	Approx string
 }
 
 func (c *Config) defaults() {
@@ -56,15 +62,27 @@ func (c *Config) defaults() {
 	}
 }
 
-// ModelReport is the per-kind outcome.
+// Payload kinds a zoo artifact can carry.
+const (
+	PayloadExact  = "exact"
+	PayloadApprox = "approx-linear"
+)
+
+// ModelReport is the per-artifact outcome.
 type ModelReport struct {
 	Kind     model.Kind
+	Payload  string // PayloadExact or PayloadApprox
 	File     string // artifact path (save/load mode)
 	Checksum string // payload SHA-256
+	Bytes    int    // marshalled artifact size
 	Probes   int
 	// BitIdentical reports whether the artifact-round-tripped model
-	// scored every probe bit-identically to the in-memory trained model.
+	// scored every probe bit-identically to the in-memory trained model
+	// (for approx payloads, to the freshly compiled model).
 	BitIdentical bool
+	// MaxErr is the worst |approx − exact| decision gap over the
+	// training rows; meaningful only for PayloadApprox.
+	MaxErr float64
 }
 
 // Result is the experiment outcome.
@@ -73,11 +91,18 @@ type Result struct {
 	Models  []ModelReport
 	SaveDir string
 	LoadDir string
+	Approx  string // the -approx spec in effect, if any
 }
 
 // ArtifactFile returns the conventional artifact filename for a kind.
 func ArtifactFile(dir string, kind model.Kind) string {
 	return filepath.Join(dir, string(kind)+".model.json")
+}
+
+// ApproxArtifactFile returns the conventional filename for the compiled
+// approx-linear form of a kernel kind.
+func ApproxArtifactFile(dir string, kind model.Kind) string {
+	return filepath.Join(dir, string(kind)+".approx.model.json")
 }
 
 // Trained couples a fitted model with its probe matrix and the
@@ -87,6 +112,7 @@ func ArtifactFile(dir string, kind model.Kind) string {
 type Trained struct {
 	Kind   model.Kind
 	Model  any
+	Train  *linalg.Matrix // training rows (the compile-error reference set)
 	Probes *linalg.Matrix
 	Want   []float64
 }
@@ -108,7 +134,7 @@ func TrainAll(seed int64, nTrain, nProbes int) ([]Trained, error) {
 			return nil, fmt.Errorf("modelzoo: svc: %w", err)
 		}
 		probes := dataset.TwoGaussians(rng, nProbes, 4, 2.5, 1.0).X
-		out = append(out, Trained{model.KindSVC, m, probes, scoreRows(probes, m.Predict)})
+		out = append(out, Trained{model.KindSVC, m, d.X, probes, scoreRows(probes, m.Predict)})
 	}
 
 	// One-class SVM: novelty detection over a single cluster.
@@ -121,7 +147,7 @@ func TrainAll(seed int64, nTrain, nProbes int) ([]Trained, error) {
 			return nil, fmt.Errorf("modelzoo: oneclass: %w", err)
 		}
 		probes := dataset.Blobs(rng, 1, nProbes, 3, 0, 2.0).X
-		out = append(out, Trained{model.KindOneClass, m, probes, scoreRows(probes, m.Decision)})
+		out = append(out, Trained{model.KindOneClass, m, d.X, probes, scoreRows(probes, m.Decision)})
 	}
 
 	// Ridge: Friedman #1 regression surface.
@@ -133,7 +159,7 @@ func TrainAll(seed int64, nTrain, nProbes int) ([]Trained, error) {
 			return nil, fmt.Errorf("modelzoo: ridge: %w", err)
 		}
 		probes := dataset.Friedman1(rng, nProbes, 8, 0.5).X
-		out = append(out, Trained{model.KindRidge, m, probes, scoreRows(probes, m.Predict)})
+		out = append(out, Trained{model.KindRidge, m, d.X, probes, scoreRows(probes, m.Predict)})
 	}
 
 	// GP: noisy sine, RBF covariance. Smaller n — the fit is O(n³).
@@ -149,7 +175,7 @@ func TrainAll(seed int64, nTrain, nProbes int) ([]Trained, error) {
 			return nil, fmt.Errorf("modelzoo: gp: %w", err)
 		}
 		probes := dataset.NoisySine(rng, nProbes, 0.15).X
-		out = append(out, Trained{model.KindGP, m, probes, scoreRows(probes, m.Predict)})
+		out = append(out, Trained{model.KindGP, m, d.X, probes, scoreRows(probes, m.Predict)})
 	}
 
 	// Decision tree: XOR — linearly inseparable, trees split it cleanly.
@@ -161,7 +187,7 @@ func TrainAll(seed int64, nTrain, nProbes int) ([]Trained, error) {
 			return nil, fmt.Errorf("modelzoo: tree: %w", err)
 		}
 		probes := dataset.XOR(rng, nProbes/4+1, 0.35).X
-		out = append(out, Trained{model.KindTree, m, probes, scoreRows(probes, m.Predict)})
+		out = append(out, Trained{model.KindTree, m, d.X, probes, scoreRows(probes, m.Predict)})
 	}
 
 	// CN2-SD rule set: subgroups of the positive Gaussian.
@@ -174,7 +200,7 @@ func TrainAll(seed int64, nTrain, nProbes int) ([]Trained, error) {
 		}
 		m := &rules.RuleSet{Rules: rs, Target: 1, Default: 0}
 		probes := dataset.TwoGaussians(rng, nProbes, 3, 3.0, 1.0).X
-		out = append(out, Trained{model.KindRuleSet, m, probes, scoreRows(probes, m.Predict)})
+		out = append(out, Trained{model.KindRuleSet, m, d.X, probes, scoreRows(probes, m.Predict)})
 	}
 
 	zooTrained.Add(int64(len(out)))
@@ -189,6 +215,77 @@ func scoreRows(x *linalg.Matrix, f func([]float64) float64) []float64 {
 	return out
 }
 
+// zooJob is one artifact to persist and verify: either a trained model
+// in its exact form, or its compiled approx-linear form.
+type zooJob struct {
+	kind    model.Kind
+	payload string // PayloadExact or PayloadApprox
+	name    string // artifact base name, e.g. "svc.model.json"
+	mdl     any
+	probes  *linalg.Matrix
+	want    []float64
+	maxErr  float64 // approx only
+}
+
+// kernelKind reports whether a zoo kind has a kernel expansion that
+// model.CompileApprox can collapse.
+func kernelKind(k model.Kind) bool {
+	return k == model.KindSVC || k == model.KindOneClass || k == model.KindGP
+}
+
+// approxJobs compiles every kernel kind under spec and measures the
+// worst train-set decision gap against the exact model.
+func approxJobs(models []Trained, spec model.ApproxSpec) ([]zooJob, error) {
+	var jobs []zooJob
+	for _, t := range models {
+		if !kernelKind(t.Kind) {
+			continue
+		}
+		am, err := model.CompileApprox(t.Model, spec)
+		if err != nil {
+			return nil, fmt.Errorf("modelzoo: compile %s: %w", t.Kind, err)
+		}
+		maxErr, err := trainSetError(t, am)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, zooJob{
+			kind:    t.Kind,
+			payload: PayloadApprox,
+			name:    string(t.Kind) + ".approx.model.json",
+			mdl:     am,
+			probes:  t.Probes,
+			want:    scoreRows(t.Probes, am.ScoreRow),
+			maxErr:  maxErr,
+		})
+	}
+	return jobs, nil
+}
+
+// trainSetError is the worst |approx − exact| raw-decision gap over the
+// training rows — the measured compile error the report prints.
+func trainSetError(t Trained, am *model.ApproxModel) (float64, error) {
+	var exact func([]float64) float64
+	switch m := t.Model.(type) {
+	case *svm.SVC:
+		exact = m.Decision
+	case *svm.OneClass:
+		exact = m.Decision
+	case *gp.Regressor:
+		exact = m.Predict
+	default:
+		return 0, fmt.Errorf("modelzoo: no exact decision for %T", t.Model)
+	}
+	worst := 0.0
+	for i := 0; i < t.Train.Rows; i++ {
+		x := t.Train.Row(i)
+		if e := math.Abs(am.Decision(x) - exact(x)); e > worst {
+			worst = e
+		}
+	}
+	return worst, nil
+}
+
 // Run executes the experiment (see the package comment).
 func Run(cfg Config) (*Result, error) {
 	cfg.defaults()
@@ -196,16 +293,38 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Seed: cfg.Seed, SaveDir: cfg.SaveDir, LoadDir: cfg.LoadDir}
+	res := &Result{Seed: cfg.Seed, SaveDir: cfg.SaveDir, LoadDir: cfg.LoadDir, Approx: cfg.Approx}
+
+	jobs := make([]zooJob, 0, len(models))
 	for _, t := range models {
-		rep := ModelReport{Kind: t.Kind, Probes: t.Probes.Rows}
-		meta := model.Meta{Name: "zoo-" + string(t.Kind), Seed: cfg.Seed, ManifestRef: cfg.ManifestRef}
+		jobs = append(jobs, zooJob{
+			kind: t.Kind, payload: PayloadExact, name: string(t.Kind) + ".model.json",
+			mdl: t.Model, probes: t.Probes, want: t.Want,
+		})
+	}
+	if cfg.Approx != "" {
+		// The feature-map seed stream follows the zoo's seed+NNN
+		// convention, independent of every training stream.
+		spec, err := model.ParseApproxSpec(cfg.Approx, cfg.Seed+707)
+		if err != nil {
+			return nil, fmt.Errorf("modelzoo: -approx: %w", err)
+		}
+		aj, err := approxJobs(models, spec)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, aj...)
+	}
+
+	for _, j := range jobs {
+		rep := ModelReport{Kind: j.kind, Payload: j.payload, Probes: j.probes.Rows, MaxErr: j.maxErr}
+		meta := model.Meta{Name: "zoo-" + string(j.kind), Seed: cfg.Seed, ManifestRef: cfg.ManifestRef}
 
 		var art *model.Artifact
 		switch {
 		case cfg.SaveDir != "":
-			rep.File = ArtifactFile(cfg.SaveDir, t.Kind)
-			if art, err = model.Save(rep.File, t.Model, meta); err != nil {
+			rep.File = filepath.Join(cfg.SaveDir, j.name)
+			if art, err = model.Save(rep.File, j.mdl, meta); err != nil {
 				return nil, err
 			}
 			zooSaved.Inc()
@@ -214,14 +333,14 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 		case cfg.LoadDir != "":
-			rep.File = ArtifactFile(cfg.LoadDir, t.Kind)
+			rep.File = filepath.Join(cfg.LoadDir, j.name)
 			if art, err = model.Load(rep.File); err != nil {
 				return nil, err
 			}
 			zooLoaded.Inc()
 		default:
 			// Pure round-trip through bytes, no disk.
-			if art, err = model.Encode(t.Model, meta); err != nil {
+			if art, err = model.Encode(j.mdl, meta); err != nil {
 				return nil, err
 			}
 			data, merr := art.Marshal()
@@ -233,16 +352,21 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		rep.Checksum = art.Envelope.Checksum
+		data, merr := art.Marshal()
+		if merr != nil {
+			return nil, merr
+		}
+		rep.Bytes = len(data)
 
 		scorer, err := art.Scorer()
 		if err != nil {
 			return nil, err
 		}
-		got := make([]float64, t.Probes.Rows)
+		got := make([]float64, j.probes.Rows)
 		for i := range got {
-			got[i] = scorer.ScoreRow(t.Probes.Row(i))
+			got[i] = scorer.ScoreRow(j.probes.Row(i))
 		}
-		rep.BitIdentical = equalBits(got, t.Want)
+		rep.BitIdentical = equalBits(got, j.want)
 		res.Models = append(res.Models, rep)
 	}
 	return res, nil
@@ -270,19 +394,28 @@ func (r *Result) String() string {
 	case r.LoadDir != "":
 		mode = "load from " + r.LoadDir
 	}
+	if r.Approx != "" {
+		mode += ", approx=" + r.Approx
+	}
 	fmt.Fprintf(&b, "model persistence (seed=%d, %s)\n", r.Seed, mode)
-	fmt.Fprintf(&b, "%-10s %-10s %-8s %s\n", "kind", "probes", "exact", "payload_sha256")
+	fmt.Fprintf(&b, "%-10s %-14s %-8s %-8s %-8s %-12s %s\n",
+		"kind", "payload", "bytes", "probes", "bitexact", "train_err", "payload_sha256")
 	ok := true
 	for _, m := range r.Models {
-		fmt.Fprintf(&b, "%-10s %-10d %-8v %s\n", m.Kind, m.Probes, m.BitIdentical, m.Checksum[:16])
+		trainErr := "-"
+		if m.Payload == PayloadApprox {
+			trainErr = fmt.Sprintf("%.3g", m.MaxErr)
+		}
+		fmt.Fprintf(&b, "%-10s %-14s %-8d %-8d %-8v %-12s %s\n",
+			m.Kind, m.Payload, m.Bytes, m.Probes, m.BitIdentical, trainErr, m.Checksum[:16])
 		if !m.BitIdentical {
 			ok = false
 		}
 	}
 	if ok {
-		fmt.Fprintf(&b, "all %d kinds round-trip bit-identically\n", len(r.Models))
+		fmt.Fprintf(&b, "all %d artifacts round-trip bit-identically\n", len(r.Models))
 	} else {
-		fmt.Fprintf(&b, "ERROR: some kinds did not round-trip bit-identically\n")
+		fmt.Fprintf(&b, "ERROR: some artifacts did not round-trip bit-identically\n")
 	}
 	return b.String()
 }

@@ -6,6 +6,7 @@ package modelzoo_test
 // the save/load round trip the app itself implements.
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/apps/modelzoo"
@@ -42,6 +43,50 @@ func TestZooModelsPassDifferential(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestZooApproxArtifacts covers the -approx knob: each kernel kind
+// gains a compiled approx-linear artifact that survives the save/load
+// round trip bit-identically, reports its size and payload kind, and
+// carries a finite measured train-set error.
+func TestZooApproxArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	cfg := modelzoo.Config{Seed: 31, SaveDir: dir, Train: 60, Probes: 20, Approx: "nystrom:24"}
+	saved, err := modelzoo.Run(cfg)
+	if err != nil {
+		t.Fatalf("save run: %v", err)
+	}
+	cfg.SaveDir, cfg.LoadDir = "", dir
+	loaded, err := modelzoo.Run(cfg)
+	if err != nil {
+		t.Fatalf("load run: %v", err)
+	}
+	countApprox := 0
+	for i, m := range loaded.Models {
+		if m.Bytes <= 0 {
+			t.Errorf("%s/%s: artifact size %d, want > 0", m.Kind, m.Payload, m.Bytes)
+		}
+		if !m.BitIdentical {
+			t.Errorf("%s/%s: loaded artifact not bit-identical", m.Kind, m.Payload)
+		}
+		if m.Checksum != saved.Models[i].Checksum {
+			t.Errorf("%s/%s: checksum mismatch across save/load", m.Kind, m.Payload)
+		}
+		if m.Payload != modelzoo.PayloadApprox {
+			continue
+		}
+		countApprox++
+		if !(m.MaxErr >= 0) || math.IsInf(m.MaxErr, 0) {
+			t.Errorf("%s: train-set error %v, want finite and >= 0", m.Kind, m.MaxErr)
+		}
+	}
+	if countApprox != 3 {
+		t.Errorf("got %d approx-linear artifacts, want 3 (svc, oneclass, gp)", countApprox)
+	}
+
+	if _, err := modelzoo.Run(modelzoo.Config{Seed: 31, Train: 60, Probes: 20, Approx: "rff:bogus"}); err == nil {
+		t.Error("malformed -approx spec did not error")
 	}
 }
 

@@ -12,6 +12,10 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/linalg"
+	"repro/internal/svm"
 )
 
 func FuzzModelDecode(f *testing.F) {
@@ -35,6 +39,13 @@ func FuzzModelDecode(f *testing.F) {
 	f.Add(forge(f, KindRuleSet, 2, nil,
 		`{"rules": [{"conditions": [{"feature": 5, "op": 0, "threshold": 1}], "class": 1}], "target": 1, "default": 0}`))
 
+	// A genuine compiled approx-linear artifact, so mutations explore the
+	// env.Approx decode path, plus a forged truncated-weights variant.
+	f.Add(compiledSeed(f))
+	f.Add(forgeApprox(f, KindSVC, 2, rbfSpec(), &ApproxSpec{Method: ApproxRFF, Dim: 4, Seed: 7},
+		`{"proj": {"rows": 4, "cols": 2, "data": [1, 0, 0, 1, 0.5, -0.5, 0.25, 0.75]}, `+
+			`"phase": [0, 1, 2, 3], "w": [1], "bias": 0.1, "classes": [-1, 1]}`))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tryDecode(t, data)
 
@@ -53,6 +64,27 @@ func FuzzModelDecode(f *testing.F) {
 			}
 		}
 	})
+}
+
+// compiledSeed marshals a real compiled SVC (RFF D=8 over a 3-vector
+// expansion) — the same bytes committed under testdata/fuzz.
+func compiledSeed(f *testing.F) []byte {
+	sv := linalg.NewMatrix(3, 2)
+	copy(sv.Data, []float64{0.5, -1, 1.5, 0.25, -0.75, 2})
+	svc := svm.RestoreSVC(kernel.RBF{Gamma: 0.5}, sv, []float64{1, -0.5, 0.25}, 0.1, [2]float64{-1, 1})
+	am, err := CompileApprox(svc, ApproxSpec{Method: ApproxRFF, Dim: 8, Seed: 7})
+	if err != nil {
+		f.Fatal(err)
+	}
+	art, err := Encode(am, Meta{Name: "fuzz-compiled"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := art.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
 }
 
 // tryDecode runs one input through Decode and, when it is accepted,

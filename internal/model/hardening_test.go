@@ -16,6 +16,8 @@ import (
 	"testing"
 
 	"repro/internal/fault"
+	"repro/internal/kernel/approx"
+	"repro/internal/linalg"
 	"repro/internal/linear"
 	"repro/internal/rules"
 	"repro/internal/tree"
@@ -25,6 +27,12 @@ import (
 // (correct schema version and checksum) around an arbitrary payload, so
 // tests reach the payload-decoding and validation layers.
 func forge(t testing.TB, kind Kind, features int, kspec *KernelSpec, payload string) []byte {
+	return forgeApprox(t, kind, features, kspec, nil, payload)
+}
+
+// forgeApprox is forge with an approx spec in the envelope, routing the
+// payload through the approx-linear decoder.
+func forgeApprox(t testing.TB, kind Kind, features int, kspec *KernelSpec, aspec *ApproxSpec, payload string) []byte {
 	t.Helper()
 	sum, err := checksum([]byte(payload))
 	if err != nil {
@@ -35,6 +43,7 @@ func forge(t testing.TB, kind Kind, features int, kspec *KernelSpec, payload str
 		Kind:          kind,
 		Features:      features,
 		Kernel:        kspec,
+		Approx:        aspec,
 		Checksum:      sum,
 		Payload:       json.RawMessage(payload),
 	}
@@ -132,6 +141,125 @@ func TestDecodeRejectsForgedArtifacts(t *testing.T) {
 	}
 }
 
+// Baseline approx-linear payloads the adversarial cases mutate. Both
+// decode cleanly under their matching envelopes (the positive controls
+// below prove it), so each hostile variant fails for its own reason.
+const (
+	validRFFPayload = `{"proj": {"rows": 4, "cols": 2, "data": [1, 0, 0, 1, 0.5, -0.5, 0.25, 0.75]}, ` +
+		`"phase": [0, 1, 2, 3], "w": [1, 2, 3, 4], "bias": 0.1, "classes": [-1, 1]}`
+	validNystromPayload = `{"proj": {"rows": 2, "cols": 2, "data": [1, 0, 0, 1]}, ` +
+		`"whiten": {"rows": 2, "cols": 2, "data": [1, 0, 0, 1]}, "w": [0.5, 0.5], "bias": -0.2}`
+)
+
+func rffSpec4() *ApproxSpec     { return &ApproxSpec{Method: ApproxRFF, Dim: 4, Seed: 7} }
+func nystromSpec2() *ApproxSpec { return &ApproxSpec{Method: ApproxNystrom, Dim: 2, Seed: 7} }
+
+// TestDecodeRejectsForgedApproxArtifacts: the adversarial-artifact table
+// for the approx-linear payload — truncated weight vectors, D/m bounds,
+// smuggled or missing components, non-finite projections. Every case
+// must fail loudly with the typed error; a forged compiled artifact must
+// never reach scoring.
+func TestDecodeRejectsForgedApproxArtifacts(t *testing.T) {
+	// Positive controls: the baselines the hostile cases mutate are
+	// themselves accepted, so each rejection below is for the mutation.
+	for name, data := range map[string][]byte{
+		"rff":     forgeApprox(t, KindSVC, 2, rbfSpec(), rffSpec4(), validRFFPayload),
+		"nystrom": forgeApprox(t, KindOneClass, 2, rbfSpec(), nystromSpec2(), validNystromPayload),
+	} {
+		a, err := Decode(data)
+		if err != nil {
+			t.Fatalf("baseline %s approx forgery does not decode: %v", name, err)
+		}
+		if _, err := a.Scorer(); err != nil {
+			t.Fatalf("baseline %s approx forgery has no scorer: %v", name, err)
+		}
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"truncated weight vector",
+			forgeApprox(t, KindSVC, 2, rbfSpec(), rffSpec4(),
+				`{"proj": {"rows": 4, "cols": 2, "data": [1, 0, 0, 1, 0.5, -0.5, 0.25, 0.75]}, `+
+					`"phase": [0, 1, 2, 3], "w": [1, 2, 3], "bias": 0.1, "classes": [-1, 1]}`),
+			ErrInvalid},
+		{"dim zero",
+			forgeApprox(t, KindSVC, 2, rbfSpec(), &ApproxSpec{Method: ApproxRFF, Dim: 0, Seed: 7},
+				validRFFPayload),
+			ErrInvalid},
+		{"dim beyond MaxDim",
+			forgeApprox(t, KindSVC, 2, rbfSpec(), &ApproxSpec{Method: ApproxRFF, Dim: 1 << 17, Seed: 7},
+				validRFFPayload),
+			ErrInvalid},
+		{"unknown method",
+			forgeApprox(t, KindSVC, 2, rbfSpec(), &ApproxSpec{Method: "chebyshev", Dim: 4, Seed: 7},
+				validRFFPayload),
+			ErrInvalid},
+		{"dim lies about the projection",
+			forgeApprox(t, KindSVC, 2, rbfSpec(), &ApproxSpec{Method: ApproxRFF, Dim: 8, Seed: 7},
+				validRFFPayload),
+			ErrInvalid},
+		{"phase count mismatch",
+			forgeApprox(t, KindSVC, 2, rbfSpec(), rffSpec4(),
+				`{"proj": {"rows": 4, "cols": 2, "data": [1, 0, 0, 1, 0.5, -0.5, 0.25, 0.75]}, `+
+					`"phase": [0, 1, 2], "w": [1, 2, 3, 4], "bias": 0.1, "classes": [-1, 1]}`),
+			ErrInvalid},
+		{"rff smuggles a whiten matrix",
+			forgeApprox(t, KindSVC, 2, rbfSpec(), rffSpec4(),
+				`{"proj": {"rows": 4, "cols": 2, "data": [1, 0, 0, 1, 0.5, -0.5, 0.25, 0.75]}, `+
+					`"phase": [0, 1, 2, 3], "whiten": {"rows": 4, "cols": 4, "data": [0]}, `+
+					`"w": [1, 2, 3, 4], "bias": 0.1, "classes": [-1, 1]}`),
+			ErrInvalid},
+		{"nystrom smuggles rff phases",
+			forgeApprox(t, KindOneClass, 2, rbfSpec(), nystromSpec2(),
+				`{"proj": {"rows": 2, "cols": 2, "data": [1, 0, 0, 1]}, "phase": [0, 1], `+
+					`"whiten": {"rows": 2, "cols": 2, "data": [1, 0, 0, 1]}, "w": [0.5, 0.5], "bias": -0.2}`),
+			ErrInvalid},
+		{"nystrom missing whiten",
+			forgeApprox(t, KindOneClass, 2, rbfSpec(), nystromSpec2(),
+				`{"proj": {"rows": 2, "cols": 2, "data": [1, 0, 0, 1]}, "w": [0.5, 0.5], "bias": -0.2}`),
+			ErrInvalid},
+		{"nystrom without kernel spec",
+			forgeApprox(t, KindOneClass, 2, nil, nystromSpec2(), validNystromPayload),
+			ErrKernel},
+		{"compiled svc missing classes",
+			forgeApprox(t, KindSVC, 2, rbfSpec(), rffSpec4(),
+				`{"proj": {"rows": 4, "cols": 2, "data": [1, 0, 0, 1, 0.5, -0.5, 0.25, 0.75]}, `+
+					`"phase": [0, 1, 2, 3], "w": [1, 2, 3, 4], "bias": 0.1}`),
+			ErrInvalid},
+		{"classes on a non-svc payload",
+			forgeApprox(t, KindOneClass, 2, rbfSpec(), nystromSpec2(),
+				`{"proj": {"rows": 2, "cols": 2, "data": [1, 0, 0, 1]}, `+
+					`"whiten": {"rows": 2, "cols": 2, "data": [1, 0, 0, 1]}, "w": [0.5, 0.5], "bias": -0.2, "classes": [-1, 1]}`),
+			ErrInvalid},
+		{"approx payload under non-kernel kind",
+			forgeApprox(t, KindRidge, 2, nil, rffSpec4(), validRFFPayload),
+			ErrKind},
+		{"projection width lies about envelope features",
+			forgeApprox(t, KindSVC, 5, rbfSpec(), rffSpec4(), validRFFPayload),
+			ErrInvalid},
+		{"nan smuggled via huge exponent", // 1e999 overflows float64: typed parse error
+			forgeApprox(t, KindSVC, 2, rbfSpec(), rffSpec4(),
+				`{"proj": {"rows": 4, "cols": 2, "data": [1e999, 0, 0, 1, 0.5, -0.5, 0.25, 0.75]}, `+
+					`"phase": [0, 1, 2, 3], "w": [1, 2, 3, 4], "bias": 0.1, "classes": [-1, 1]}`),
+			nil},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := Decode(tc.data) // must not panic
+			if err == nil {
+				t.Fatalf("Decode accepted forged approx artifact, envelope %+v", a.Envelope)
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("error %v does not wrap %v", err, tc.want)
+			}
+		})
+	}
+}
+
 // TestValidateModelCatchesNonFinite: JSON cannot express NaN/Inf
 // directly, but validateModel is the last line of defense for any
 // future transport that can — and for in-process corruption.
@@ -139,11 +267,34 @@ func TestValidateModelCatchesNonFinite(t *testing.T) {
 	nan := math.NaN()
 	inf := math.Inf(1)
 	leaf := func(v float64) *tree.Node { return &tree.Node{Leaf: true, Value: v} }
+	// compiledRFF builds an in-process ApproxModel around raw components,
+	// bypassing the decoders — validateModel is the last line of defense.
+	compiledRFF := func(omega, phase, w []float64, bias float64) *ApproxModel {
+		om := linalg.NewMatrix(2, 2)
+		copy(om.Data, omega)
+		fm, err := approx.RestoreRFF(om, phase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &ApproxModel{
+			SourceKind: KindSVC,
+			Spec:       ApproxSpec{Method: ApproxRFF, Dim: 2, Seed: 1},
+			Kernel:     rbfSpec(),
+			Lin:        &approx.Linear{Map: fm, W: w, Bias: bias},
+			Classes:    [2]float64{-1, 1},
+		}
+	}
 	cases := []struct {
 		name     string
 		m        any
 		features int
 	}{
+		{"approx nan in projection",
+			compiledRFF([]float64{1, nan, 0, 1}, []float64{0, 0}, []float64{1, 1}, 0), 2},
+		{"approx inf phase",
+			compiledRFF([]float64{1, 0, 0, 1}, []float64{0, inf}, []float64{1, 1}, 0), 2},
+		{"approx nan weight",
+			compiledRFF([]float64{1, 0, 0, 1}, []float64{0, 0}, []float64{nan, 1}, 0), 2},
 		{"ridge nan weight", &linear.Regression{W: []float64{1, nan}, B: 0}, 2},
 		{"ridge inf intercept", &linear.Regression{W: []float64{1}, B: inf}, 1},
 		{"tree nan threshold", &tree.Tree{Root: &tree.Node{Feature: 0, Threshold: nan, Left: leaf(0), Right: leaf(1)}}, 1},

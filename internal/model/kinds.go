@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/gp"
 	"repro/internal/kernel"
+	"repro/internal/kernel/approx"
 	"repro/internal/linalg"
 	"repro/internal/linear"
 	"repro/internal/rules"
@@ -166,6 +167,18 @@ type (
 		Target  int        `json:"target"`
 		Default int        `json:"default"`
 	}
+	// approxLinearPayload is the compiled form of a kernel model (see
+	// compile.go). Proj is the RFF frequency matrix (D×d) or the Nyström
+	// landmark matrix (m×d); Phase/Whiten are method-specific. The
+	// envelope's Approx field says which method applies.
+	approxLinearPayload struct {
+		Proj    matrixJSON  `json:"proj"`
+		Phase   []float64   `json:"phase,omitempty"`  // rff only: D phase offsets
+		Whiten  *matrixJSON `json:"whiten,omitempty"` // nystrom only: m×m whitening
+		W       []float64   `json:"w"`
+		Bias    float64     `json:"bias"`
+		Classes *[2]float64 `json:"classes,omitempty"` // svc only
+	}
 )
 
 func treeNodeOut(n *tree.Node) *treeNodeJSON {
@@ -240,6 +253,29 @@ func encodePayload(m any) (kind Kind, features int, kspec *KernelSpec, payload [
 			MaxDepth: mm.Config.MaxDepth, MinLeaf: mm.Config.MinLeaf,
 			Regression: mm.Config.Regression, Root: treeNodeOut(mm.Root),
 		}), err
+	case *ApproxModel:
+		switch mm.SourceKind {
+		case KindSVC, KindOneClass, KindGP:
+		default:
+			return "", 0, nil, nil, fmt.Errorf("%w: approx-linear cannot represent kind %q", ErrKind, mm.SourceKind)
+		}
+		p := approxLinearPayload{W: mm.Lin.W, Bias: mm.Lin.Bias}
+		switch fm := mm.Lin.Map.(type) {
+		case *approx.RFF:
+			p.Proj = matrixOut(fm.Omega)
+			p.Phase = fm.Phase
+		case *approx.Nystrom:
+			p.Proj = matrixOut(fm.Landmarks)
+			wh := matrixOut(fm.Whiten)
+			p.Whiten = &wh
+		default:
+			return "", 0, nil, nil, fmt.Errorf("%w: cannot persist feature map %T", ErrKind, mm.Lin.Map)
+		}
+		if mm.SourceKind == KindSVC {
+			cls := mm.Classes
+			p.Classes = &cls
+		}
+		return mm.SourceKind, mm.Lin.Map.InputDim(), mm.Kernel, marshal(p), err
 	case *rules.RuleSet:
 		out := ruleSetPayload{Target: mm.Target, Default: mm.Default}
 		maxFeat := -1
@@ -279,6 +315,9 @@ func treeFeatures(n *tree.Node) int {
 
 // decodePayload rebuilds the fitted model described by the envelope.
 func decodePayload(env *Envelope) (any, error) {
+	if env.Approx != nil {
+		return decodeApproxPayload(env)
+	}
 	unmarshal := func(v any) error {
 		if err := json.Unmarshal(env.Payload, v); err != nil {
 			return fmt.Errorf("model: parse %s payload: %w", env.Kind, err)
@@ -390,4 +429,88 @@ func decodePayload(env *Envelope) (any, error) {
 	default:
 		return nil, fmt.Errorf("%w: %q", ErrKind, env.Kind)
 	}
+}
+
+// decodeApproxPayload rebuilds a compiled approx-linear model. Every
+// structural inconsistency — wrong method fields, shape mismatches,
+// a map dimension the envelope does not declare — is a typed ErrInvalid
+// (or ErrKind/ErrKernel); a forged compiled artifact never scores.
+func decodeApproxPayload(env *Envelope) (any, error) {
+	spec := env.Approx
+	switch spec.Method {
+	case ApproxRFF, ApproxNystrom:
+	default:
+		return nil, fmt.Errorf("%w: unknown approx method %q", ErrInvalid, spec.Method)
+	}
+	if spec.Dim <= 0 || spec.Dim > approx.MaxDim {
+		return nil, fmt.Errorf("%w: approx dim %d outside 1..%d", ErrInvalid, spec.Dim, approx.MaxDim)
+	}
+	switch env.Kind {
+	case KindSVC, KindOneClass, KindGP:
+	default:
+		return nil, fmt.Errorf("%w: approx-linear payload under kind %q", ErrKind, env.Kind)
+	}
+	var p approxLinearPayload
+	if err := json.Unmarshal(env.Payload, &p); err != nil {
+		return nil, fmt.Errorf("model: parse approx payload: %w", err)
+	}
+	proj, err := p.Proj.build()
+	if err != nil {
+		return nil, err
+	}
+	var fm approx.FeatureMap
+	switch spec.Method {
+	case ApproxRFF:
+		if p.Whiten != nil {
+			return nil, fmt.Errorf("%w: rff payload carries a whiten matrix", ErrInvalid)
+		}
+		r, err := approx.RestoreRFF(proj, p.Phase)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		fm = r
+	case ApproxNystrom:
+		if len(p.Phase) != 0 {
+			return nil, fmt.Errorf("%w: nystrom payload carries rff phases", ErrInvalid)
+		}
+		if p.Whiten == nil {
+			return nil, fmt.Errorf("%w: nystrom payload is missing its whiten matrix", ErrInvalid)
+		}
+		if env.Kernel == nil {
+			return nil, fmt.Errorf("%w: nystrom artifact is missing its kernel spec", ErrKernel)
+		}
+		k, err := env.Kernel.Build()
+		if err != nil {
+			return nil, err
+		}
+		wh, err := p.Whiten.build()
+		if err != nil {
+			return nil, err
+		}
+		ny, err := approx.RestoreNystrom(k, proj, wh)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		fm = ny
+	}
+	if fm.Dim() != spec.Dim {
+		return nil, fmt.Errorf("%w: envelope declares approx dim %d, projection has %d",
+			ErrInvalid, spec.Dim, fm.Dim())
+	}
+	if len(p.W) != fm.Dim() {
+		return nil, fmt.Errorf("%w: %d weights for a %d-dimensional map", ErrInvalid, len(p.W), fm.Dim())
+	}
+	am := &ApproxModel{
+		SourceKind: env.Kind, Spec: *spec, Kernel: env.Kernel,
+		Lin: &approx.Linear{Map: fm, W: p.W, Bias: p.Bias},
+	}
+	if env.Kind == KindSVC {
+		if p.Classes == nil {
+			return nil, fmt.Errorf("%w: compiled svc is missing its class labels", ErrInvalid)
+		}
+		am.Classes = *p.Classes
+	} else if p.Classes != nil {
+		return nil, fmt.Errorf("%w: class labels on a non-svc approx payload", ErrInvalid)
+	}
+	return am, nil
 }

@@ -96,6 +96,7 @@ type Envelope struct {
 	Name          string          `json:"name,omitempty"`
 	Features      int             `json:"features"`
 	Kernel        *KernelSpec     `json:"kernel,omitempty"`
+	Approx        *ApproxSpec     `json:"approx,omitempty"` // set on compiled approx-linear payloads
 	Seed          int64           `json:"seed"`
 	ManifestRef   string          `json:"manifest_ref,omitempty"`
 	Revision      string          `json:"revision,omitempty"`
@@ -142,6 +143,11 @@ func Encode(m any, meta Meta) (*Artifact, error) {
 		return nil, err
 	}
 	rev, _ := obs.BuildRevision()
+	var aspec *ApproxSpec
+	if am, ok := m.(*ApproxModel); ok {
+		spec := am.Spec
+		aspec = &spec
+	}
 	return &Artifact{
 		Envelope: Envelope{
 			SchemaVersion: SchemaVersion,
@@ -149,6 +155,7 @@ func Encode(m any, meta Meta) (*Artifact, error) {
 			Name:          meta.Name,
 			Features:      features,
 			Kernel:        kspec,
+			Approx:        aspec,
 			Seed:          meta.Seed,
 			ManifestRef:   meta.ManifestRef,
 			Revision:      rev,

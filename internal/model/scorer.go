@@ -44,6 +44,11 @@ type KernelExpansion struct {
 // Scorer returns the prediction surface for the artifact's model kind.
 func (a *Artifact) Scorer() (Scorer, error) {
 	switch m := a.Model.(type) {
+	case *ApproxModel:
+		// Compiled fast path: one dot product through the feature map, no
+		// kernel expansion. Checked first so a compiled artifact can never
+		// fall through to an exact-kind scorer.
+		return approxScorer{m}, nil
 	case *svm.SVC:
 		return svcScorer{m}, nil
 	case *svm.OneClass:
@@ -62,7 +67,10 @@ func (a *Artifact) Scorer() (Scorer, error) {
 }
 
 // KernelExpansion returns the kernel-row structure of the model, or
-// false for the non-kernel kinds (ridge, tree, rule set).
+// false for the non-kernel kinds (ridge, tree, rule set) and for
+// compiled approx-linear models — a compiled model has no per-basis
+// kernel rows to cache, so the serving layer's kernel-row LRU is
+// skipped entirely.
 func (a *Artifact) KernelExpansion() (*KernelExpansion, bool) {
 	switch m := a.Model.(type) {
 	case *svm.SVC:
@@ -112,6 +120,12 @@ func kernelRowEval(eval func(a, b []float64) float64, basis *linalg.Matrix) func
 		}
 	}
 }
+
+type approxScorer struct{ m *ApproxModel }
+
+func (s approxScorer) ScoreRow(x []float64) float64          { return s.m.ScoreRow(x) }
+func (s approxScorer) ScoreBatch(x *linalg.Matrix) []float64 { return s.m.ScoreBatch(x) }
+func (s approxScorer) Dim() int                              { return s.m.Lin.Map.InputDim() }
 
 type svcScorer struct{ m *svm.SVC }
 

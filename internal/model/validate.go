@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/gp"
+	"repro/internal/kernel/approx"
 	"repro/internal/linalg"
 	"repro/internal/linear"
 	"repro/internal/rules"
@@ -57,6 +58,14 @@ func validateEnvelope(env *Envelope) error {
 	if env.Features < 0 || env.Features > MaxFeatures {
 		return fmt.Errorf("%w: features = %d (must be 0..%d)", ErrInvalid, env.Features, MaxFeatures)
 	}
+	if env.Approx != nil {
+		if env.Approx.Method != ApproxRFF && env.Approx.Method != ApproxNystrom {
+			return fmt.Errorf("%w: unknown approx method %q", ErrInvalid, env.Approx.Method)
+		}
+		if env.Approx.Dim <= 0 || env.Approx.Dim > approx.MaxDim {
+			return fmt.Errorf("%w: approx dim %d outside 1..%d", ErrInvalid, env.Approx.Dim, approx.MaxDim)
+		}
+	}
 	return nil
 }
 
@@ -65,6 +74,39 @@ func validateEnvelope(env *Envelope) error {
 // stay inside the width the scorer will demand of every instance.
 func validateModel(m any, env *Envelope) error {
 	switch mm := m.(type) {
+	case *ApproxModel:
+		if d := mm.Lin.Map.InputDim(); d != env.Features {
+			return fmt.Errorf("%w: approx projection takes %d-wide inputs, envelope says %d",
+				ErrInvalid, d, env.Features)
+		}
+		switch fm := mm.Lin.Map.(type) {
+		case *approx.RFF:
+			if err := finiteMatrix("proj", fm.Omega); err != nil {
+				return err
+			}
+			if err := finite("phase", fm.Phase); err != nil {
+				return err
+			}
+		case *approx.Nystrom:
+			if err := finiteMatrix("landmarks", fm.Landmarks); err != nil {
+				return err
+			}
+			if err := finiteMatrix("whiten", fm.Whiten); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: no validator for feature map %T", ErrKind, mm.Lin.Map)
+		}
+		if err := finite("w", mm.Lin.W); err != nil {
+			return err
+		}
+		if err := finiteScalar("bias", mm.Lin.Bias); err != nil {
+			return err
+		}
+		if mm.SourceKind == KindSVC {
+			return finite("classes", mm.Classes[:])
+		}
+		return nil
 	case *svm.SVC:
 		if mm.SV.Cols != env.Features {
 			return fmt.Errorf("%w: svc support vectors are %d wide, envelope says %d",

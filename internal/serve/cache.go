@@ -84,6 +84,20 @@ func (c *rowCache) put(key string, row []float64) {
 	}
 }
 
+// purge drops every cached row. Called when the model owning the cache
+// is replaced by a hot-reload: the rows were computed against the old
+// model's kernel and basis, and nothing may ever combine them with the
+// replacement's coefficients.
+func (c *rowCache) purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.m = make(map[string]*list.Element, c.cap)
+}
+
 // len returns the number of cached rows.
 func (c *rowCache) len() int {
 	if c == nil {

@@ -75,6 +75,12 @@ var (
 	cacheHits     = obs.GetCounter("serve.kernel_row_cache_hits")
 	cacheMisses   = obs.GetCounter("serve.kernel_row_cache_misses")
 
+	// Compiled approx-linear models (see model.CompileApprox): how many
+	// are currently registered, and how many instances took the O(d)
+	// fast path that skips the kernel expansion and the row LRU.
+	approxCompiled = obs.GetGauge("approx.compiled_models")
+	approxFastPath = obs.GetCounter("approx.fast_path_hits")
+
 	panicsRecovered  = obs.GetCounter("serve.panics_recovered")
 	deadlineExceeded = obs.GetCounter("serve.deadline_exceeded")
 	shedByPriority   = map[priority]*obs.Counter{
@@ -167,6 +173,7 @@ type servedModel struct {
 	batcher  *batcher
 	cache    *rowCache
 	kx       *model.KernelExpansion // nil for non-kernel kinds
+	compiled bool                   // approx-linear payload: O(d) fast path
 }
 
 // Server is the inference server. Create with New, register models with
@@ -245,6 +252,7 @@ func (s *Server) Load(name string, a *model.Artifact) error {
 		return err
 	}
 	sm := &servedModel{name: name, artifact: a, scorer: scorer}
+	_, sm.compiled = a.Model.(*model.ApproxModel)
 	if kx, ok := a.KernelExpansion(); ok {
 		sm.kx = kx
 		sm.cache = newRowCache(s.cfg.CacheRows)
@@ -255,9 +263,24 @@ func (s *Server) Load(name string, a *model.Artifact) error {
 	old := s.models[name]
 	s.models[name] = sm
 	modelsLoaded.Set(int64(len(s.models)))
+	compiled := int64(0)
+	for _, m := range s.models {
+		if m.compiled {
+			compiled++
+		}
+	}
+	approxCompiled.Set(compiled)
 	s.mu.Unlock()
 	if old != nil {
-		go old.batcher.closeWithin(s.cfg.DrainTimeout)
+		// Drain the replaced model's queue, then drop its cached kernel
+		// rows: they were computed against the old basis and must never
+		// survive the reload (a request still holding the old entry keeps
+		// scoring consistently — the cache only memoizes that model's own
+		// pure kernel — but nothing may hit those rows afterwards).
+		go func() {
+			old.batcher.closeWithin(s.cfg.DrainTimeout)
+			old.cache.purge()
+		}()
 	}
 	return nil
 }
@@ -312,6 +335,9 @@ func (sm *servedModel) scoreBatch(ctx context.Context, x *linalg.Matrix) ([]floa
 		return nil, err
 	}
 	if sm.kx == nil || sm.cache == nil {
+		if sm.compiled {
+			approxFastPath.Add(int64(x.Rows))
+		}
 		return sm.scorer.ScoreBatch(x), nil
 	}
 	n := x.Rows

@@ -4,14 +4,17 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"time"
 
+	"repro/internal/gp"
 	"repro/internal/linalg"
 	"repro/internal/model"
 	"repro/internal/parallel"
 	"repro/internal/serve"
+	"repro/internal/svm"
 )
 
 // Differential driver: one fitted model, every execution path the repo
@@ -100,6 +103,122 @@ func DiffPaths(m any, probes *linalg.Matrix) error {
 		}
 	}
 	return nil
+}
+
+// DiffPathsApprox is the exact-vs-approx lane of the differential
+// driver: compile the exact kernel model under spec, check the compiled
+// decision values track the exact ones within tol (an Approx tolerance
+// — this lane is the one place the driver accepts anything but bit
+// identity), then run the full DiffPaths contract on the compiled model
+// so every scoring path over it is still bit-identical to every other.
+// The tolerance comparison runs on the finite probe rows only: on a
+// ±Inf/NaN row the exact RBF evaluates exp(-Inf) = 0 while the cosine
+// feature map evaluates cos(Inf) = NaN — a representational difference,
+// not an error — and DiffPaths already pins the compiled model's
+// adversarial-row behavior bitwise across paths.
+func DiffPathsApprox(exact any, spec model.ApproxSpec, probes *linalg.Matrix, tol Tolerance) error {
+	am, err := model.CompileApprox(exact, spec)
+	if err != nil {
+		return fmt.Errorf("compile %s: %w", spec, err)
+	}
+	if err := CompareApproxDecisions(exact, am, probes, tol); err != nil {
+		return fmt.Errorf("exact-vs-approx (%s): %w", spec, err)
+	}
+	if err := DiffPaths(am, probes); err != nil {
+		return fmt.Errorf("compiled %s: %w", spec, err)
+	}
+	return nil
+}
+
+// CompareApproxDecisions checks the compiled model's raw decision
+// values against the exact model's. The comparison covers the probe
+// rows that are all-finite AND inside the exact model's training
+// envelope (the basis bounding box expanded by half its span, with a
+// unit floor) — the region the approximation contract is a statement
+// about. Far outside it the two forms legitimately diverge without
+// bound: the exact RBF decays to zero while the cosine features keep
+// oscillating, and a polynomial kernel grows without the landmark span
+// to anchor the Nyström extrapolation. GenProbes rows (training box
+// ±10% span) always fall inside the envelope; the 1e300-scale
+// adversarial constants fall outside and stay covered bitwise by
+// DiffPaths on the compiled model.
+func CompareApproxDecisions(exact any, am *model.ApproxModel, probes *linalg.Matrix, tol Tolerance) error {
+	basis, err := exactBasis(exact)
+	if err != nil {
+		return err
+	}
+	lo, hi := basisEnvelope(basis)
+	var want, got []float64
+	for i := 0; i < probes.Rows; i++ {
+		x := probes.Row(i)
+		if !allFinite(x) || !inBox(x, lo, hi) {
+			continue
+		}
+		w, err := exactDecision(exact, x)
+		if err != nil {
+			return err
+		}
+		want = append(want, w)
+		got = append(got, am.Decision(x))
+	}
+	return tol.Compare(want, got)
+}
+
+// exactBasis returns the kernel expansion basis of an exact model.
+func exactBasis(m any) (*linalg.Matrix, error) {
+	switch mm := m.(type) {
+	case *svm.SVC:
+		return mm.SV, nil
+	case *svm.OneClass:
+		return mm.SV, nil
+	case *gp.Regressor:
+		return mm.X, nil
+	default:
+		return nil, fmt.Errorf("testkit: no kernel basis for %T", m)
+	}
+}
+
+// basisEnvelope is the per-coordinate bounding box of the basis rows,
+// expanded by half the span on each side with a unit floor.
+func basisEnvelope(basis *linalg.Matrix) (lo, hi []float64) {
+	lo = make([]float64, basis.Cols)
+	hi = make([]float64, basis.Cols)
+	for j := range lo {
+		lo[j], hi[j] = basis.At(0, j), basis.At(0, j)
+		for i := 1; i < basis.Rows; i++ {
+			v := basis.At(i, j)
+			lo[j] = math.Min(lo[j], v)
+			hi[j] = math.Max(hi[j], v)
+		}
+		margin := math.Max(1, 0.5*(hi[j]-lo[j]))
+		lo[j] -= margin
+		hi[j] += margin
+	}
+	return lo, hi
+}
+
+func inBox(x, lo, hi []float64) bool {
+	for j, v := range x {
+		if v < lo[j] || v > hi[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// exactDecision returns the raw expansion value of an exact kernel
+// model — the quantity a compiled scorer approximates.
+func exactDecision(m any, x []float64) (float64, error) {
+	switch mm := m.(type) {
+	case *svm.SVC:
+		return mm.Decision(x), nil
+	case *svm.OneClass:
+		return mm.Decision(x), nil
+	case *gp.Regressor:
+		return mm.Predict(x), nil
+	default:
+		return 0, fmt.Errorf("testkit: no exact decision for %T", m)
+	}
 }
 
 // scoreRows runs ScoreRow per row with the worker pool pinned to n.

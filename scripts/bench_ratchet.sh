@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Benchmark ratchet: compare a fresh bench run against the committed
+# BENCH_baseline.json and WARN on per-benchmark ns/op regressions beyond
+# RATCHET_THRESHOLD (default 1.5x). Like the coverage floor this is a
+# trend guard, not a gate — CI machines are too noisy to fail a build on
+# a timing — so the script always exits 0 unless the inputs are missing
+# or malformed. The comparison table is written to BENCH_ratchet.txt for
+# upload as a CI artifact.
+#
+# Usage: scripts/bench_ratchet.sh [current.json]
+#   current.json defaults to BENCH_ci.json (run scripts/bench.sh first).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${RATCHET_BASELINE:-BENCH_baseline.json}"
+CURRENT="${1:-BENCH_ci.json}"
+THRESHOLD="${RATCHET_THRESHOLD:-1.5}"
+OUT="${RATCHET_OUT:-BENCH_ratchet.txt}"
+
+for f in "$BASELINE" "$CURRENT"; do
+	if [[ ! -f "$f" ]]; then
+		echo "bench_ratchet: missing $f (run scripts/bench.sh first)" >&2
+		exit 1
+	fi
+done
+
+# Both files are the flat JSON arrays scripts/bench.sh emits: one object
+# per line with "name" and "ns_per_op" fields, which awk can pair up
+# without a JSON parser.
+awk -v threshold="$THRESHOLD" '
+function field(line, key,    re, s) {
+	re = "\"" key "\": *[^,}]*"
+	if (match(line, re) == 0) return ""
+	s = substr(line, RSTART, RLENGTH)
+	sub(/^[^:]*: */, "", s)
+	gsub(/[" ]/, "", s)
+	return s
+}
+FNR == NR {
+	name = field($0, "name")
+	if (name != "") base[name] = field($0, "ns_per_op")
+	next
+}
+{
+	name = field($0, "name")
+	if (name == "") next
+	cur[name] = field($0, "ns_per_op")
+	order[++n] = name
+}
+END {
+	printf "%-70s %14s %14s %8s\n", "benchmark", "baseline_ns", "current_ns", "ratio"
+	worst = 0; regressions = 0; missing = 0
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		if (!(name in base)) { missing++; continue }
+		if (base[name] + 0 <= 0) continue
+		r = cur[name] / base[name]
+		flag = ""
+		if (r > threshold) { flag = "  <-- REGRESSION"; regressions++ }
+		if (r > worst) worst = r
+		printf "%-70s %14d %14d %7.2fx%s\n", name, base[name], cur[name], r, flag
+	}
+	printf "\n"
+	if (missing) printf "%d benchmarks have no baseline entry (new since BENCH_baseline.json)\n", missing
+	if (regressions) {
+		printf "WARNING: %d benchmarks regressed beyond %.2fx the baseline (worst %.2fx)\n", regressions, threshold, worst
+		printf "If intentional, refresh the baseline: BENCH_OUT=BENCH_baseline.json scripts/bench.sh\n"
+	} else {
+		printf "no benchmark regressed beyond %.2fx the baseline (worst %.2fx)\n", threshold, worst
+	}
+}
+' "$BASELINE" "$CURRENT" | tee "$OUT"
+
+echo "bench_ratchet: wrote $OUT"
