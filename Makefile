@@ -2,7 +2,7 @@
 # plus the full suite under the race detector (see scripts/check.sh).
 # `make ci` is everything the GitHub workflow runs, locally.
 
-.PHONY: build test check bench smoke fuzz cover conformance-slow ci
+.PHONY: build test check bench smoke cluster-smoke fuzz cover conformance-slow ci
 
 build:
 	go build ./...
@@ -19,9 +19,16 @@ bench:
 	go test -bench=. -benchmem -run='^$$' ./...
 
 # Serving lifecycle end to end: train + save artifacts, boot edaserved,
-# predict over HTTP, graceful SIGTERM exit (see scripts/serve_smoke.sh).
-smoke:
+# predict over HTTP, graceful SIGTERM exit (see scripts/serve_smoke.sh),
+# then the same lifecycle through the sharded cluster tier.
+smoke: cluster-smoke
 	./scripts/serve_smoke.sh
+
+# Cluster tier end to end: 3-replica fleet behind edarouter, routed
+# predictions, node kill under traffic, blue/green rollout with zero
+# failed requests, graceful drain (see scripts/cluster_smoke.sh).
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Bounded fuzz sweep over the untrusted-input decoders (artifact decode,
 # predict handler); FUZZTIME=2m make fuzz for a longer run.
@@ -46,4 +53,5 @@ ci:
 	./scripts/cover.sh
 	./scripts/bench.sh
 	./scripts/serve_smoke.sh
+	./scripts/cluster_smoke.sh
 	./scripts/fuzz.sh

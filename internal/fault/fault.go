@@ -57,6 +57,16 @@ const (
 	// corruption mutates the artifact bytes before parsing — the
 	// checksum/validation layer must catch it loudly.
 	SiteModelDecode = "model.decode"
+	// SiteClusterRoute guards the cluster router's routing step
+	// (internal/serve/cluster): an injected error fails the routed
+	// request with a retryable 500 before any replica is contacted, an
+	// injected delay stalls routing under the request deadline.
+	SiteClusterRoute = "cluster.route"
+	// SiteClusterReplicaDown simulates a router↔replica partition: the
+	// router checks it once per owner replica per request, and an
+	// injected error makes that replica unreachable for that request
+	// (the router must route around it or answer 503, never hang).
+	SiteClusterReplicaDown = "cluster.replica_down"
 )
 
 // ErrInjected is the root of every injected error; match with errors.Is.
@@ -216,6 +226,12 @@ func ActiveSites() []string {
 // set for the CLIs' chaos flags.
 func ServeSites() []string {
 	return []string{SiteKernelEval, SiteModelDecode, SitePredictDecode}
+}
+
+// ClusterSites lists the cluster-router sites, the default target set
+// for cmd/edarouter's chaos flags and the cluster chaos harness.
+func ClusterSites() []string {
+	return []string{SiteClusterReplicaDown, SiteClusterRoute}
 }
 
 // Check rolls the dice at a named site. With no active plan (the

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Priority is a predict request's load-shedding tier, declared by the
+// X-Priority header. It is shared by the single-node server and the
+// cluster router (internal/serve/cluster) so "low sheds first" means
+// the same thing at every admission point, and the router can forward
+// a request's tier to a replica unchanged.
+type Priority int
+
+const (
+	PriorityLow Priority = iota
+	PriorityNormal
+	PriorityHigh
+)
+
+// ParsePriority maps an X-Priority header value to a tier; unknown or
+// empty values are PriorityNormal.
+func ParsePriority(v string) Priority {
+	switch strings.ToLower(v) {
+	case "low":
+		return PriorityLow
+	case "high":
+		return PriorityHigh
+	default:
+		return PriorityNormal
+	}
+}
+
+// PriorityOf reads a request's X-Priority header.
+func PriorityOf(r *http.Request) Priority { return ParsePriority(r.Header.Get("X-Priority")) }
+
+// String returns the canonical header value for the tier.
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityHigh:
+		return "high"
+	default:
+		return "normal"
+	}
+}
+
+// Admission is priority-tiered in-flight admission control: a bounded
+// counter where each tier sheds at its own slice of the bound — low at
+// 50%, normal at 90%, high only at 100% — so overload sacrifices the
+// least-important traffic first. Metrics are minted under the given
+// scope: <scope>.inflight_max (gauge), <scope>.throttled_429, and
+// <scope>.shed.{low,normal,high}.
+type Admission struct {
+	max      int64
+	inflight atomic.Int64
+
+	throttled *obs.Counter
+	shed      [3]*obs.Counter
+}
+
+// NewAdmission builds an admission gate for maxInFlight concurrent
+// requests, minting its metrics under scope (e.g. "serve", "cluster").
+func NewAdmission(scope string, maxInFlight int) *Admission {
+	obs.GetGauge(scope + ".inflight_max").Set(int64(maxInFlight))
+	return &Admission{
+		max:       int64(maxInFlight),
+		throttled: obs.GetCounter(scope + ".throttled_429"),
+		shed: [3]*obs.Counter{
+			PriorityLow:    obs.GetCounter(scope + ".shed.low"),
+			PriorityNormal: obs.GetCounter(scope + ".shed.normal"),
+			PriorityHigh:   obs.GetCounter(scope + ".shed.high"),
+		},
+	}
+}
+
+// limitFor is the in-flight bound for one priority tier. Every tier
+// admits at least one request so a tiny bound cannot starve low-
+// priority traffic entirely.
+func (a *Admission) limitFor(p Priority) int64 {
+	switch p {
+	case PriorityLow:
+		return max64(1, a.max/2)
+	case PriorityHigh:
+		return a.max
+	default:
+		return max64(1, a.max*9/10)
+	}
+}
+
+// Acquire claims an in-flight slot for priority p, or reports shed
+// (counting it). Every successful Acquire must be paired with Release.
+func (a *Admission) Acquire(p Priority) bool {
+	if a.inflight.Add(1) > a.limitFor(p) {
+		a.inflight.Add(-1)
+		a.throttled.Inc()
+		a.shed[p].Inc()
+		return false
+	}
+	return true
+}
+
+// Release returns a slot claimed by Acquire.
+func (a *Admission) Release() { a.inflight.Add(-1) }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -86,6 +86,10 @@ type Config struct {
 	// HTTPClient overrides the transport; by default a plain
 	// http.Client with the per-attempt timeout.
 	HTTPClient *http.Client
+	// Now overrides the breaker clock. The cluster router injects a
+	// deterministic clock here so a chaos run's breaker transitions are
+	// a pure function of the seed instead of wall time.
+	Now func() time.Time
 	// now overrides the breaker clock in tests.
 	now func() time.Time
 	// sleep overrides backoff sleeping in tests.
@@ -113,6 +117,9 @@ func (c *Config) defaults() {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.now == nil {
+		c.now = c.Now
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -259,7 +266,7 @@ func (c *Client) call(ctx context.Context, method, path string, body []byte, out
 			continue
 		}
 		attemptsTotal.Inc()
-		err := c.once(ctx, method, path, body, out)
+		err := c.once(ctx, method, path, body, out, "")
 		if err == nil {
 			c.breaker.onSuccess()
 			c.refundRetryToken()
@@ -278,8 +285,10 @@ func (c *Client) call(ctx context.Context, method, path string, body []byte, out
 	return fmt.Errorf("client: %d attempts failed: %w", c.cfg.MaxAttempts, lastErr)
 }
 
-// once is a single HTTP attempt with the per-attempt timeout.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+// once is a single HTTP attempt with the per-attempt timeout. priority,
+// when non-empty, overrides the configured X-Priority for this attempt
+// (the cluster router forwards each request's own tier).
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any, priority string) error {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
 	var rd io.Reader
@@ -293,8 +302,11 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	if c.cfg.Priority != "" {
-		req.Header.Set("X-Priority", c.cfg.Priority)
+	if priority == "" {
+		priority = c.cfg.Priority
+	}
+	if priority != "" {
+		req.Header.Set("X-Priority", priority)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -310,7 +322,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		_ = json.Unmarshal(data, &eb)
 		se := &httpStatusError{status: resp.StatusCode, msg: eb.Error}
 		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
-			return fmt.Errorf("%w: %s", ErrPermanent, se.Error())
+			// Double-wrap so errors.Is sees ErrPermanent AND errors.As
+			// still reaches the status (StatusCode needs it to route).
+			return fmt.Errorf("%w: %w", ErrPermanent, se)
 		}
 		return se
 	}
@@ -362,3 +376,98 @@ func (c *Client) refundRetryToken() {
 // BreakerState exposes the breaker's current state for tests and
 // operational introspection.
 func (c *Client) BreakerState() string { return c.breaker.state() }
+
+// ModelInfo is one entry of the server's GET /models reply and the
+// POST /models/load reply.
+type ModelInfo struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	Features int    `json:"features"`
+	Seed     int64  `json:"seed"`
+	Revision string `json:"revision,omitempty"`
+	Checksum string `json:"payload_sha256"`
+}
+
+// Try performs exactly one breaker-gated attempt: no retries, no
+// backoff, and — unlike call — no sleeping out an open breaker, which
+// fails fast with ErrBreakerOpen instead. The cluster router
+// (internal/serve/cluster) is the intended caller: it owns one Client
+// per replica and replaces in-place retry with failover to a different
+// replica, so a second attempt against the same host is never the
+// right move. The attempt's outcome still feeds the breaker (a
+// readiness probe through TryReadyz is how a recovered replica closes
+// its circuit again).
+func (c *Client) Try(ctx context.Context, method, path string, body []byte, out any, priority string) error {
+	if ok, retryAfter := c.breaker.allow(); !ok {
+		breakerFastNos.Inc()
+		return fmt.Errorf("%w (retry after %v)", ErrBreakerOpen, retryAfter)
+	}
+	attemptsTotal.Inc()
+	err := c.once(ctx, method, path, body, out, priority)
+	if err == nil {
+		c.breaker.onSuccess()
+		return nil
+	}
+	if retryable(err) {
+		c.breaker.onFailure()
+	}
+	failuresTotal.Inc()
+	return err
+}
+
+// TryPredict is a single-attempt Predict with a per-call priority (the
+// tier the router forwards from the original request; empty uses the
+// configured default).
+func (c *Client) TryPredict(ctx context.Context, modelName string, instances [][]float64, priority string) (*Prediction, error) {
+	body, err := json.Marshal(map[string][][]float64{"instances": instances})
+	if err != nil {
+		return nil, fmt.Errorf("client: marshal request: %w", err)
+	}
+	var out Prediction
+	if err := c.Try(ctx, http.MethodPost, "/predict/"+modelName, body, &out, priority); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TryReadyz is a single-attempt readiness probe. Success closes the
+// replica's breaker; failure counts toward opening it — this is the
+// "readiness probes feed the breaker" half of health-gated membership.
+func (c *Client) TryReadyz(ctx context.Context) error {
+	return c.Try(ctx, http.MethodGet, "/readyz", nil, nil, "")
+}
+
+// TryLoad is a single-attempt POST /models/load: hot-load the artifact
+// at path (a path on the server's filesystem) under name.
+func (c *Client) TryLoad(ctx context.Context, path, name string) (*ModelInfo, error) {
+	body, err := json.Marshal(map[string]string{"path": path, "name": name})
+	if err != nil {
+		return nil, fmt.Errorf("client: marshal request: %w", err)
+	}
+	var out ModelInfo
+	if err := c.Try(ctx, http.MethodPost, "/models/load", body, &out, ""); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TryModels is a single-attempt GET /models.
+func (c *Client) TryModels(ctx context.Context) ([]ModelInfo, error) {
+	var out []ModelInfo
+	if err := c.Try(ctx, http.MethodGet, "/models", nil, &out, ""); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// StatusCode extracts the HTTP status carried by an error from this
+// package, or 0 for transport-level failures (refused connections,
+// timeouts) and breaker fast-fails — the cases where the server never
+// answered and a different replica may. Works through %w wrapping.
+func StatusCode(err error) int {
+	var se *httpStatusError
+	if errors.As(err, &se) {
+		return se.status
+	}
+	return 0
+}

@@ -1,0 +1,219 @@
+package client
+
+// Tests for the single-attempt Try surface (ISSUE 7) — the cluster
+// router's calling convention: exactly one breaker-gated attempt, no
+// retries, no sleeping out an open breaker, and StatusCode() carrying
+// enough structure for the router to decide propagate-vs-failover.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTrySingleAttempt: Try hits the server exactly once, success or
+// failure, regardless of MaxAttempts.
+func TestTrySingleAttempt(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintln(w, `{"error":"boom"}`)
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL, MaxAttempts: 10})
+	err := c.Try(context.Background(), http.MethodGet, "/readyz", nil, nil, "")
+	if err == nil {
+		t.Fatal("Try against a 500 server succeeded")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want exactly 1", got)
+	}
+	if got := StatusCode(err); got != http.StatusInternalServerError {
+		t.Fatalf("StatusCode = %d, want 500", got)
+	}
+}
+
+// TestTryBreakerFastFail: once the breaker opens, Try fails fast with
+// ErrBreakerOpen without touching the network, and a successful probe
+// after the cooldown closes it again.
+func TestTryBreakerFastFail(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		if failing.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := New(Config{BaseURL: ts.URL, BreakerThreshold: 2, BreakerCooldown: time.Minute, now: clk.now})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := c.TryReadyz(ctx); err == nil {
+			t.Fatalf("probe %d against failing server succeeded", i)
+		}
+	}
+	if st := c.BreakerState(); st != "open" {
+		t.Fatalf("breaker %s after threshold failures, want open", st)
+	}
+	before := hits.Load()
+	err := c.TryReadyz(ctx)
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open-breaker Try error = %v, want ErrBreakerOpen", err)
+	}
+	if hits.Load() != before {
+		t.Fatal("open-breaker Try still reached the server")
+	}
+	if got := StatusCode(err); got != 0 {
+		t.Fatalf("StatusCode(ErrBreakerOpen) = %d, want 0 (no reply)", got)
+	}
+	// Cooldown elapses on the fake clock; the half-open probe succeeds
+	// and closes the circuit — the readmission path of health gating.
+	failing.Store(false)
+	clk.advance(2 * time.Minute)
+	if err := c.TryReadyz(ctx); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if st := c.BreakerState(); st != "closed" {
+		t.Fatalf("breaker %s after successful probe, want closed", st)
+	}
+}
+
+// TestTryPredictPriorityOverride: the per-call priority overrides the
+// configured default header for that attempt only.
+func TestTryPredictPriorityOverride(t *testing.T) {
+	var lastPrio atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lastPrio.Store(r.Header.Get("X-Priority"))
+		fmt.Fprintln(w, `{"model":"m","kind":"k","predictions":[1]}`)
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL, Priority: "low"})
+	ctx := context.Background()
+	if _, err := c.TryPredict(ctx, "m", [][]float64{{1}}, "high"); err != nil {
+		t.Fatal(err)
+	}
+	if got := lastPrio.Load().(string); got != "high" {
+		t.Fatalf("override: server saw %q, want high", got)
+	}
+	if _, err := c.TryPredict(ctx, "m", [][]float64{{1}}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := lastPrio.Load().(string); got != "low" {
+		t.Fatalf("default: server saw %q, want low", got)
+	}
+}
+
+// TestTryLoadAndModels: the typed load/list round trip.
+func TestTryLoadAndModels(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/models/load":
+			fmt.Fprintln(w, `{"name":"m","kind":"ridge","features":8,"seed":7,"payload_sha256":"abc"}`)
+		case "/models":
+			fmt.Fprintln(w, `[{"name":"m","kind":"ridge","features":8,"seed":7,"payload_sha256":"abc"}]`)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+	ctx := context.Background()
+	info, err := c.TryLoad(ctx, "/tmp/m.model.json", "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "m" || info.Kind != "ridge" || info.Checksum != "abc" {
+		t.Fatalf("TryLoad decoded %+v", info)
+	}
+	models, err := c.TryModels(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 || models[0].Features != 8 {
+		t.Fatalf("TryModels decoded %+v", models)
+	}
+}
+
+// TestStatusCodeExtraction: StatusCode sees through every wrapping the
+// client applies — plain status errors, the permanent-failure wrap, and
+// returns 0 for transport-level failures where no server answered.
+func TestStatusCodeExtraction(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/teapot":
+			w.WriteHeader(http.StatusTeapot) // permanent 4xx
+		case "/throttle":
+			w.WriteHeader(http.StatusTooManyRequests)
+		default:
+			w.WriteHeader(http.StatusBadGateway)
+		}
+	}))
+	c := New(Config{BaseURL: ts.URL})
+	ctx := context.Background()
+	for path, want := range map[string]int{
+		"/teapot": http.StatusTeapot, "/throttle": http.StatusTooManyRequests, "/x": http.StatusBadGateway,
+	} {
+		err := c.Try(ctx, http.MethodGet, path, nil, nil, "")
+		if err == nil {
+			t.Fatalf("%s: no error", path)
+		}
+		if got := StatusCode(err); got != want {
+			t.Errorf("%s: StatusCode = %d, want %d", path, got, want)
+		}
+		if path == "/teapot" && !errors.Is(err, ErrPermanent) {
+			t.Errorf("teapot error lost ErrPermanent: %v", err)
+		}
+	}
+	ts.Close() // now every call is a refused connection
+	err := c.Try(ctx, http.MethodGet, "/teapot", nil, nil, "")
+	if err == nil {
+		t.Fatal("Try against closed server succeeded")
+	}
+	if got := StatusCode(err); got != 0 {
+		t.Errorf("transport failure StatusCode = %d, want 0", got)
+	}
+	if StatusCode(nil) != 0 {
+		t.Errorf("StatusCode(nil) != 0")
+	}
+}
+
+// TestNowFieldDrivesBreakerClock: the exported Now config field is the
+// breaker's clock — the cluster router injects a frozen clock through
+// it, so an open breaker must not half-open while Now stands still.
+func TestNowFieldDrivesBreakerClock(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := New(Config{BaseURL: ts.URL, BreakerThreshold: 1, BreakerCooldown: time.Millisecond, Now: clk.now})
+	ctx := context.Background()
+	if err := c.TryReadyz(ctx); err == nil {
+		t.Fatal("probe against 500 server succeeded")
+	}
+	if st := c.BreakerState(); st != "open" {
+		t.Fatalf("breaker %s, want open", st)
+	}
+	// Real time passes; the frozen clock doesn't. The breaker must stay
+	// open (fail fast) no matter how long we wait on the wall.
+	time.Sleep(5 * time.Millisecond)
+	if err := c.TryReadyz(ctx); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("frozen clock: err = %v, want ErrBreakerOpen", err)
+	}
+	clk.advance(time.Second)
+	if err := c.TryReadyz(ctx); errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("advanced clock: breaker still refused the half-open probe")
+	}
+}

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is the consistent-hash ring mapping model names onto replica
+// indices. Each replica contributes vnodes virtual points hashed from
+// a stable label ("replica-<i>/vnode-<v>"), so ownership is a pure
+// function of (name, fleet size, vnodes): every router computes the
+// same assignment with no coordination, and the vnode count bounds how
+// lumpy the shard distribution can get.
+type ring struct {
+	points []ringPoint // sorted by hash, ties broken by replica index
+	n      int         // fleet size
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck — fnv never fails
+	return h.Sum64()
+}
+
+// newRing builds the ring for n replicas with vnodes points each.
+func newRing(n, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, n*vnodes), n: n}
+	for i := 0; i < n; i++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hash64(fmt.Sprintf("replica-%d/vnode-%d", i, v)),
+				replica: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r
+}
+
+// owners returns the first k distinct replicas clockwise from the hash
+// of name, in ring order — the model's owner set, primary first. k is
+// clamped to the fleet size.
+func (r *ring) owners(name string, k int) []int {
+	if k > r.n {
+		k = r.n
+	}
+	if k <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(name)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, k)
+	seen := make(map[int]bool, k)
+	for i := 0; len(out) < k && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}

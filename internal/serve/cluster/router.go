@@ -1,0 +1,567 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+// Router metrics. Per-replica counters live on each Replica; the
+// admission gate mints cluster.{inflight_max,throttled_429,shed.*}.
+var (
+	routedRequests  = obs.GetCounter("cluster.requests_routed")
+	routedInstances = obs.GetCounter("cluster.instances_routed")
+	fanouts         = obs.GetCounter("cluster.fanouts")
+	failovers       = obs.GetCounter("cluster.failovers")
+	partitions      = obs.GetCounter("cluster.partitions")
+	noHealthy       = obs.GetCounter("cluster.no_healthy_replica")
+	rollouts        = obs.GetCounter("cluster.rollouts")
+	routerPanics    = obs.GetCounter("cluster.panics_recovered")
+	routerDeadline  = obs.GetCounter("cluster.deadline_exceeded")
+	replicasHealthy = obs.GetGauge("cluster.replicas_healthy")
+)
+
+// Router is the cluster front-end: it owns the fleet, the ring, and
+// the admission gate, and exposes the same HTTP surface as a single
+// serve.Server — a client cannot tell (and must not be able to tell,
+// bit for bit) whether it is talking to one node or the fleet.
+type Router struct {
+	cfg      Config
+	replicas []*Replica
+	ring     *ring
+	adm      *serve.Admission
+
+	draining atomic.Bool
+
+	probeMu   sync.Mutex
+	probeStop chan struct{}
+}
+
+// NewRouter builds a router over the replica base URLs. Replicas start
+// unhealthy; probe them (ProbeAll, StartProbing, or a GET /readyz,
+// which probes inline) to admit them.
+func NewRouter(cfg Config, bases []string) *Router {
+	cfg.defaults()
+	rt := &Router{
+		cfg:  cfg,
+		ring: newRing(len(bases), cfg.VNodes),
+		adm:  serve.NewAdmission("cluster", cfg.MaxInFlight),
+	}
+	for i, base := range bases {
+		rt.replicas = append(rt.replicas, newReplica(i, strings.TrimSuffix(base, "/"), cfg))
+	}
+	return rt
+}
+
+// Replicas returns the fleet in index order.
+func (rt *Router) Replicas() []*Replica { return rt.replicas }
+
+// Owners returns the replica indices owning a model, primary first.
+func (rt *Router) Owners(model string) []int {
+	return rt.ring.owners(model, rt.cfg.Replication)
+}
+
+// ProbeAll probes every replica once, serially in index order, and
+// returns how many are healthy. Deterministic harnesses call this
+// instead of running the background prober.
+func (rt *Router) ProbeAll(ctx context.Context) int {
+	n := 0
+	for _, r := range rt.replicas {
+		r.Probe(ctx) //nolint:errcheck — health is recorded on the replica
+		if r.Healthy() {
+			n++
+		}
+	}
+	replicasHealthy.Set(int64(n))
+	return n
+}
+
+// StartProbing launches a background prober that re-probes the fleet
+// every interval until StopProbing (or Close). The deterministic
+// harness never calls this; cmd/edarouter does.
+func (rt *Router) StartProbing(interval time.Duration) {
+	rt.probeMu.Lock()
+	defer rt.probeMu.Unlock()
+	if rt.probeStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	rt.probeStop = stop
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				rt.ProbeAll(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// StopProbing stops the background prober, if running.
+func (rt *Router) StopProbing() {
+	rt.probeMu.Lock()
+	defer rt.probeMu.Unlock()
+	if rt.probeStop != nil {
+		close(rt.probeStop)
+		rt.probeStop = nil
+	}
+}
+
+// StartDraining flips readiness off; requests already admitted finish.
+func (rt *Router) StartDraining() { rt.draining.Store(true) }
+
+// Close stops the prober and drains. Idempotent.
+func (rt *Router) Close() {
+	rt.StartDraining()
+	rt.StopProbing()
+}
+
+// Handler returns the router's HTTP mux — the same surface as a single
+// serve.Server, so serve/client works unchanged against the fleet:
+//
+//	GET  /healthz          router process liveness
+//	GET  /readyz           200 while ≥1 replica is healthy and not draining
+//	                       (unhealthy replicas are re-probed inline)
+//	GET  /models           per-replica registry listing
+//	POST /models/load      blue/green rollout across the model's owners
+//	POST /predict/{model}  admission → shard → fan out → merge
+//	GET  /metrics          deterministic obs snapshot (JSON)
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", rt.wrap("healthz", rt.handleHealthz))
+	mux.HandleFunc("/readyz", rt.wrap("readyz", rt.handleReadyz))
+	mux.HandleFunc("/models", rt.wrap("models", rt.handleModels))
+	mux.HandleFunc("/models/load", rt.wrap("models_load", rt.handleLoad))
+	mux.HandleFunc("/predict/", rt.wrap("predict", rt.handlePredict))
+	mux.HandleFunc("/metrics", rt.wrap("metrics", rt.handleMetrics))
+	return mux
+}
+
+// wrap mints per-endpoint metrics and isolates handler panics, like the
+// single-node server's wrapper (scope cluster.<endpoint>).
+func (rt *Router) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
+	scope := obs.Scope("cluster." + name)
+	requests := scope.Counter("requests")
+	latency := scope.Histogram("latency_ns")
+	return func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		t := latency.Start()
+		defer t.Stop()
+		defer func() {
+			if rec := recover(); rec != nil {
+				routerPanics.Inc()
+				httpError(w, http.StatusInternalServerError, fmt.Sprintf("internal panic: %v", rec))
+			}
+		}()
+		h(w, r)
+	}
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// replicaStatus is one fleet member's health in the /readyz reply.
+type replicaStatus struct {
+	Replica int    `json:"replica"`
+	Base    string `json:"base"`
+	Healthy bool   `json:"healthy"`
+	Breaker string `json:"breaker"`
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	// Re-probe only the replicas currently out of the serving set:
+	// cheap when the fleet is healthy, and the path by which a revived
+	// node rejoins without waiting for the background prober.
+	healthy := 0
+	statuses := make([]replicaStatus, len(rt.replicas))
+	for i, rep := range rt.replicas {
+		if !rep.Healthy() {
+			rep.Probe(r.Context()) //nolint:errcheck — outcome lands in rep's health
+		}
+		ok := rep.Healthy()
+		if ok {
+			healthy++
+		}
+		statuses[i] = replicaStatus{Replica: rep.Index, Base: rep.Base, Healthy: ok, Breaker: rep.BreakerState()}
+	}
+	replicasHealthy.Set(int64(healthy))
+	status := http.StatusOK
+	state := "ready"
+	if healthy == 0 {
+		status = http.StatusServiceUnavailable
+		state = "no healthy replicas"
+	}
+	writeJSON(w, status, map[string]any{"status": state, "healthy": healthy, "replicas": statuses})
+}
+
+func (rt *Router) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	type replicaModels struct {
+		Replica int                `json:"replica"`
+		Base    string             `json:"base"`
+		Healthy bool               `json:"healthy"`
+		Models  []client.ModelInfo `json:"models,omitempty"`
+		Error   string             `json:"error,omitempty"`
+	}
+	out := make([]replicaModels, len(rt.replicas))
+	for i, rep := range rt.replicas {
+		rm := replicaModels{Replica: rep.Index, Base: rep.Base, Healthy: rep.Healthy()}
+		if rep.Healthy() {
+			models, err := rep.models(r.Context())
+			if err != nil {
+				rm.Error = err.Error()
+			} else {
+				rm.Models = models
+			}
+		}
+		out[i] = rm
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// loadRequest mirrors the single-node /models/load body. The router
+// additionally requires "name": ownership is computed from the model
+// name, and the router never reads the artifact itself.
+type loadRequest struct {
+	Path string `json:"path"`
+	Name string `json:"name"`
+}
+
+// rolloutStep is one owner's outcome in the /models/load reply.
+type rolloutStep struct {
+	Replica  int    `json:"replica"`
+	Base     string `json:"base"`
+	OK       bool   `json:"ok"`
+	Checksum string `json:"payload_sha256,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// handleLoad is the blue/green rollout: walk the model's owners in ring
+// order, hot-loading the artifact into one replica at a time. Each
+// replica's registry swap is atomic and the remaining owners keep
+// serving the old version, so a rollout under live traffic drops
+// nothing; a request during the transition gets one version or the
+// other, both bit-exact for their artifact. 200 when every reachable
+// owner loaded; 502 when none did.
+func (rt *Router) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if rt.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "router is draining")
+		return
+	}
+	var req loadRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, serve.MaxRequestBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Path == "" {
+		httpError(w, http.StatusBadRequest, "missing \"path\"")
+		return
+	}
+	if req.Name == "" {
+		httpError(w, http.StatusBadRequest, "missing \"name\": the router shards by model name")
+		return
+	}
+	owners := rt.Owners(req.Name)
+	steps := make([]rolloutStep, 0, len(owners))
+	loaded := 0
+	for _, oi := range owners {
+		rep := rt.replicas[oi]
+		step := rolloutStep{Replica: rep.Index, Base: rep.Base}
+		info, err := rep.load(r.Context(), req.Path, req.Name)
+		if err != nil {
+			step.Error = err.Error()
+		} else {
+			step.OK = true
+			step.Checksum = info.Checksum
+			loaded++
+			// The freshly loaded replica is ready by construction.
+			rep.Probe(r.Context()) //nolint:errcheck — health bookkeeping only
+		}
+		steps = append(steps, step)
+	}
+	status := http.StatusOK
+	if loaded == 0 {
+		status = http.StatusBadGateway
+	} else {
+		rollouts.Inc()
+	}
+	writeJSON(w, status, map[string]any{"name": req.Name, "loaded": loaded, "replicas": steps})
+}
+
+// predictRequest / predictResponse mirror the single-node wire shapes:
+// the merged reply must be indistinguishable from one node's.
+type predictRequest struct {
+	Instances [][]float64 `json:"instances"`
+}
+
+type predictResponse struct {
+	Model       string    `json:"model"`
+	Kind        string    `json:"kind"`
+	Predictions []float64 `json:"predictions"`
+}
+
+// chunkResult is one owner's share of a fanned-out batch.
+type chunkResult struct {
+	preds []float64
+	kind  string
+	code  int // HTTP status to propagate when err != nil and a replica answered
+	err   error
+}
+
+func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if rt.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "router is draining")
+		return
+	}
+	pri := serve.PriorityOf(r)
+	if !rt.adm.Acquire(pri) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "too many in-flight requests")
+		return
+	}
+	defer rt.adm.Release()
+
+	ctx := r.Context()
+	if rt.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	// Chaos coverage of the routing step itself: an injected error is a
+	// retryable 500 before any replica sees the request; an injected
+	// delay stalls routing under the request deadline.
+	if o := fault.Check(fault.SiteClusterRoute); o.Err != nil || o.Delay > 0 {
+		if werr := o.Wait(ctx); werr != nil {
+			rt.deadline(w, werr)
+			return
+		}
+		if o.Err != nil {
+			httpError(w, http.StatusInternalServerError, o.Err.Error())
+			return
+		}
+	}
+
+	name := strings.TrimPrefix(r.URL.Path, "/predict/")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, serve.MaxRequestBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", serve.MaxRequestBytes))
+			return
+		}
+		httpError(w, http.StatusBadRequest, "read request body: "+err.Error())
+		return
+	}
+	var req predictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Instances) == 0 {
+		httpError(w, http.StatusBadRequest, "no instances")
+		return
+	}
+
+	// Owner set, partition-filtered then health-filtered. The partition
+	// site is drawn once per owner in ring order — before any network
+	// I/O — so the entire routing decision for a request is a fixed
+	// number of deterministic draws.
+	owners := rt.Owners(name)
+	avail := make([]*Replica, 0, len(owners))
+	for _, oi := range owners {
+		rep := rt.replicas[oi]
+		o := fault.Check(fault.SiteClusterReplicaDown)
+		if o.Err != nil {
+			partitions.Inc()
+			continue
+		}
+		if o.Delay > 0 {
+			if werr := o.Wait(ctx); werr != nil {
+				rt.deadline(w, werr)
+				return
+			}
+		}
+		if rep.Healthy() {
+			avail = append(avail, rep)
+		}
+	}
+	if len(avail) == 0 {
+		noHealthy.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("no healthy replica for model %q", name))
+		return
+	}
+
+	// Fan out: split the batch into one contiguous chunk per healthy
+	// owner (whole-batch to the primary when it is too small to be
+	// worth spreading), score chunks concurrently, merge in order.
+	chunks := splitChunks(req.Instances, len(avail), rt.cfg.SpreadMin)
+	if len(chunks) > 1 {
+		fanouts.Inc()
+	}
+	results := make([]chunkResult, len(chunks))
+	var wg sync.WaitGroup
+	for i := range chunks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = rt.routeChunk(ctx, name, chunks[i], pri, avail, i)
+		}(i)
+	}
+	wg.Wait()
+
+	kind := ""
+	preds := make([]float64, 0, len(req.Instances))
+	for _, res := range results {
+		if res.err != nil {
+			rt.chunkError(w, res)
+			return
+		}
+		preds = append(preds, res.preds...)
+		kind = res.kind
+	}
+	routedRequests.Inc()
+	routedInstances.Add(int64(len(preds)))
+	writeJSON(w, http.StatusOK, predictResponse{Model: name, Kind: kind, Predictions: preds})
+}
+
+// routeChunk scores one chunk, starting at avail[start] and failing
+// over through the remaining healthy owners in order. Failover happens
+// only when the replica never answered (transport error, breaker
+// fast-fail) or answered 5xx; a 429 is propagated immediately — a shed
+// request must never be silently retried into a different replica,
+// that would convert load-shedding into load-spreading — and any other
+// 4xx is the caller's bug on every replica alike.
+func (rt *Router) routeChunk(ctx context.Context, name string, chunk [][]float64, pri serve.Priority, avail []*Replica, start int) chunkResult {
+	var lastErr error
+	for attempt := 0; attempt < len(avail); attempt++ {
+		rep := avail[(start+attempt)%len(avail)]
+		if attempt > 0 {
+			failovers.Inc()
+		}
+		p, err := rep.predict(ctx, name, chunk, pri.String())
+		if err == nil {
+			return chunkResult{preds: p.Predictions, kind: p.Kind}
+		}
+		lastErr = err
+		if code := client.StatusCode(err); code != 0 && code < 500 {
+			// The replica answered with a client-scoped status: propagate.
+			return chunkResult{code: code, err: err}
+		}
+		if ctx.Err() != nil {
+			return chunkResult{err: ctx.Err()}
+		}
+	}
+	return chunkResult{err: fmt.Errorf("all %d healthy replicas failed: %w", len(avail), lastErr)}
+}
+
+// chunkError maps a failed chunk onto the response: deadline → 504,
+// replica-answered status (429, 4xx) → that status, everything else →
+// 502 (retryable by the caller).
+func (rt *Router) chunkError(w http.ResponseWriter, res chunkResult) {
+	err := res.err
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		rt.deadline(w, err)
+		return
+	}
+	if res.code != 0 {
+		if res.code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		httpError(w, res.code, err.Error())
+		return
+	}
+	httpError(w, http.StatusBadGateway, err.Error())
+}
+
+func (rt *Router) deadline(w http.ResponseWriter, err error) {
+	routerDeadline.Inc()
+	httpError(w, http.StatusGatewayTimeout, "request deadline exceeded: "+err.Error())
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	data, err := obs.SnapshotJSON()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(data, '\n')) //nolint:errcheck — nothing to do on a failed reply write
+}
+
+// splitChunks partitions instances into at most k contiguous chunks of
+// near-equal size, in order. Batches smaller than spreadMin stay whole.
+func splitChunks(instances [][]float64, k, spreadMin int) [][][]float64 {
+	n := len(instances)
+	if k <= 1 || n < spreadMin || n < k {
+		return [][][]float64{instances}
+	}
+	chunks := make([][][]float64, 0, k)
+	base, extra := n/k, n%k
+	at := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		chunks = append(chunks, instances[at:at+size])
+		at += size
+	}
+	return chunks
+}
+
+// writeJSON marshals before committing the status line (same contract
+// as the single-node server: a value JSON cannot represent becomes a
+// clean 500, never a 200 with an empty body).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data, _ = json.Marshal(map[string]string{"error": "encode response: " + err.Error()})
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n')) //nolint:errcheck — nothing to do on a failed reply write
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

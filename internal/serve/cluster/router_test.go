@@ -1,0 +1,510 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/linalg"
+	"repro/internal/linear"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// fakeReplica is a scripted stand-in for a serve.Server: always ready,
+// and answering predict with a fixed status while recording what it saw.
+type fakeReplica struct {
+	status   int // predict reply status; 200 serves real-looking predictions
+	hits     atomic.Int64
+	lastPrio atomic.Value // string: last X-Priority seen on predict
+}
+
+func (f *fakeReplica) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{"status":"ready"}`)
+	})
+	mux.HandleFunc("/predict/", func(w http.ResponseWriter, r *http.Request) {
+		f.hits.Add(1)
+		f.lastPrio.Store(r.Header.Get("X-Priority"))
+		if f.status != http.StatusOK {
+			w.WriteHeader(f.status)
+			fmt.Fprintf(w, `{"error":"scripted %d"}`, f.status)
+			return
+		}
+		var req struct {
+			Instances [][]float64 `json:"instances"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		preds := make([]float64, len(req.Instances))
+		for i, row := range req.Instances {
+			preds[i] = row[0]
+		}
+		json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck — test fake
+			"model": "m", "kind": "fake", "predictions": preds,
+		})
+	})
+	return mux
+}
+
+// fakeCluster boots scripted replicas behind a router and probes them
+// healthy. Returns the router and the fakes indexed like the fleet.
+func fakeCluster(t *testing.T, cfg Config, statuses ...int) (*Router, []*fakeReplica) {
+	t.Helper()
+	fakes := make([]*fakeReplica, len(statuses))
+	bases := make([]string, len(statuses))
+	for i, st := range statuses {
+		fakes[i] = &fakeReplica{status: st}
+		ts := httptest.NewServer(fakes[i].handler())
+		t.Cleanup(ts.Close)
+		bases[i] = ts.URL
+	}
+	rt := NewRouter(cfg, bases)
+	t.Cleanup(rt.Close)
+	if n := rt.ProbeAll(context.Background()); n != len(statuses) {
+		t.Fatalf("probe: %d/%d healthy", n, len(statuses))
+	}
+	return rt, fakes
+}
+
+func postPredict(h http.Handler, model string, body string, priority string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/predict/"+model, bytes.NewReader([]byte(body)))
+	if priority != "" {
+		req.Header.Set("X-Priority", priority)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+const oneRow = `{"instances": [[7]]}`
+
+// TestPriorityForwardedEndToEnd: the caller's X-Priority tier rides
+// through the router to the replica verbatim — the fleet sheds on the
+// caller's priority, not the router's.
+func TestPriorityForwardedEndToEnd(t *testing.T) {
+	rt, fakes := fakeCluster(t, Config{Replication: 1}, http.StatusOK)
+	h := rt.Handler()
+	for _, prio := range []string{"low", "high", ""} {
+		rec := postPredict(h, "m", oneRow, prio)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("priority %q: status %d: %s", prio, rec.Code, rec.Body.String())
+		}
+		want := prio
+		if want == "" {
+			want = "normal" // the router normalizes the missing header to its parsed tier
+		}
+		if got := fakes[0].lastPrio.Load().(string); got != want {
+			t.Errorf("priority %q: replica saw X-Priority %q, want %q", prio, got, want)
+		}
+	}
+}
+
+// TestShedLowFirstAtRouter: with the router's admission gate nearly
+// full, a low request is shed with 429 while a high request is still
+// admitted — and the shed happens at the router, before any replica
+// sees traffic.
+func TestShedLowFirstAtRouter(t *testing.T) {
+	block := make(chan struct{})
+	arrived := make(chan struct{}, 8)
+	var hits atomic.Int64
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		hits.Add(1)
+		arrived <- struct{}{}
+		<-block
+		fmt.Fprintln(w, `{"model":"m","kind":"fake","predictions":[1]}`)
+	}))
+	defer slow.Close()
+
+	rt := NewRouter(Config{Replication: 1, MaxInFlight: 2}, []string{slow.URL})
+	defer rt.Close()
+	if n := rt.ProbeAll(context.Background()); n != 1 {
+		t.Fatalf("probe: %d/1 healthy", n)
+	}
+	h := rt.Handler()
+	shedLowBefore := obs.GetCounter("cluster.shed.low").Value()
+
+	// Occupy one in-flight slot; MaxInFlight=2 puts the low tier's
+	// limit at 1, so the next low request must shed.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postPredict(h, "m", oneRow, "high")
+	}()
+	<-arrived
+
+	if rec := postPredict(h, "m", oneRow, "low"); rec.Code != http.StatusTooManyRequests {
+		t.Errorf("low under load: status %d, want 429", rec.Code)
+	} else if rec.Header().Get("Retry-After") == "" {
+		t.Errorf("429 without Retry-After")
+	}
+	if got := obs.GetCounter("cluster.shed.low").Value(); got != shedLowBefore+1 {
+		t.Errorf("cluster.shed.low = %d, want %d", got, shedLowBefore+1)
+	}
+	// The shed request never reached the replica: only the in-flight
+	// high request has arrived.
+	if got := hits.Load(); got != 1 {
+		t.Errorf("replica saw %d predicts, want 1 (shed request must not arrive)", got)
+	}
+	// High still gets through the gate (and then waits on the replica).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if rec := postPredict(h, "m", oneRow, "high"); rec.Code != http.StatusOK {
+			t.Errorf("high under load: status %d", rec.Code)
+		}
+	}()
+	select {
+	case <-arrived: // admitted: it reached the replica
+	case <-time.After(5 * time.Second):
+		t.Fatal("high-priority request was not admitted")
+	}
+	close(block)
+	wg.Wait()
+}
+
+// Test429NeverRerouted: a replica's 429 propagates to the caller
+// untouched; the router must not convert load-shedding into
+// load-spreading by retrying the request on a different replica.
+func Test429NeverRerouted(t *testing.T) {
+	rt, fakes := fakeCluster(t, Config{Replication: 2}, http.StatusTooManyRequests, http.StatusTooManyRequests)
+	// Make the primary the scripted 429; identify it via the ring.
+	primary := rt.Owners("m")[0]
+	other := 1 - primary
+	fakes[other].status = http.StatusOK
+
+	rec := postPredict(rt.Handler(), "m", oneRow, "low")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 propagated", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Errorf("propagated 429 lost Retry-After")
+	}
+	if got := fakes[other].hits.Load(); got != 0 {
+		t.Errorf("non-primary replica saw %d requests — a 429 was rerouted", got)
+	}
+}
+
+// TestFailoverOn5xx: a 500 from the primary fails the chunk over to the
+// next owner; the caller sees a clean 200.
+func TestFailoverOn5xx(t *testing.T) {
+	rt, fakes := fakeCluster(t, Config{Replication: 2}, http.StatusInternalServerError, http.StatusInternalServerError)
+	primary := rt.Owners("m")[0]
+	fakes[1-primary].status = http.StatusOK
+	before := obs.GetCounter("cluster.failovers").Value()
+
+	rec := postPredict(rt.Handler(), "m", oneRow, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200 via failover: %s", rec.Code, rec.Body.String())
+	}
+	if got := fakes[primary].hits.Load(); got != 1 {
+		t.Errorf("primary hits = %d, want 1", got)
+	}
+	if got := fakes[1-primary].hits.Load(); got != 1 {
+		t.Errorf("secondary hits = %d, want 1", got)
+	}
+	if got := obs.GetCounter("cluster.failovers").Value(); got != before+1 {
+		t.Errorf("cluster.failovers = %d, want %d", got, before+1)
+	}
+}
+
+// TestPermanent4xxPropagates: a 404 (unknown model) is the caller's
+// bug on every replica alike — propagated, never failed over.
+func TestPermanent4xxPropagates(t *testing.T) {
+	rt, fakes := fakeCluster(t, Config{Replication: 2}, http.StatusNotFound, http.StatusNotFound)
+	primary := rt.Owners("m")[0]
+	fakes[1-primary].status = http.StatusOK
+
+	rec := postPredict(rt.Handler(), "m", oneRow, "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404 propagated", rec.Code)
+	}
+	if got := fakes[1-primary].hits.Load(); got != 0 {
+		t.Errorf("secondary saw %d requests — a 4xx was rerouted", got)
+	}
+}
+
+// TestPredictValidation: malformed requests die at the router.
+func TestPredictValidation(t *testing.T) {
+	rt, _ := fakeCluster(t, Config{Replication: 1}, http.StatusOK)
+	h := rt.Handler()
+	for _, tc := range []struct {
+		name, method, body string
+		want               int
+	}{
+		{"method", http.MethodGet, oneRow, http.StatusMethodNotAllowed},
+		{"bad json", http.MethodPost, "{", http.StatusBadRequest},
+		{"no instances", http.MethodPost, `{"instances": []}`, http.StatusBadRequest},
+	} {
+		req := httptest.NewRequest(tc.method, "/predict/m", bytes.NewReader([]byte(tc.body)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, rec.Code, tc.want)
+		}
+	}
+}
+
+// TestFanOutMergesAcrossReplicas: a batch over SpreadMin splits across
+// both owners and merges back in request order.
+func TestFanOutMergesAcrossReplicas(t *testing.T) {
+	rt, fakes := fakeCluster(t, Config{Replication: 2, SpreadMin: 2}, http.StatusOK, http.StatusOK)
+	body := `{"instances": [[0],[1],[2],[3]]}`
+	rec := postPredict(rt.Handler(), "m", body, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Predictions []float64 `json:"predictions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range resp.Predictions {
+		if p != float64(i) {
+			t.Fatalf("merged predictions out of order: %v", resp.Predictions)
+		}
+	}
+	if fakes[0].hits.Load() != 1 || fakes[1].hits.Load() != 1 {
+		t.Errorf("hits %d/%d, want 1/1 (fan-out across both owners)",
+			fakes[0].hits.Load(), fakes[1].hits.Load())
+	}
+}
+
+// TestPartitionShedsOwner: a replica_down fault partitions an owner for
+// one request; with every owner partitioned the caller gets 503.
+func TestPartitionShedsOwner(t *testing.T) {
+	rt, fakes := fakeCluster(t, Config{Replication: 2}, http.StatusOK, http.StatusOK)
+	fault.Activate(fault.Plan{Seed: 1, Sites: map[string]fault.SiteConfig{
+		fault.SiteClusterReplicaDown: {ErrRate: 1.0},
+	}})
+	defer fault.Deactivate()
+	before := obs.GetCounter("cluster.partitions").Value()
+
+	rec := postPredict(rt.Handler(), "m", oneRow, "")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 when all owners are partitioned", rec.Code)
+	}
+	if got := obs.GetCounter("cluster.partitions").Value(); got != before+2 {
+		t.Errorf("cluster.partitions = %d, want %d", got, before+2)
+	}
+	if fakes[0].hits.Load()+fakes[1].hits.Load() != 0 {
+		t.Errorf("partitioned replicas still saw traffic")
+	}
+}
+
+// TestDrainingRefuses: a draining router answers 503 on readyz and
+// predict but keeps healthz alive.
+func TestDrainingRefuses(t *testing.T) {
+	rt, _ := fakeCluster(t, Config{Replication: 1}, http.StatusOK)
+	rt.StartDraining()
+	h := rt.Handler()
+	if rec := postPredict(h, "m", oneRow, ""); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("predict while draining: %d, want 503", rec.Code)
+	}
+	for path, want := range map[string]int{"/readyz": 503, "/healthz": 200} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != want {
+			t.Errorf("%s while draining: %d, want %d", path, rec.Code, want)
+		}
+	}
+}
+
+// ridgeArtifact trains a deterministic toy ridge model and saves it to
+// a temp artifact file, returning the path.
+func ridgeArtifact(t *testing.T, name string) (*model.Artifact, string) {
+	t.Helper()
+	x := linalg.NewMatrix(6, 2)
+	ys := []float64{1, 3, 2, 4, 6, 5}
+	for i, row := range [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 1}, {1, 2}} {
+		copy(x.Row(i), row)
+	}
+	d, err := dataset.New(x, ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := linear.FitRidge(d, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := model.Encode(reg, model.Meta{Name: name, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name+".model.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return a, path
+}
+
+// TestClusterLifecycle drives the real harness end to end: boot, load
+// via the router's blue/green /models/load, predict, readyz, models
+// listing, kill the primary (failover keeps answering), revive it, and
+// watch it rejoin.
+func TestClusterLifecycle(t *testing.T) {
+	scfg := serve.Config{MaxBatch: 1}
+	lc, err := NewLocal(3, scfg, Config{Replication: 2, DownAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	const name = "lifecycle-ridge"
+	art, path := ridgeArtifact(t, name)
+	h := lc.Router.Handler()
+
+	// Rollout through the router. Name is mandatory (sharding key).
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"path": "` + path + `"}`, http.StatusBadRequest},
+		{`{"path": "` + path + `", "name": "` + name + `"}`, http.StatusOK},
+	} {
+		req := httptest.NewRequest(http.MethodPost, "/models/load", bytes.NewReader([]byte(tc.body)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Fatalf("load %s: status %d, want %d: %s", tc.body, rec.Code, tc.want, rec.Body.String())
+		}
+	}
+	if got := obs.GetCounter("cluster.rollouts").Value(); got == 0 {
+		t.Errorf("cluster.rollouts = 0 after a successful rollout")
+	}
+
+	// Readyz admits the loaded owners (inline probe of unhealthy nodes).
+	req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz after rollout: %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// The models listing shows the loaded artifact on its owners.
+	req = httptest.NewRequest(http.MethodGet, "/models", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !bytes.Contains(rec.Body.Bytes(), []byte(name)) {
+		t.Fatalf("models listing: %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Predictions through the cluster match in-process scoring bit for bit.
+	scorer, err := art.Scorer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.5, 1.5}
+	want := scorer.ScoreRow(probe)
+	checkPredict := func(stage string) {
+		t.Helper()
+		body, _ := json.Marshal(map[string]any{"instances": [][]float64{probe}})
+		rec := postPredict(h, name, string(body), "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: predict status %d: %s", stage, rec.Code, rec.Body.String())
+		}
+		var resp struct {
+			Predictions []float64 `json:"predictions"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Predictions) != 1 || resp.Predictions[0] != want {
+			t.Fatalf("%s: predicted %v, want [%v]", stage, resp.Predictions, want)
+		}
+	}
+	checkPredict("healthy fleet")
+
+	// Kill the primary owner: the very next request fails over and
+	// still answers 200 with the same bits.
+	owners := lc.Router.Owners(name)
+	lc.Kill(owners[0])
+	checkPredict("primary killed")
+	if lc.Router.Replicas()[owners[0]].Healthy() {
+		t.Errorf("killed primary still marked healthy")
+	}
+
+	// Revive: a fresh listener, readmitted at the next probe. The new
+	// process starts with an empty registry, mirroring a real restart,
+	// so reload before expecting traffic.
+	if err := lc.Revive(owners[0], scfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.Servers[owners[0]].Load(name, art); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.Router.Replicas()[owners[0]].Probe(context.Background()); err != nil {
+		t.Fatalf("probe revived primary: %v", err)
+	}
+	if !lc.Router.Replicas()[owners[0]].Healthy() {
+		t.Errorf("revived primary not readmitted")
+	}
+	checkPredict("primary revived")
+}
+
+// TestServeExposesRouter: the harness serves the router over loopback
+// so real HTTP clients can drive the whole stack.
+func TestServeExposesRouter(t *testing.T) {
+	lc, err := NewLocal(1, serve.Config{MaxBatch: 1}, Config{Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	url, err := lc.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	url2, err := lc.Serve()
+	if err != nil || url2 != url {
+		t.Fatalf("Serve not idempotent: %q vs %q (%v)", url, url2, err)
+	}
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz over loopback: %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint: the router serves the shared obs snapshot.
+func TestMetricsEndpoint(t *testing.T) {
+	rt, _ := fakeCluster(t, Config{Replication: 1}, http.StatusOK)
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	var snap []obs.Metric
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics not a JSON snapshot: %v", err)
+	}
+}

@@ -54,7 +54,7 @@ func TestPrioritySheddingOrder(t *testing.T) {
 	}
 	for _, tc := range cases {
 		for prio, want := range tc.want {
-			s.inflight.Store(tc.occupied)
+			s.adm.inflight.Store(tc.occupied)
 			rec := predictVia(h, "ridge", prio, inst)
 			if rec.Code != want {
 				t.Errorf("occupied=%d priority=%q: status %d, want %d",
@@ -62,13 +62,13 @@ func TestPrioritySheddingOrder(t *testing.T) {
 			}
 		}
 	}
-	s.inflight.Store(0)
+	s.adm.inflight.Store(0)
 
 	// Shed counters attribute rejections to the tier that was refused.
 	before := obs.GetCounter("serve.shed.low").Value()
-	s.inflight.Store(10)
+	s.adm.inflight.Store(10)
 	predictVia(h, "ridge", "low", inst)
-	s.inflight.Store(0)
+	s.adm.inflight.Store(0)
 	if got := obs.GetCounter("serve.shed.low").Value(); got != before+1 {
 		t.Fatalf("serve.shed.low = %d, want %d", got, before+1)
 	}
@@ -82,8 +82,8 @@ func TestPrioritySheddingOrder(t *testing.T) {
 func TestHealthProbesNeverShed(t *testing.T) {
 	s := newTestServer(t, Config{MaxInFlight: 4, MaxBatch: 1})
 	h := s.Handler()
-	s.inflight.Store(4) // saturated
-	defer s.inflight.Store(0)
+	s.adm.inflight.Store(4) // saturated
+	defer s.adm.inflight.Store(0)
 
 	// Keep hostile load arriving while we probe.
 	stop := make(chan struct{})
@@ -346,30 +346,30 @@ func TestShedValues(t *testing.T) {
 	s := New(Config{MaxInFlight: 100})
 	defer s.Close()
 	for _, tc := range []struct {
-		p    priority
+		p    Priority
 		want int64
-	}{{prioLow, 50}, {prioNormal, 90}, {prioHigh, 100}} {
-		if got := s.limitFor(tc.p); got != tc.want {
+	}{{PriorityLow, 50}, {PriorityNormal, 90}, {PriorityHigh, 100}} {
+		if got := s.adm.limitFor(tc.p); got != tc.want {
 			t.Fatalf("limitFor(%d) = %d, want %d", tc.p, got, tc.want)
 		}
 	}
 	tiny := New(Config{MaxInFlight: 1})
 	defer tiny.Close()
-	for _, p := range []priority{prioLow, prioNormal, prioHigh} {
-		if got := tiny.limitFor(p); got < 1 {
+	for _, p := range []Priority{PriorityLow, PriorityNormal, PriorityHigh} {
+		if got := tiny.adm.limitFor(p); got < 1 {
 			t.Fatalf("limitFor(%d) = %d with MaxInFlight=1 — a tier is starved", p, got)
 		}
 	}
 	for _, tc := range []struct {
 		header string
-		want   priority
-	}{{"low", prioLow}, {"HIGH", prioHigh}, {"", prioNormal}, {"urgent", prioNormal}} {
+		want   Priority
+	}{{"low", PriorityLow}, {"HIGH", PriorityHigh}, {"", PriorityNormal}, {"urgent", PriorityNormal}} {
 		req := httptest.NewRequest(http.MethodPost, "/predict/x", nil)
 		if tc.header != "" {
 			req.Header.Set("X-Priority", tc.header)
 		}
-		if got := priorityOf(req); got != tc.want {
-			t.Fatalf("priorityOf(%q) = %d, want %d", tc.header, got, tc.want)
+		if got := PriorityOf(req); got != tc.want {
+			t.Fatalf("PriorityOf(%q) = %d, want %d", tc.header, got, tc.want)
 		}
 	}
 }

@@ -68,12 +68,10 @@ import (
 // histograms are minted by the handler wrapper under
 // serve.<endpoint>.requests / serve.<endpoint>.latency_ns.
 var (
-	modelsLoaded  = obs.GetGauge("serve.models_loaded")
-	inFlightGauge = obs.GetGauge("serve.inflight_max")
-	throttled     = obs.GetCounter("serve.throttled_429")
-	instances     = obs.GetCounter("serve.instances_scored")
-	cacheHits     = obs.GetCounter("serve.kernel_row_cache_hits")
-	cacheMisses   = obs.GetCounter("serve.kernel_row_cache_misses")
+	modelsLoaded = obs.GetGauge("serve.models_loaded")
+	instances    = obs.GetCounter("serve.instances_scored")
+	cacheHits    = obs.GetCounter("serve.kernel_row_cache_hits")
+	cacheMisses  = obs.GetCounter("serve.kernel_row_cache_misses")
 
 	// Compiled approx-linear models (see model.CompileApprox): how many
 	// are currently registered, and how many instances took the O(d)
@@ -83,38 +81,12 @@ var (
 
 	panicsRecovered  = obs.GetCounter("serve.panics_recovered")
 	deadlineExceeded = obs.GetCounter("serve.deadline_exceeded")
-	shedByPriority   = map[priority]*obs.Counter{
-		prioLow:    obs.GetCounter("serve.shed.low"),
-		prioNormal: obs.GetCounter("serve.shed.normal"),
-		prioHigh:   obs.GetCounter("serve.shed.high"),
-	}
 )
 
 // MaxRequestBytes caps a predict request body. Far beyond any
 // legitimate batch, small enough that a hostile body is a 413, not an
 // allocation storm.
 const MaxRequestBytes = 32 << 20
-
-// priority is a predict request's load-shedding tier.
-type priority int
-
-const (
-	prioLow priority = iota
-	prioNormal
-	prioHigh
-)
-
-// priorityOf reads the X-Priority header; unknown values are normal.
-func priorityOf(r *http.Request) priority {
-	switch strings.ToLower(r.Header.Get("X-Priority")) {
-	case "low":
-		return prioLow
-	case "high":
-		return prioHigh
-	default:
-		return prioNormal
-	}
-}
 
 // Config controls the serving behavior.
 type Config struct {
@@ -180,11 +152,11 @@ type servedModel struct {
 // Load/LoadFile, mount Handler, and call Close to drain.
 type Server struct {
 	cfg Config
+	adm *Admission
 
 	mu     sync.RWMutex
 	models map[string]*servedModel
 
-	inflight atomic.Int64
 	draining atomic.Bool
 	closed   atomic.Bool
 }
@@ -192,47 +164,12 @@ type Server struct {
 // New returns a server with no models loaded.
 func New(cfg Config) *Server {
 	cfg.defaults()
-	inFlightGauge.Set(int64(cfg.MaxInFlight))
 	return &Server{
 		cfg:    cfg,
+		adm:    NewAdmission("serve", cfg.MaxInFlight),
 		models: make(map[string]*servedModel),
 	}
 }
-
-// limitFor is the in-flight bound for one priority tier. Every tier
-// admits at least one request so a tiny MaxInFlight cannot starve low-
-// priority traffic entirely.
-func (s *Server) limitFor(p priority) int64 {
-	m := int64(s.cfg.MaxInFlight)
-	switch p {
-	case prioLow:
-		return max64(1, m/2)
-	case prioHigh:
-		return m
-	default:
-		return max64(1, m*9/10)
-	}
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// acquire claims an in-flight slot for priority p, or reports shed.
-func (s *Server) acquire(p priority) bool {
-	if s.inflight.Add(1) > s.limitFor(p) {
-		s.inflight.Add(-1)
-		throttled.Inc()
-		shedByPriority[p].Inc()
-		return false
-	}
-	return true
-}
-
-func (s *Server) release() { s.inflight.Add(-1) }
 
 // Load registers an artifact under name (the artifact's own name when
 // empty), replacing any model already registered under it. The replaced
@@ -527,12 +464,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	// Backpressure: reject rather than queue unboundedly, shedding the
 	// lowest-priority tier first.
-	if !s.acquire(priorityOf(r)) {
+	if !s.adm.Acquire(PriorityOf(r)) {
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "too many in-flight requests")
 		return
 	}
-	defer s.release()
+	defer s.adm.Release()
 
 	ctx := r.Context()
 	if s.cfg.RequestTimeout > 0 {

@@ -240,12 +240,12 @@ func TestBackpressure429(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	s.inflight.Store(1) // occupy the only slot
+	s.adm.inflight.Store(1) // occupy the only slot
 	status, _ := postPredict(t, ts.URL, "ridge", [][]float64{make([]float64, 8)})
 	if status != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", status)
 	}
-	s.inflight.Store(0)
+	s.adm.inflight.Store(0)
 	status, _ = postPredict(t, ts.URL, "ridge", [][]float64{make([]float64, 8)})
 	if status != http.StatusOK {
 		t.Fatalf("after releasing the slot: status = %d, want 200", status)

@@ -20,6 +20,9 @@ echo "== go test -short -bench=. =="
 awk '
 /^Benchmark/ {
 	name = $1; iters = $2; ns = $3
+	# go test appends the GOMAXPROCS count ("-8") to every name when it
+	# is >1; strip it so entries match BENCH_baseline.json on any machine.
+	sub(/-[0-9]+$/, "", name)
 	bytes = "null"; allocs = "null"
 	for (i = 4; i <= NF; i++) {
 		if ($i == "B/op") bytes = $(i - 1)

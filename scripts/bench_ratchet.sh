@@ -71,4 +71,43 @@ END {
 }
 ' "$BASELINE" "$CURRENT" | tee "$OUT"
 
+# Router overhead guard: within the CURRENT run (same machine, same
+# noise), the cluster router at 1 replica should cost no more than
+# ROUTER_OVERHEAD_THRESHOLD x the direct single-node serve path at the
+# same client count — the router adds admission, ring lookup, and one
+# proxy hop, not a second serving stack. Warn-only, like the ratchet.
+ROUTER_THRESHOLD="${ROUTER_OVERHEAD_THRESHOLD:-1.5}"
+awk -v threshold="$ROUTER_THRESHOLD" '
+function field(line, key,    re, s) {
+	re = "\"" key "\": *[^,}]*"
+	if (match(line, re) == 0) return ""
+	s = substr(line, RSTART, RLENGTH)
+	sub(/^[^:]*: */, "", s)
+	gsub(/[" ]/, "", s)
+	return s
+}
+{
+	name = field($0, "name")
+	if (name == "") next
+	ns[name] = field($0, "ns_per_op")
+}
+END {
+	printf "\n%-12s %16s %16s %8s\n", "clients", "direct_ns", "via_router_ns", "ratio"
+	warned = 0; compared = 0
+	for (c = 1; c <= 64; c *= 8) {
+		direct = "BenchmarkServeThroughput/clients=" c
+		routed = "BenchmarkClusterThroughput/replicas=1/clients=" c
+		if (!(direct in ns) || !(routed in ns) || ns[direct] + 0 <= 0) continue
+		compared++
+		r = ns[routed] / ns[direct]
+		flag = ""
+		if (r > threshold) { flag = "  <-- ROUTER OVERHEAD"; warned++ }
+		printf "%-12d %16d %16d %7.2fx%s\n", c, ns[direct], ns[routed], r, flag
+	}
+	if (!compared) printf "router overhead: no paired serve/cluster entries in this run\n"
+	else if (warned) printf "WARNING: router overhead beyond %.2fx the direct path at %d client count(s)\n", threshold, warned
+	else printf "router overhead within %.2fx of the direct path at all client counts\n", threshold
+}
+' "$CURRENT" | tee -a "$OUT"
+
 echo "bench_ratchet: wrote $OUT"

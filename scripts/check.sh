@@ -28,4 +28,14 @@ echo "== go build =="
 echo "== go test -race =="
 "$GO" test -race ./...
 
+# The cluster chaos storm is the most concurrency-dense path in the
+# repo (router fan-out goroutines, per-replica breakers, node kill);
+# its determinism contract must hold at every worker-pool width, so
+# sweep the widths that shift scoring onto different parallel paths.
+echo "== cluster chaos storm at 1/2/8 workers (race) =="
+for w in 1 2 8; do
+	echo "-- REPRO_WORKERS=$w"
+	REPRO_WORKERS="$w" "$GO" test -race -count=1 -run 'TestClusterChaosStorm' .
+done
+
 echo "check: OK"

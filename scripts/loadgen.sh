@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
-# Ad-hoc load generator for a running edaserved: fire N single-instance
-# predict requests from C concurrent curl clients and report wall time,
-# throughput, and the server's own batching metrics from /metrics.
-# BenchmarkServeThroughput (internal/serve/bench_test.go) is the
-# in-process twin that CI records via scripts/bench.sh; this script is
+# Ad-hoc load generator for a running edaserved or edarouter: fire N
+# single-instance predict requests from C concurrent curl clients —
+# cycling X-Priority low/normal/high across clients — and report wall
+# time, throughput, per-priority shed (429) rates, and the server's own
+# batching/shedding metrics from /metrics.
+# BenchmarkServeThroughput and BenchmarkClusterThroughput are the
+# in-process twins that CI records via scripts/bench.sh; this script is
 # for poking a live server.
 #
 # Usage:
 #   scripts/loadgen.sh [-a host:port] [-m model] [-n requests] [-c clients] [-d dim]
 #
 #   scripts/loadgen.sh -a localhost:8080 -m zoo-ridge -n 500 -c 8 -d 8
+#   SERVE_URL=http://router:9090 scripts/loadgen.sh -m zoo-ridge
+#
+# SERVE_URL (env) overrides -a entirely — point it at any base URL,
+# including a cluster router.
 set -euo pipefail
 
 ADDR="localhost:8080"
@@ -32,6 +38,8 @@ while getopts "a:m:n:c:d:h" opt; do
 	esac
 done
 
+BASE="${SERVE_URL:-http://$ADDR}"
+
 # One instance of DIM small deterministic values.
 instance="$(awk -v d="$DIM" 'BEGIN {
 	printf "["
@@ -39,55 +47,90 @@ instance="$(awk -v d="$DIM" 'BEGIN {
 	printf "]"
 }')"
 body="{\"instances\": [$instance]}"
-url="http://$ADDR/predict/$MODEL"
+url="$BASE/predict/$MODEL"
 
-curl -fsS "http://$ADDR/readyz" >/dev/null || {
-	echo "loadgen: $ADDR is not ready" >&2
+curl -fsS "$BASE/readyz" >/dev/null || {
+	echo "loadgen: $BASE is not ready" >&2
 	exit 1
 }
 
+# Each worker runs at one priority tier and reports "fails sheds" —
+# hard failures vs 429s its tier absorbed.
 worker() {
-	local n=$1 fails=0
+	local n=$1 prio=$2 fails=0 sheds=0
 	for _ in $(seq 1 "$n"); do
 		code="$(curl -s -o /dev/null -w '%{http_code}' \
-			-X POST "$url" -H 'Content-Type: application/json' -d "$body")"
-		[ "$code" = "200" ] || fails=$((fails + 1))
+			-X POST "$url" -H 'Content-Type: application/json' \
+			-H "X-Priority: $prio" -d "$body")"
+		case "$code" in
+		200) ;;
+		429) sheds=$((sheds + 1)) ;;
+		*) fails=$((fails + 1)) ;;
+		esac
 	done
-	echo "$fails"
+	echo "$fails $sheds"
 }
 
+PRIORITIES=(low normal high)
 per_client=$((REQUESTS / CLIENTS))
 [ "$per_client" -ge 1 ] || per_client=1
 total=$((per_client * CLIENTS))
 
-echo "loadgen: $total requests -> $url ($CLIENTS clients x $per_client)"
+echo "loadgen: $total requests -> $url ($CLIENTS clients x $per_client, priorities cycled low/normal/high)"
 start=$(date +%s.%N)
 fail_files=()
+prio_of=()
 for c in $(seq 1 "$CLIENTS"); do
 	f="$(mktemp)"
 	fail_files+=("$f")
-	worker "$per_client" >"$f" &
+	prio="${PRIORITIES[$(((c - 1) % 3))]}"
+	prio_of+=("$prio")
+	worker "$per_client" "$prio" >"$f" &
 done
 wait
 end=$(date +%s.%N)
 
 fails=0
-for f in "${fail_files[@]}"; do
-	fails=$((fails + $(cat "$f")))
+declare -A sent shed
+for p in "${PRIORITIES[@]}"; do
+	sent[$p]=0
+	shed[$p]=0
+done
+for i in "${!fail_files[@]}"; do
+	f="${fail_files[$i]}"
+	p="${prio_of[$i]}"
+	read -r wfails wsheds <"$f"
+	fails=$((fails + wfails))
+	sent[$p]=$((sent[$p] + per_client))
+	shed[$p]=$((shed[$p] + wsheds))
 	rm -f "$f"
 done
 
-awk -v t="$total" -v s="$start" -v e="$end" -v f="$fails" 'BEGIN {
+total_shed=0
+for p in "${PRIORITIES[@]}"; do
+	total_shed=$((total_shed + shed[$p]))
+done
+awk -v t="$total" -v s="$start" -v e="$end" -v f="$fails" -v sh="$total_shed" 'BEGIN {
 	el = e - s
-	printf "loadgen: %d ok, %d failed in %.2fs (%.0f req/s)\n", t - f, f, el, t / el
+	printf "loadgen: %d ok, %d shed (429), %d failed in %.2fs (%.0f req/s)\n", t - f - sh, sh, f, el, t / el
 }'
+echo "per-priority shed rates (caller side):"
+for p in "${PRIORITIES[@]}"; do
+	awk -v p="$p" -v n="${sent[$p]}" -v sh="${shed[$p]}" 'BEGIN {
+		printf "  %-6s %5d sent, %5d shed (%.1f%%)\n", p, n, sh, n ? 100 * sh / n : 0
+	}'
+done
 echo "server metrics:"
-curl -fsS "http://$ADDR/metrics" |
+curl -fsS "$BASE/metrics" |
 	python3 -c "
 import json, sys
 m = {x['name']: x for x in json.load(sys.stdin)}
 for name in ('serve.batches', 'serve.instances_scored', 'serve.throttled_429',
-             'serve.kernel_row_cache_hits', 'serve.kernel_row_cache_misses'):
+             'serve.shed.low', 'serve.shed.normal', 'serve.shed.high',
+             'serve.kernel_row_cache_hits', 'serve.kernel_row_cache_misses',
+             'cluster.requests_routed', 'cluster.throttled_429',
+             'cluster.shed.low', 'cluster.shed.normal', 'cluster.shed.high',
+             'cluster.fanouts', 'cluster.failovers'):
     if name in m:
         print(f'  {name}: {m[name].get(\"value\", 0)}')"
 

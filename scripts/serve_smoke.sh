@@ -14,6 +14,9 @@ cd "$(dirname "$0")/.."
 
 GO="${GO:-go}"
 ADDR="${SMOKE_ADDR:-127.0.0.1:18080}"
+# All probes go through SERVE_URL, so the smoke can also be pointed at
+# an already-running server (or a cluster router fronting one).
+SERVE_URL="${SERVE_URL:-http://$ADDR}"
 WORK="$(mktemp -d)"
 SERVER_PID=""
 
@@ -42,7 +45,7 @@ SERVER_PID=$!
 
 ready=""
 for _ in $(seq 1 50); do
-	if curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; then
+	if curl -fsS "$SERVE_URL/readyz" >/dev/null 2>&1; then
 		ready=1
 		break
 	fi
@@ -58,11 +61,11 @@ if [ -z "$ready" ]; then
 	cat "$WORK/server.log" >&2
 	exit 1
 fi
-echo "readyz: $(curl -fsS "http://$ADDR/readyz")"
+echo "readyz: $(curl -fsS "$SERVE_URL/readyz")"
 
 echo "== predict =="
 status="$(curl -s -o "$WORK/predict.json" -w '%{http_code}' \
-	-X POST "http://$ADDR/predict/zoo-ridge" \
+	-X POST "$SERVE_URL/predict/zoo-ridge" \
 	-H 'Content-Type: application/json' \
 	-d '{"instances": [[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]]}')"
 if [ "$status" != "200" ]; then
