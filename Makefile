@@ -2,7 +2,7 @@
 # plus the full suite under the race detector (see scripts/check.sh).
 # `make ci` is everything the GitHub workflow runs, locally.
 
-.PHONY: build test check bench smoke cluster-smoke fuzz cover conformance-slow ci
+.PHONY: build test check bench smoke cluster-smoke stream-smoke fuzz cover conformance-slow ci
 
 build:
 	go build ./...
@@ -20,8 +20,9 @@ bench:
 
 # Serving lifecycle end to end: train + save artifacts, boot edaserved,
 # predict over HTTP, graceful SIGTERM exit (see scripts/serve_smoke.sh),
-# then the same lifecycle through the sharded cluster tier.
-smoke: cluster-smoke
+# then the same lifecycle through the sharded cluster tier and the
+# streaming loop.
+smoke: cluster-smoke stream-smoke
 	./scripts/serve_smoke.sh
 
 # Cluster tier end to end: 3-replica fleet behind edarouter, routed
@@ -29,6 +30,12 @@ smoke: cluster-smoke
 # failed requests, graceful drain (see scripts/cluster_smoke.sh).
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# Streaming loop end to end: edaloop against a live edaserved — planted
+# drift detected, every refresh hot-swapped with zero failed requests,
+# graceful SIGTERM drain (see scripts/stream_smoke.sh).
+stream-smoke:
+	./scripts/stream_smoke.sh
 
 # Bounded fuzz sweep over the untrusted-input decoders (artifact decode,
 # predict handler); FUZZTIME=2m make fuzz for a longer run.
@@ -54,4 +61,5 @@ ci:
 	./scripts/bench.sh
 	./scripts/serve_smoke.sh
 	./scripts/cluster_smoke.sh
+	./scripts/stream_smoke.sh
 	./scripts/fuzz.sh

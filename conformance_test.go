@@ -37,7 +37,8 @@ const conformanceSeed int64 = 20240806
 // kind, plus the non-persisted learner families must be registered.
 // This is the single table the rest of the suite iterates.
 func TestConformanceRegistryCoverage(t *testing.T) {
-	wantPersisted := []string{"svm/svc", "svm/oneclass", "linear/ridge", "gp", "tree", "rules/cn2sd",
+	wantPersisted := []string{"svm/svc", "svm/oneclass", "stream/incremental", "linear/ridge",
+		"gp", "tree", "rules/cn2sd",
 		"svm/svc-approx", "svm/oneclass-approx", "gp-approx"}
 	wantOther := []string{"knn", "bayes/naive", "cluster/kmeans", "neural/mlp",
 		"semisup/labelprop", "imbalance/smote", "multivar/pls"}

@@ -67,6 +67,17 @@ const (
 	// injected error makes that replica unreachable for that request
 	// (the router must route around it or answer 503, never hang).
 	SiteClusterReplicaDown = "cluster.replica_down"
+	// SiteStreamIngest guards the streaming loop's candidate intake
+	// (internal/stream): an injected error drops that candidate (counted,
+	// never selected, never simulated), an injected delay stalls the
+	// intake under the loop context. Checked once per candidate, so the
+	// drop pattern is a pure function of the plan seed.
+	SiteStreamIngest = "stream.ingest"
+	// SiteStreamRetrain guards the streaming loop's model refresh: an
+	// injected error aborts that refresh — the previously swapped model
+	// keeps serving — and an injected delay stalls the retrain. Checked
+	// once per attempted refresh.
+	SiteStreamRetrain = "stream.retrain"
 )
 
 // ErrInjected is the root of every injected error; match with errors.Is.
@@ -232,6 +243,12 @@ func ServeSites() []string {
 // for cmd/edarouter's chaos flags and the cluster chaos harness.
 func ClusterSites() []string {
 	return []string{SiteClusterReplicaDown, SiteClusterRoute}
+}
+
+// StreamSites lists the streaming-loop sites, the default target set
+// for cmd/edaloop's chaos flags and the stream chaos tests.
+func StreamSites() []string {
+	return []string{SiteStreamIngest, SiteStreamRetrain}
 }
 
 // Check rolls the dice at a named site. With no active plan (the

@@ -1,0 +1,145 @@
+package kernel
+
+import (
+	"repro/internal/linalg"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// Sliding-window Gram metrics: appended rows, evicted rows, and the
+// kernel evaluations spent keeping the window's Gram matrix current.
+// Comparing incgram_cells against gram_cells for the same window sizes
+// shows the rebuild work the incremental path avoids.
+var (
+	incGramAppends   = obs.GetCounter("kernel.incgram_appends")
+	incGramEvictions = obs.GetCounter("kernel.incgram_evictions")
+	incGramCells     = obs.GetCounter("kernel.incgram_cells")
+)
+
+// SlidingGram maintains the Gram matrix of a sliding window of samples
+// under appends with oldest-first eviction — the kernel-side half of the
+// streaming trainer's incremental refresh (ROADMAP item 2): appending a
+// sample costs one kernel row (O(n·d)) instead of the O(n²·d) rebuild
+// that Gram would pay on every refresh.
+//
+// Layout: a fixed capacity×capacity backing matrix addressed through a
+// ring of physical slots. Eviction is O(1) — the head advances and the
+// freed slot is overwritten by the next append; no rows are copied and
+// no memory is allocated after construction. Logical index 0 is always
+// the oldest sample in the window.
+//
+// Determinism: each new cell is produced by exactly one k.Eval call
+// written to both symmetric halves, striped over the worker pool, so the
+// matrix is bit-identical at any worker count. For the kernels in this
+// package Eval is exactly symmetric in IEEE arithmetic (Dot, Dist2, and
+// min accumulate in index order of the vectors, not of the arguments),
+// so the window's matrix is bit-identical to Gram(k, Window()) — the
+// sliding_test contract.
+//
+// Not safe for concurrent use; the streaming loop appends serially.
+type SlidingGram struct {
+	k    Kernel
+	cap  int
+	dim  int
+	head int // physical slot of logical index 0
+	n    int // live window size
+
+	samples *linalg.Matrix // cap×dim ring of sample rows
+	gram    *linalg.Matrix // cap×cap ring-addressed Gram storage
+}
+
+// NewSlidingGram returns an empty window with the given capacity over
+// dim-dimensional samples. Capacity and dim must be positive.
+func NewSlidingGram(k Kernel, capacity, dim int) *SlidingGram {
+	if capacity <= 0 {
+		panic("kernel: SlidingGram capacity must be positive")
+	}
+	if dim <= 0 {
+		panic("kernel: SlidingGram dim must be positive")
+	}
+	return &SlidingGram{
+		k:       k,
+		cap:     capacity,
+		dim:     dim,
+		samples: linalg.NewMatrix(capacity, dim),
+		gram:    linalg.NewMatrix(capacity, capacity),
+	}
+}
+
+// Len returns the live window size (≤ capacity).
+func (s *SlidingGram) Len() int { return s.n }
+
+// Cap returns the window capacity.
+func (s *SlidingGram) Cap() int { return s.cap }
+
+// slot maps a logical window index to its physical ring slot.
+func (s *SlidingGram) slot(i int) int { return (s.head + i) % s.cap }
+
+// At returns K(i, j) for logical window indices.
+func (s *SlidingGram) At(i, j int) float64 {
+	return s.gram.At(s.slot(i), s.slot(j))
+}
+
+// Sample returns the stored sample at logical index i. The slice aliases
+// the ring storage and is invalidated by the append that evicts row i.
+func (s *SlidingGram) Sample(i int) []float64 {
+	return s.samples.Row(s.slot(i))
+}
+
+// Append adds x to the window, evicting the oldest sample when the
+// window is full, and computes the new sample's kernel row against every
+// retained sample. Reports whether an eviction happened.
+func (s *SlidingGram) Append(x []float64) (evicted bool) {
+	if len(x) != s.dim {
+		panic("kernel: SlidingGram sample dimension mismatch")
+	}
+	var slot int
+	if s.n < s.cap {
+		slot = s.slot(s.n)
+		s.n++
+	} else {
+		// O(1) eviction: logical index 0 leaves, its slot hosts the
+		// newcomer, and the head advances one position.
+		slot = s.head
+		s.head = (s.head + 1) % s.cap
+		evicted = true
+		incGramEvictions.Inc()
+	}
+	copy(s.samples.Row(slot), x)
+	xi := s.samples.Row(slot)
+	// The new row: the newcomer is the highest logical index, so every
+	// pair is evaluated as k(old, new) — the same orientation Gram uses
+	// for i < j — keeping the window bit-identical to a full rebuild.
+	prior := s.n - 1
+	if evicted {
+		prior = s.cap - 1
+	}
+	parallel.ForN(prior, gramCutover, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pi := s.slot(i)
+			v := s.k.Eval(s.samples.Row(pi), xi)
+			s.gram.Set(pi, slot, v)
+			s.gram.Set(slot, pi, v)
+		}
+		incGramCells.Add(int64(hi - lo))
+	})
+	s.gram.Set(slot, slot, s.k.Eval(xi, xi))
+	incGramCells.Inc()
+	incGramAppends.Inc()
+	return evicted
+}
+
+// Window materializes the live window as a fresh n×dim matrix in logical
+// order (oldest first) — the sample matrix a refresh trains on.
+func (s *SlidingGram) Window() *linalg.Matrix {
+	out := linalg.NewMatrix(s.n, s.dim)
+	for i := 0; i < s.n; i++ {
+		copy(out.Row(i), s.Sample(i))
+	}
+	return out
+}
+
+// Reset empties the window without releasing storage.
+func (s *SlidingGram) Reset() {
+	s.head, s.n = 0, 0
+}

@@ -1,0 +1,96 @@
+package stream
+
+import "math"
+
+// Detector decides *when* the streaming loop refreshes its model: it
+// watches the decision-value stream the serving model emits and signals
+// when the score distribution has shifted — the paper's constraint that
+// a mined model is only valid for the data regime it was mined from
+// (Section 5), turned into a refresh policy. Implementations must be
+// deterministic: the same observation sequence produces the same
+// trigger points.
+type Detector interface {
+	// Observe feeds one decision value; reports true when drift is
+	// signaled at this observation.
+	Observe(v float64) bool
+	// Score returns the current drift statistic (for the obs gauge).
+	Score() float64
+	// Reset clears all state after a refresh.
+	Reset()
+}
+
+// PageHinkley is the two-sided Page–Hinkley test over the decision
+// stream: it tracks the cumulative deviation of observations from their
+// running mean and signals when the deviation exceeds Lambda in either
+// direction. O(1) per observation, fully deterministic — the canonical
+// streaming change-point detector for concept drift.
+//
+// A downward shift (scores trending negative) means the generator has
+// wandered into territory the model calls novel — the model is stale
+// and the window holds the new regime; an upward shift means the
+// selected window has saturated the support region. Both call for a
+// refresh.
+type PageHinkley struct {
+	Delta  float64 // per-observation magnitude tolerance, default 0.005
+	Lambda float64 // detection threshold, default 0.5
+	MinObs int     // observations before a trigger is allowed, default 16
+
+	n    int
+	mean float64
+	// Increase branch: m accumulates (x − mean − Delta); drift when
+	// m − min(m) exceeds Lambda. Decrease branch mirrors it.
+	mUp, minUp     float64
+	mDown, maxDown float64
+}
+
+// NewPageHinkley returns a detector with the given threshold; zero
+// values select the documented defaults.
+func NewPageHinkley(delta, lambda float64, minObs int) *PageHinkley {
+	ph := &PageHinkley{Delta: delta, Lambda: lambda, MinObs: minObs}
+	ph.normalize()
+	return ph
+}
+
+func (ph *PageHinkley) normalize() {
+	if ph.Delta <= 0 {
+		ph.Delta = 0.005
+	}
+	if ph.Lambda <= 0 {
+		ph.Lambda = 0.5
+	}
+	if ph.MinObs <= 0 {
+		ph.MinObs = 16
+	}
+}
+
+// Observe implements Detector.
+func (ph *PageHinkley) Observe(v float64) bool {
+	ph.normalize()
+	ph.n++
+	ph.mean += (v - ph.mean) / float64(ph.n)
+	ph.mUp += v - ph.mean - ph.Delta
+	if ph.mUp < ph.minUp {
+		ph.minUp = ph.mUp
+	}
+	ph.mDown += v - ph.mean + ph.Delta
+	if ph.mDown > ph.maxDown {
+		ph.maxDown = ph.mDown
+	}
+	return ph.n >= ph.MinObs && ph.Score() > ph.Lambda
+}
+
+// Score implements Detector: the larger of the two one-sided Page–
+// Hinkley statistics.
+func (ph *PageHinkley) Score() float64 {
+	up := ph.mUp - ph.minUp       // how far scores have risen
+	down := ph.maxDown - ph.mDown // how far scores have fallen
+	return math.Max(up, down)
+}
+
+// Reset implements Detector.
+func (ph *PageHinkley) Reset() {
+	ph.n = 0
+	ph.mean = 0
+	ph.mUp, ph.minUp = 0, 0
+	ph.mDown, ph.maxDown = 0, 0
+}

@@ -1,0 +1,93 @@
+package stream
+
+import "testing"
+
+// A stable stream must never trigger; a shifted stream must, and fast.
+func TestPageHinkleyDetectsShift(t *testing.T) {
+	ph := NewPageHinkley(0, 0, 0)
+	for i := 0; i < 200; i++ {
+		if ph.Observe(0.1) {
+			t.Fatalf("false trigger at stable observation %d (score %g)", i, ph.Score())
+		}
+	}
+	triggered := -1
+	for i := 0; i < 100; i++ {
+		if ph.Observe(-0.9) {
+			triggered = i
+			break
+		}
+	}
+	if triggered < 0 {
+		t.Fatalf("no trigger within 100 shifted observations (score %g)", ph.Score())
+	}
+	if ph.Score() <= ph.Lambda {
+		t.Fatalf("trigger reported but score %g <= lambda %g", ph.Score(), ph.Lambda)
+	}
+}
+
+// MinObs gates the trigger: even a violent first observation must wait.
+func TestPageHinkleyMinObs(t *testing.T) {
+	ph := NewPageHinkley(0.001, 0.01, 8)
+	for i := 0; i < 7; i++ {
+		if ph.Observe(float64(1 + i*1000)) {
+			t.Fatalf("trigger at observation %d, before MinObs=8", i+1)
+		}
+	}
+}
+
+// Same observation sequence, same trigger points — the determinism
+// contract the loop inherits.
+func TestPageHinkleyDeterministic(t *testing.T) {
+	seq := make([]float64, 0, 300)
+	for i := 0; i < 150; i++ {
+		seq = append(seq, 0.05*float64(i%7))
+	}
+	for i := 0; i < 150; i++ {
+		seq = append(seq, -1.2+0.01*float64(i%5))
+	}
+	run := func() []int {
+		ph := NewPageHinkley(0, 0, 0)
+		var hits []int
+		for i, v := range seq {
+			if ph.Observe(v) {
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("expected at least one trigger in the shifted half")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("trigger counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trigger %d at different positions: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Reset must return the detector to its virgin state.
+func TestPageHinkleyReset(t *testing.T) {
+	ph := NewPageHinkley(0, 0, 0)
+	for i := 0; i < 30; i++ {
+		ph.Observe(0.5)
+	}
+	for i := 0; i < 30; i++ {
+		ph.Observe(-2.0)
+	}
+	if ph.Score() == 0 {
+		t.Fatal("expected nonzero score before reset")
+	}
+	ph.Reset()
+	if ph.Score() != 0 {
+		t.Fatalf("score %g after reset, want 0", ph.Score())
+	}
+	for i := 0; i < 200; i++ {
+		if ph.Observe(0.1) {
+			t.Fatalf("trigger at %d after reset on a stable stream", i)
+		}
+	}
+}

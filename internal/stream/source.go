@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/mfgtest"
+)
+
+// Candidate is one unit offered to the loop: its position in the
+// stream and the feature vector the novelty filter scores. The payload
+// (the ISA program or chip behind the features) stays inside the
+// source; the loop only ever simulates the candidate it just drew.
+type Candidate struct {
+	Seq      int // position in the stream, 0-based
+	Features []float64
+
+	payload any
+}
+
+// SimResult is what simulating a selected candidate cost and found.
+type SimResult struct {
+	Cycles int64 // simulation cycles spent on this candidate
+	Gain   int   // coverage bins first hit (ISA) / latent defects caught (mfgtest)
+}
+
+// Source produces the candidate stream and simulates selected
+// candidates. Implementations must be pure functions of their seed:
+// the same seed yields the same candidate and simulation sequence.
+// Next and Simulate are called serially by the loop.
+type Source interface {
+	Name() string
+	Dim() int
+	Next() Candidate
+	// Simulate runs the expensive step on a candidate this source
+	// produced. Only the most recently drawn candidate is simulated.
+	Simulate(c Candidate) SimResult
+}
+
+// NewSource builds a named source: "isa" (constrained-random ISA
+// programs, the paper's novel-test-selection scenario) or "mfgtest"
+// (parametric chip measurements, the customer-returns scenario).
+// shiftAt > 0 plants a distribution shift at that stream position so
+// drift-triggered refreshes can be exercised deterministically.
+func NewSource(name string, seed int64, shiftAt int) (Source, error) {
+	switch name {
+	case "isa":
+		return NewISASource(seed, shiftAt), nil
+	case "mfgtest":
+		return NewMfgSource(seed, shiftAt), nil
+	default:
+		return nil, fmt.Errorf("stream: unknown source %q (want isa or mfgtest)", name)
+	}
+}
+
+// ISASource streams constrained-random ISA programs: the generator half
+// of the paper's Figure 7 loop. It starts from the narrow
+// DefaultTemplate; at stream position ShiftAt (if positive) it switches
+// to the wide "try everything" template — a planted concept shift that
+// drives the decision scores of a model trained on the narrow regime
+// sharply negative, which is exactly what the drift detector exists to
+// catch.
+type ISASource struct {
+	gen     *isa.Generator
+	machine *isa.Machine
+	cov     *isa.Coverage // cumulative coverage across simulated tests
+	shiftAt int
+	seq     int
+}
+
+// NewISASource seeds the program stream.
+func NewISASource(seed int64, shiftAt int) *ISASource {
+	return &ISASource{
+		gen:     isa.NewGenerator(isa.DefaultTemplate(), seed),
+		machine: isa.NewMachine(),
+		cov:     &isa.Coverage{},
+		shiftAt: shiftAt,
+	}
+}
+
+// Name implements Source.
+func (s *ISASource) Name() string { return "isa" }
+
+// Dim implements Source.
+func (s *ISASource) Dim() int { return len(isa.FeatureNames) }
+
+// Next implements Source.
+func (s *ISASource) Next() Candidate {
+	if s.shiftAt > 0 && s.seq == s.shiftAt {
+		// The planted shift: same rng stream, wider template — every
+		// draw after this point comes from a different distribution.
+		s.gen.T = isa.WideTemplate()
+	}
+	p := s.gen.Next()
+	c := Candidate{Seq: s.seq, Features: isa.Features(p), payload: p}
+	s.seq++
+	return c
+}
+
+// Simulate implements Source: run the program on the reference machine
+// and merge its coverage into the cumulative map. Gain is the number of
+// coverage bins this test hit first — the numerator of the paper's
+// Table-1 economics.
+func (s *ISASource) Simulate(c Candidate) SimResult {
+	p := c.payload.(isa.Program)
+	cov := s.machine.Run(p)
+	before := s.cov.Count()
+	s.cov.Merge(cov)
+	return SimResult{
+		Cycles: s.machine.Cycles,
+		Gain:   s.cov.Count() - before,
+	}
+}
+
+// CoverageCount returns the cumulative coverage-bin count across every
+// simulated candidate.
+func (s *ISASource) CoverageCount() int { return s.cov.Count() }
+
+// mfgCyclesPerTest is the nominal tester cost of fully characterizing
+// one parametric test — the unit the mfgtest economics are counted in.
+const mfgCyclesPerTest = 50
+
+// MfgSource streams parametric chip measurements from the Figure 11
+// returns scenario: each candidate is one shipped-quality chip, and
+// "simulation" is the full characterization re-test that catches latent
+// defects before they become customer returns. At ShiftAt the stream
+// switches to the sister product line (shifted means and noise) — the
+// planted shift for drift testing.
+type MfgSource struct {
+	sc      *mfgtest.ReturnsScenario
+	rng     *rand.Rand
+	shiftAt int
+	seq     int
+	nextID  int
+	buf     []mfgtest.Chip
+}
+
+// NewMfgSource seeds the chip stream.
+func NewMfgSource(seed int64, shiftAt int) *MfgSource {
+	return &MfgSource{
+		sc:      mfgtest.NewReturnsScenario(16),
+		rng:     rand.New(rand.NewSource(seed)),
+		shiftAt: shiftAt,
+	}
+}
+
+// Name implements Source.
+func (s *MfgSource) Name() string { return "mfgtest" }
+
+// Dim implements Source.
+func (s *MfgSource) Dim() int { return s.sc.Model.NumTests() }
+
+// Next implements Source.
+func (s *MfgSource) Next() Candidate {
+	if s.shiftAt > 0 && s.seq == s.shiftAt {
+		s.sc = s.sc.SisterScenario()
+		s.buf = nil // remaining chips belong to the old line
+	}
+	if len(s.buf) == 0 {
+		const lot = 32
+		s.buf = s.sc.Model.Sample(s.rng, lot, s.nextID, s.sc.Defect)
+		s.nextID += lot
+	}
+	chip := s.buf[0]
+	s.buf = s.buf[1:]
+	c := Candidate{Seq: s.seq, Features: chip.Meas, payload: chip}
+	s.seq++
+	return c
+}
+
+// Simulate implements Source: the full characterization re-test. Gain
+// counts latent defects caught at the tester instead of in the field.
+func (s *MfgSource) Simulate(c Candidate) SimResult {
+	chip := c.payload.(mfgtest.Chip)
+	gain := 0
+	if chip.LatentDefect {
+		gain = 1
+	}
+	return SimResult{
+		Cycles: int64(len(chip.Meas)) * mfgCyclesPerTest,
+		Gain:   gain,
+	}
+}

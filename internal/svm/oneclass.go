@@ -33,6 +33,10 @@ type OneClassConfig struct {
 // coordinate descent on the dual:
 //
 //	min ½ Σ α_i α_j K_ij  s.t.  Σ α_i = 1,  0 ≤ α_i ≤ 1/(ν n).
+//
+// The solve itself lives in solver.go, shared with the precomputed-Gram
+// and streaming warm-start paths; this entry point builds the Gram
+// matrix and always cold-starts.
 func FitOneClass(x *linalg.Matrix, k kernel.Kernel, cfg OneClassConfig) (*OneClass, error) {
 	n := x.Rows
 	if n == 0 {
@@ -41,121 +45,9 @@ func FitOneClass(x *linalg.Matrix, k kernel.Kernel, cfg OneClassConfig) (*OneCla
 	if k == nil {
 		k = kernel.RBF{Gamma: 1.0 / float64(x.Cols)}
 	}
-	if cfg.Nu <= 0 || cfg.Nu > 1 {
-		cfg.Nu = 0.1
-	}
-	if cfg.Tol <= 0 {
-		cfg.Tol = 1e-4
-	}
-	if cfg.MaxIters <= 0 {
-		cfg.MaxIters = 200
-	}
-	upper := 1.0 / (cfg.Nu * float64(n))
 	gram := kernel.Gram(k, x)
-
-	// Feasible start: distribute mass over the first ceil(nu*n) points.
-	alpha := make([]float64, n)
-	nInit := int(math.Ceil(cfg.Nu * float64(n)))
-	if nInit > n {
-		nInit = n
-	}
-	for i := 0; i < nInit; i++ {
-		alpha[i] = math.Min(upper, 1.0/float64(nInit))
-	}
-	// Repair tiny numeric drift in the sum constraint.
-	sum := 0.0
-	for _, a := range alpha {
-		sum += a
-	}
-	if sum > 0 {
-		for i := range alpha {
-			alpha[i] /= sum
-		}
-	}
-
-	// Gradient g_i = Σ_j α_j K_ij.
-	g := make([]float64, n)
-	for i := 0; i < n; i++ {
-		s := 0.0
-		for j := 0; j < n; j++ {
-			if alpha[j] != 0 {
-				s += alpha[j] * gram.At(i, j)
-			}
-		}
-		g[i] = s
-	}
-
-	for it := 0; it < cfg.MaxIters; it++ {
-		// Most-violating pair: minimize over i with alpha_i < upper the
-		// gradient; maximize over j with alpha_j > 0.
-		i, j := -1, -1
-		gmin, gmax := math.Inf(1), math.Inf(-1)
-		for t := 0; t < n; t++ {
-			if alpha[t] < upper-1e-12 && g[t] < gmin {
-				gmin, i = g[t], t
-			}
-			if alpha[t] > 1e-12 && g[t] > gmax {
-				gmax, j = g[t], t
-			}
-		}
-		if i < 0 || j < 0 || gmax-gmin < cfg.Tol {
-			break
-		}
-		eta := gram.At(i, i) + gram.At(j, j) - 2*gram.At(i, j)
-		if eta <= 1e-12 {
-			eta = 1e-12
-		}
-		// Move t mass from j to i (decreases objective since g_i < g_j).
-		t := (g[j] - g[i]) / eta
-		if t > alpha[j] {
-			t = alpha[j]
-		}
-		if t > upper-alpha[i] {
-			t = upper - alpha[i]
-		}
-		if t <= 0 {
-			break
-		}
-		alpha[i] += t
-		alpha[j] -= t
-		for r := 0; r < n; r++ {
-			g[r] += t * (gram.At(r, i) - gram.At(r, j))
-		}
-	}
-
-	// ρ = g_i averaged over margin SVs (0 < α_i < upper); fall back to the
-	// max gradient over support vectors when none are strictly inside.
-	rho, cnt := 0.0, 0
-	for i := 0; i < n; i++ {
-		if alpha[i] > 1e-8 && alpha[i] < upper-1e-8 {
-			rho += g[i]
-			cnt++
-		}
-	}
-	if cnt > 0 {
-		rho /= float64(cnt)
-	} else {
-		rho = math.Inf(-1)
-		for i := 0; i < n; i++ {
-			if alpha[i] > 1e-8 && g[i] > rho {
-				rho = g[i]
-			}
-		}
-	}
-
-	var svIdx []int
-	for i := 0; i < n; i++ {
-		if alpha[i] > 1e-8 {
-			svIdx = append(svIdx, i)
-		}
-	}
-	sv := linalg.NewMatrix(len(svIdx), x.Cols)
-	coef := make([]float64, len(svIdx))
-	for r, i := range svIdx {
-		copy(sv.Row(r), x.Row(i))
-		coef[r] = alpha[i]
-	}
-	return &OneClass{K: k, SV: sv, Alpha: coef, Rho: rho, Nu: cfg.Nu}, nil
+	m, _, err := FitOneClassPrecomputed(x, k, gram.At, cfg, nil)
+	return m, err
 }
 
 // Decision returns Σ α_i k(x, x_i) − ρ; negative means novel.

@@ -1,9 +1,6 @@
 package svm
 
-import (
-	"errors"
-	"math"
-)
+import "errors"
 
 // OneClassGram is a ν-one-class SVM trained directly from a precomputed
 // kernel (Gram) matrix. This is the form the paper's Figure 4 describes:
@@ -16,7 +13,8 @@ type OneClassGram struct {
 	Nu    float64
 }
 
-// FitOneClassGram trains on an n×n kernel matrix.
+// FitOneClassGram trains on an n×n kernel matrix. It shares the
+// pairwise coordinate-descent core in solver.go with FitOneClass.
 func FitOneClassGram(gram [][]float64, cfg OneClassConfig) (*OneClassGram, error) {
 	n := len(gram)
 	if n == 0 {
@@ -27,98 +25,12 @@ func FitOneClassGram(gram [][]float64, cfg OneClassConfig) (*OneClassGram, error
 			return nil, errors.New("svm: gram matrix must be square")
 		}
 	}
-	if cfg.Nu <= 0 || cfg.Nu > 1 {
-		cfg.Nu = 0.1
-	}
-	if cfg.Tol <= 0 {
-		cfg.Tol = 1e-4
-	}
-	if cfg.MaxIters <= 0 {
-		cfg.MaxIters = 200
-	}
+	cfg.normalize()
 	upper := 1.0 / (cfg.Nu * float64(n))
 
-	alpha := make([]float64, n)
-	nInit := int(math.Ceil(cfg.Nu * float64(n)))
-	if nInit > n {
-		nInit = n
-	}
-	for i := 0; i < nInit; i++ {
-		alpha[i] = math.Min(upper, 1.0/float64(nInit))
-	}
-	sum := 0.0
-	for _, a := range alpha {
-		sum += a
-	}
-	if sum > 0 {
-		for i := range alpha {
-			alpha[i] /= sum
-		}
-	}
-
-	g := make([]float64, n)
-	for i := 0; i < n; i++ {
-		s := 0.0
-		for j := 0; j < n; j++ {
-			if alpha[j] != 0 {
-				s += alpha[j] * gram[i][j]
-			}
-		}
-		g[i] = s
-	}
-
-	for it := 0; it < cfg.MaxIters; it++ {
-		i, j := -1, -1
-		gmin, gmax := math.Inf(1), math.Inf(-1)
-		for t := 0; t < n; t++ {
-			if alpha[t] < upper-1e-12 && g[t] < gmin {
-				gmin, i = g[t], t
-			}
-			if alpha[t] > 1e-12 && g[t] > gmax {
-				gmax, j = g[t], t
-			}
-		}
-		if i < 0 || j < 0 || gmax-gmin < cfg.Tol {
-			break
-		}
-		eta := gram[i][i] + gram[j][j] - 2*gram[i][j]
-		if eta <= 1e-12 {
-			eta = 1e-12
-		}
-		t := (g[j] - g[i]) / eta
-		if t > alpha[j] {
-			t = alpha[j]
-		}
-		if t > upper-alpha[i] {
-			t = upper - alpha[i]
-		}
-		if t <= 0 {
-			break
-		}
-		alpha[i] += t
-		alpha[j] -= t
-		for r := 0; r < n; r++ {
-			g[r] += t * (gram[r][i] - gram[r][j])
-		}
-	}
-
-	rho, cnt := 0.0, 0
-	for i := 0; i < n; i++ {
-		if alpha[i] > 1e-8 && alpha[i] < upper-1e-8 {
-			rho += g[i]
-			cnt++
-		}
-	}
-	if cnt > 0 {
-		rho /= float64(cnt)
-	} else {
-		rho = math.Inf(-1)
-		for i := 0; i < n; i++ {
-			if alpha[i] > 1e-8 && g[i] > rho {
-				rho = g[i]
-			}
-		}
-	}
+	alpha := coldStartAlpha(n, cfg.Nu)
+	g, _, _ := solveOneClass(n, func(i, j int) float64 { return gram[i][j] }, cfg, alpha)
+	rho := oneClassRho(n, alpha, g, upper)
 	return &OneClassGram{Alpha: alpha, Rho: rho, Nu: cfg.Nu}, nil
 }
 

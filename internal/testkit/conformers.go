@@ -2,6 +2,7 @@ package testkit
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/bayes"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/neural"
 	"repro/internal/rules"
 	"repro/internal/semisup"
+	"repro/internal/stream"
 	"repro/internal/svm"
 	"repro/internal/tree"
 )
@@ -58,6 +60,7 @@ func rowScores(x *linalg.Matrix, f func([]float64) float64) []float64 {
 func init() {
 	registerSVC()
 	registerOneClass()
+	registerStreamIncremental()
 	registerRidge()
 	registerGP()
 	registerTree()
@@ -150,6 +153,92 @@ func registerOneClass() {
 		},
 		Relations: []Relation{Rel(RefitIdentity(), Exact)},
 	})
+}
+
+// registerStreamIncremental pins the streaming trainer (sliding window,
+// rank-1 Gram maintenance, warm-started refreshes — see internal/stream)
+// to the same contracts as the batch learners: the replayed FitWindow is
+// deterministic (RefitIdentity/Exact), its final model satisfies the
+// ν-one-class dual constraints, and — the warm-start correctness guard —
+// its decision function agrees with a cold batch fit on the same final
+// window within solver tolerance.
+func registerStreamIncremental() {
+	const (
+		streamWindow = 48
+		streamRefit  = 16
+	)
+	streamCfg := svm.OneClassConfig{Nu: 0.2, MaxIters: 2000}
+	Register(Conformer{
+		Name:      "stream/incremental",
+		Pkg:       "stream",
+		Persisted: true,
+		Cases:     4,
+		Gen: func(r *rand.Rand, _ int) *Case {
+			// More rows than the window, so the replay exercises
+			// eviction and the carried-alpha realignment, not just
+			// growth.
+			d := GenClassification(r, 90, 4, 2.0)
+			return &Case{Train: d, Probes: probesFor(r, d, 40)}
+		},
+		Fit: func(cs *Case) (*Fit, error) {
+			k := GenPSDKernel(cs.Rng(kernelStream), cs.Train.Dim())
+			m, _, err := stream.FitWindow(cs.Train.X, k, streamWindow, streamRefit, streamCfg)
+			if err != nil {
+				return nil, err
+			}
+			return &Fit{Predict: m.DecisionBatch, Model: m}, nil
+		},
+		Invariants: func(cs *Case, f *Fit) error {
+			m := f.Model.(*svm.OneClass)
+			n := cs.Train.Len()
+			if n > streamWindow {
+				n = streamWindow
+			}
+			sumErr, boxErr := m.DualViolation(n)
+			if sumErr > 1e-8 {
+				return fmt.Errorf("stream one-class dual sum violation %g", sumErr)
+			}
+			if boxErr > 1e-8 {
+				return fmt.Errorf("stream one-class dual box violation %g", boxErr)
+			}
+			// Warm-start correctness: a cold batch fit on exactly the
+			// final window must define the same decision function as the
+			// warm-started incremental chain that ended there.
+			k := GenPSDKernel(cs.Rng(kernelStream), cs.Train.Dim())
+			win := lastRows(cs.Train.X, streamWindow)
+			cold, err := svm.FitOneClass(win, k, streamCfg)
+			if err != nil {
+				return fmt.Errorf("cold reference fit: %w", err)
+			}
+			// Tolerance is relative because the adversarial probes
+			// (±Inf-adjacent magnitudes) scale both decisions to ~1e300.
+			const tol = 1e-2
+			for i := 0; i < cs.Probes.Rows; i++ {
+				p := cs.Probes.Row(i)
+				dw, dc := m.Decision(p), cold.Decision(p)
+				if math.IsNaN(dw) && math.IsNaN(dc) {
+					continue
+				}
+				scale := math.Max(1, math.Max(math.Abs(dw), math.Abs(dc)))
+				if diff := math.Abs(dw - dc); diff > tol*scale {
+					return fmt.Errorf("warm-chain decision diverges from cold fit at probe %d: |%g - %g| = %g > %g",
+						i, dw, dc, diff, tol*scale)
+				}
+			}
+			return nil
+		},
+		Relations: []Relation{Rel(RefitIdentity(), Exact)},
+	})
+}
+
+// lastRows copies the trailing min(n, x.Rows) rows of x.
+func lastRows(x *linalg.Matrix, n int) *linalg.Matrix {
+	if n > x.Rows {
+		n = x.Rows
+	}
+	out := linalg.NewMatrix(n, x.Cols)
+	copy(out.Data, x.Data[(x.Rows-n)*x.Cols:])
+	return out
 }
 
 func registerRidge() {

@@ -110,4 +110,44 @@ END {
 }
 ' "$CURRENT" | tee -a "$OUT"
 
+# Incremental-refresh guard: within the CURRENT run, the streaming
+# trainer's warm refresh (rank-1 Gram maintenance + warm-started solve)
+# must beat a cold retrain (full Gram rebuild + cold solve) on the same
+# window — that speedup is the whole point of internal/stream's
+# incremental path. Warn-only, like the ratchet, but a ratio >= 1.0
+# means the tentpole economics are gone and the trainer needs a look.
+INCR_THRESHOLD="${INCREMENTAL_THRESHOLD:-1.0}"
+awk -v threshold="$INCR_THRESHOLD" '
+function field(line, key,    re, s) {
+	re = "\"" key "\": *[^,}]*"
+	if (match(line, re) == 0) return ""
+	s = substr(line, RSTART, RLENGTH)
+	sub(/^[^:]*: */, "", s)
+	gsub(/[" ]/, "", s)
+	return s
+}
+{
+	name = field($0, "name")
+	if (name == "") next
+	ns[name] = field($0, "ns_per_op")
+}
+END {
+	printf "\n%-12s %16s %16s %8s\n", "window", "cold_ns", "incremental_ns", "ratio"
+	warned = 0; compared = 0
+	for (w = 256; w <= 8192; w *= 2) {
+		inc = "BenchmarkIncrementalRefresh/window=" w "/mode=incremental"
+		cold = "BenchmarkIncrementalRefresh/window=" w "/mode=cold"
+		if (!(inc in ns) || !(cold in ns) || ns[cold] + 0 <= 0) continue
+		compared++
+		r = ns[inc] / ns[cold]
+		flag = ""
+		if (r >= threshold) { flag = "  <-- INCREMENTAL NOT FASTER"; warned++ }
+		printf "%-12d %16d %16d %7.2fx%s\n", w, ns[cold], ns[inc], r, flag
+	}
+	if (!compared) printf "incremental refresh: no paired incremental/cold entries in this run\n"
+	else if (warned) printf "WARNING: incremental refresh not beating cold retrain at %d window size(s)\n", warned
+	else printf "incremental refresh beats cold retrain at every measured window size\n"
+}
+' "$CURRENT" | tee -a "$OUT"
+
 echo "bench_ratchet: wrote $OUT"

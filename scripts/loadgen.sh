@@ -10,9 +10,18 @@
 #
 # Usage:
 #   scripts/loadgen.sh [-a host:port] [-m model] [-n requests] [-c clients] [-d dim]
+#                      [-p rate] [-B mean_burst] [-s seed]
 #
 #   scripts/loadgen.sh -a localhost:8080 -m zoo-ridge -n 500 -c 8 -d 8
 #   SERVE_URL=http://router:9090 scripts/loadgen.sh -m zoo-ridge
+#
+# By default each client fires requests closed-loop (back to back).
+# With -p RATE each client instead follows a bursty Poisson arrival
+# process: exponential inter-burst gaps at RATE bursts/second, with
+# geometric burst sizes of mean -B (default 4) fired back to back — the
+# open-loop shape that actually stresses admission control and
+# micro-batching. The schedule is drawn up front from -s SEED (default
+# 1), so the same seed replays the identical arrival pattern.
 #
 # SERVE_URL (env) overrides -a entirely — point it at any base URL,
 # including a cluster router.
@@ -23,14 +32,20 @@ MODEL="zoo-ridge"
 REQUESTS=200
 CLIENTS=8
 DIM=8
+RATE=0
+BURST=4
+SEED=1
 
-while getopts "a:m:n:c:d:h" opt; do
+while getopts "a:m:n:c:d:p:B:s:h" opt; do
 	case "$opt" in
 	a) ADDR="$OPTARG" ;;
 	m) MODEL="$OPTARG" ;;
 	n) REQUESTS="$OPTARG" ;;
 	c) CLIENTS="$OPTARG" ;;
 	d) DIM="$OPTARG" ;;
+	p) RATE="$OPTARG" ;;
+	B) BURST="$OPTARG" ;;
+	s) SEED="$OPTARG" ;;
 	h | *)
 		grep '^#' "$0" | sed 's/^# \{0,1\}//'
 		exit 0
@@ -54,11 +69,35 @@ curl -fsS "$BASE/readyz" >/dev/null || {
 	exit 1
 }
 
+# schedule N RATE BURST SEED — one pre-request sleep (seconds) per line:
+# exponential inter-burst gaps, zero-gap requests inside each geometric
+# burst. Deterministic per seed: same seed, same arrival pattern.
+schedule() {
+	awk -v n="$1" -v rate="$2" -v burst="$3" -v seed="$4" 'BEGIN {
+		srand(seed)
+		i = 0
+		while (i < n) {
+			printf "%.4f\n", -log(1 - rand()) / rate
+			b = 1 + int(-log(1 - rand()) * (burst - 1))
+			for (j = 1; j < b && i + j < n; j++) printf "0\n"
+			i += b
+		}
+	}'
+}
+
 # Each worker runs at one priority tier and reports "fails sheds" —
-# hard failures vs 429s its tier absorbed.
+# hard failures vs 429s its tier absorbed. With a Poisson schedule the
+# worker sleeps out its pre-drawn gaps; otherwise it runs closed-loop.
 worker() {
-	local n=$1 prio=$2 fails=0 sheds=0
-	for _ in $(seq 1 "$n"); do
+	local n=$1 prio=$2 wseed=$3 fails=0 sheds=0 gap sched
+	sched="$(mktemp)"
+	if [ "$(awk -v r="$RATE" 'BEGIN { print (r > 0) }')" = 1 ]; then
+		schedule "$n" "$RATE" "$BURST" "$wseed" >"$sched"
+	else
+		seq 1 "$n" | sed 's/.*/0/' >"$sched"
+	fi
+	while read -r gap; do
+		[ "$gap" = 0 ] || sleep "$gap"
 		code="$(curl -s -o /dev/null -w '%{http_code}' \
 			-X POST "$url" -H 'Content-Type: application/json' \
 			-H "X-Priority: $prio" -d "$body")"
@@ -67,7 +106,8 @@ worker() {
 		429) sheds=$((sheds + 1)) ;;
 		*) fails=$((fails + 1)) ;;
 		esac
-	done
+	done <"$sched"
+	rm -f "$sched"
 	echo "$fails $sheds"
 }
 
@@ -76,7 +116,11 @@ per_client=$((REQUESTS / CLIENTS))
 [ "$per_client" -ge 1 ] || per_client=1
 total=$((per_client * CLIENTS))
 
-echo "loadgen: $total requests -> $url ($CLIENTS clients x $per_client, priorities cycled low/normal/high)"
+if [ "$(awk -v r="$RATE" 'BEGIN { print (r > 0) }')" = 1 ]; then
+	echo "loadgen: $total requests -> $url ($CLIENTS clients x $per_client, bursty Poisson: $RATE bursts/s, mean burst $BURST, seed $SEED)"
+else
+	echo "loadgen: $total requests -> $url ($CLIENTS clients x $per_client, closed-loop, priorities cycled low/normal/high)"
+fi
 start=$(date +%s.%N)
 fail_files=()
 prio_of=()
@@ -85,7 +129,7 @@ for c in $(seq 1 "$CLIENTS"); do
 	fail_files+=("$f")
 	prio="${PRIORITIES[$(((c - 1) % 3))]}"
 	prio_of+=("$prio")
-	worker "$per_client" "$prio" >"$f" &
+	worker "$per_client" "$prio" "$((SEED + c))" >"$f" &
 done
 wait
 end=$(date +%s.%N)
