@@ -1,0 +1,8 @@
+//go:build race
+
+package repro_test
+
+// The race detector instruments every allocation site, so steady-state
+// allocation counts measured under -race do not reflect the plain
+// build the floors in scripts/alloc_floor.txt were set against.
+func init() { raceEnabled = true }

@@ -41,7 +41,7 @@ func TestConformanceRegistryCoverage(t *testing.T) {
 		"gp", "tree", "rules/cn2sd",
 		"svm/svc-approx", "svm/oneclass-approx", "gp-approx"}
 	wantOther := []string{"knn", "bayes/naive", "cluster/kmeans", "neural/mlp",
-		"semisup/labelprop", "imbalance/smote", "multivar/pls"}
+		"semisup/labelprop", "imbalance/smote", "multivar/pls", "core/colmat"}
 	for _, name := range wantPersisted {
 		c, ok := testkit.Lookup(name)
 		if !ok {
@@ -215,6 +215,85 @@ func packageHasLearner(t *testing.T, dir string) bool {
 		}
 	}
 	return false
+}
+
+// intoEntryPoint matches the destination-passing batch entry points the
+// columnar core introduced: any exported method or function whose name
+// ends in "Into". Each one bypasses the allocating wrapper the rest of
+// the suite exercises, so each must be pinned by a named test or it can
+// silently drift from its allocating twin.
+var intoEntryPoint = regexp.MustCompile(`(?m)^func (?:\([^)]+\) )?([A-Z]\w*Into)\(`)
+
+// coveredInto maps every pkg.Method Into entry point in internal/ to
+// the test that pins it bit-for-bit against its allocating twin (or to
+// the conformer exercising it through pooled buffers). Adding an Into
+// method without extending this map fails
+// TestConformanceIntoCompleteness; so does leaving a stale entry after
+// deleting one.
+var coveredInto = map[string]string{
+	"linalg.MulInto":          "linalg.TestIntoVariantsMatchAllocating",
+	"linalg.MulVecInto":       "linalg.TestIntoVariantsMatchAllocating",
+	"linalg.ColInto":          "linalg.TestColInto",
+	"kernel.GramInto":         "kernel.TestIntoVariantsMatchAllocating",
+	"kernel.CrossGramInto":    "core/colmat conformer (fresh vs recycled buffer) + kernel.TestIntoVariantsMatchAllocating",
+	"kernel.WindowInto":       "kernel.TestIntoVariantsMatchAllocating + stream/incremental conformer",
+	"svm.DecisionBatchInto":   "core/colmat conformer + DiffPaths differential sweep",
+	"svm.PredictBatchInto":    "DiffPaths differential sweep (svm/svc, all worker counts)",
+	"gp.PredictBatchInto":     "DiffPaths differential sweep (gp, all worker counts)",
+	"linear.PredictBatchInto": "DiffPaths differential sweep (linear/ridge, all worker counts)",
+	"tree.PredictBatchInto":   "DiffPaths differential sweep (tree, all worker counts)",
+	"rules.PredictBatchInto":  "DiffPaths differential sweep (rules/cn2sd, all worker counts)",
+	"approx.ScoreBatchInto":   "DiffPaths differential sweep (*-approx kinds) + alloc gate",
+	"model.ScoreBatchInto":    "DiffPaths differential sweep (every persisted kind over Scorer) + alloc gate",
+	"dataset.ColInto":         "delegates to linalg.ColInto; see linalg.TestColInto",
+}
+
+// TestConformanceIntoCompleteness scans internal/ for Into-suffixed
+// batch entry points and fails when one exists without a coverage entry
+// — the guarantee that a future zero-alloc path cannot ship without a
+// test pinning it to its allocating twin.
+func TestConformanceIntoCompleteness(t *testing.T) {
+	found := map[string]bool{}
+	var walk func(dir string)
+	walk = func(dir string) {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("read %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			path := filepath.Join(dir, e.Name())
+			if e.IsDir() {
+				walk(path)
+				continue
+			}
+			if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read %s: %v", path, err)
+			}
+			pkg := filepath.Base(dir)
+			for _, m := range intoEntryPoint.FindAllSubmatch(src, -1) {
+				found[pkg+"."+string(m[1])] = true
+			}
+		}
+	}
+	walk("internal")
+	if len(found) == 0 {
+		t.Fatal("Into-entry-point scan found nothing — the regexp is broken")
+	}
+	for key := range found {
+		if _, ok := coveredInto[key]; !ok {
+			t.Errorf("Into entry point %s has no coverage entry; add a test pinning it "+
+				"to its allocating twin and record it in coveredInto", key)
+		}
+	}
+	for key := range coveredInto {
+		if !found[key] {
+			t.Errorf("coveredInto lists %s but no such entry point exists; remove the stale entry", key)
+		}
+	}
 }
 
 // TestConformanceReplay proves the reproduction contract: the

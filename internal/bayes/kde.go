@@ -43,12 +43,14 @@ func FitKDE(d *dataset.Dataset, bandwidth float64) (*KDE, error) {
 	}
 	m.bandwidth = make([]float64, d.Dim())
 	factor := math.Pow(float64(d.Len()), -1.0/float64(d.Dim()+4))
+	col := make([]float64, d.Len()) // one scratch column reused across features
 	for j := 0; j < d.Dim(); j++ {
 		if bandwidth > 0 {
 			m.bandwidth[j] = bandwidth
 			continue
 		}
-		sd := stats.StdDev(d.X.Col(j))
+		d.ColInto(j, col)
+		sd := stats.StdDev(col)
 		if sd < 1e-9 {
 			sd = 1e-9
 		}

@@ -1,0 +1,157 @@
+// Package colmat is the columnar buffer arena behind the repository's
+// zero-allocation numeric hot paths (ROADMAP item 1). Profiles of the
+// Gram and batch-score paths show per-call `[]float64` and
+// `linalg.Matrix` allocations dominating steady-state cost once the
+// parallel layer removed the compute bottleneck; this package removes
+// the allocator from those loops.
+//
+// The design is a set of sync.Pool arenas keyed by exact matrix shape:
+//
+//   - Get(rows, cols) leases a zeroed flat row-major *linalg.Matrix
+//     from the (rows, cols) arena, allocating only on a cold pool.
+//   - Put(m) returns the buffer to its shape's arena for reuse.
+//
+// Keying by *exact* shape — never by capacity — is a correctness
+// decision, not a convenience: a buffer re-leased under a different
+// shape can never share backing storage with a live lease, because a
+// different shape draws from a different arena. The aliasing property
+// test in colmat_test.go hammers exactly that contract under -race.
+//
+// Vectors lease as 1×n matrices (GetVec/PutVec): pooling raw
+// `[]float64` through sync.Pool costs one slice-header allocation per
+// Put (the interface boxing the issue exists to eliminate), while a
+// *linalg.Matrix handle pools allocation-free.
+//
+// Discipline for callers:
+//
+//   - A leased buffer is owned until Put; after Put it must never be
+//     read or written (enable poison mode in tests to make
+//     use-after-put loud).
+//   - Never Put a matrix whose Data the caller retains a slice of —
+//     return values built on pooled storage must be copied out first.
+//   - Buffers handed to callers as results (trained models, persisted
+//     matrices) must come from linalg.NewMatrix, not from the arena.
+package colmat
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/linalg"
+	"repro/internal/obs"
+)
+
+// Arena metrics: hits are leases served from a warm pool (the
+// steady-state path, allocation-free), misses are cold allocations,
+// puts are returns. hits/(hits+misses) → 1 is the pool doing its job.
+var (
+	poolHits   = obs.GetCounter("colmat.pool_hits")
+	poolMisses = obs.GetCounter("colmat.pool_misses")
+	poolPuts   = obs.GetCounter("colmat.pool_puts")
+)
+
+// key identifies one shape-specific arena. Exact shape, never rounded
+// capacity — see the package comment for why.
+type key struct{ rows, cols int }
+
+var (
+	mu     sync.RWMutex
+	arenas = map[key]*sync.Pool{}
+)
+
+// poison, when enabled, fills returned buffers with NaN so any
+// use-after-put surfaces as a loud non-finite result instead of a
+// silent stale read. Tests enable it; production leaves it off.
+var (
+	poisonMu sync.RWMutex
+	poison   bool
+)
+
+// SetPoison toggles poison-on-put and returns the previous setting.
+func SetPoison(on bool) bool {
+	poisonMu.Lock()
+	prev := poison
+	poison = on
+	poisonMu.Unlock()
+	return prev
+}
+
+func poisoning() bool {
+	poisonMu.RLock()
+	p := poison
+	poisonMu.RUnlock()
+	return p
+}
+
+// arenaFor returns the pool for one shape, creating it on first use.
+// The double-checked read keeps the steady state on the RLock path,
+// which is allocation-free (a struct map key does not box).
+func arenaFor(rows, cols int) *sync.Pool {
+	k := key{rows, cols}
+	mu.RLock()
+	p := arenas[k]
+	mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if p = arenas[k]; p == nil {
+		p = &sync.Pool{}
+		arenas[k] = p
+	}
+	return p
+}
+
+// Get leases a zeroed rows×cols matrix from the shape's arena. The
+// zeroing makes pooled buffers safe for accumulate-into loops (Mul) and
+// guarantees no stale data from a previous lease is ever observable.
+func Get(rows, cols int) *linalg.Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("colmat: invalid shape %dx%d", rows, cols))
+	}
+	p := arenaFor(rows, cols)
+	m, _ := p.Get().(*linalg.Matrix)
+	if m == nil {
+		poolMisses.Inc()
+		return linalg.NewMatrix(rows, cols)
+	}
+	poolHits.Inc()
+	clear(m.Data)
+	return m
+}
+
+// Put returns a leased matrix to its shape's arena. The buffer must not
+// be used after Put. Put ignores nil and rejects matrices whose header
+// disagrees with their storage (a corrupted or sliced-down handle must
+// never enter an arena: handing it back out would alias live data).
+func Put(m *linalg.Matrix) {
+	if m == nil {
+		return
+	}
+	if len(m.Data) != m.Rows*m.Cols {
+		panic(fmt.Sprintf("colmat: Put of inconsistent matrix %dx%d with %d elements",
+			m.Rows, m.Cols, len(m.Data)))
+	}
+	if poisoning() {
+		for i := range m.Data {
+			m.Data[i] = math.NaN()
+		}
+	}
+	poolPuts.Inc()
+	arenaFor(m.Rows, m.Cols).Put(m)
+}
+
+// GetVec leases a zeroed length-n vector backed by a pooled 1×n matrix.
+// Release it with PutVec, passing back the same handle.
+func GetVec(n int) *linalg.Matrix { return Get(1, n) }
+
+// PutVec returns a vector lease obtained from GetVec.
+func PutVec(v *linalg.Matrix) { Put(v) }
+
+// Stats reports the arena counters; tests use it to assert the
+// steady-state path stays on pool hits.
+func Stats() (hits, misses, puts int64) {
+	return poolHits.Value(), poolMisses.Value(), poolPuts.Value()
+}

@@ -61,6 +61,14 @@ func (d *Dataset) Dim() int { return d.X.Cols }
 // Row returns sample i (a view into X).
 func (d *Dataset) Row(i int) []float64 { return d.X.Row(i) }
 
+// Col returns a copy of feature column j.
+func (d *Dataset) Col(j int) []float64 { return d.X.Col(j) }
+
+// ColInto copies feature column j into dst (length Len()) — the
+// allocation-free form of Col for per-feature sweeps that reuse one
+// scratch buffer across columns.
+func (d *Dataset) ColInto(j int, dst []float64) { d.X.ColInto(j, dst) }
+
 // FeatureName returns the name of feature j, or "f<j>" when unnamed.
 func (d *Dataset) FeatureName(j int) string {
 	if d.Names != nil && j < len(d.Names) {

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"math"
 
+	"repro/internal/core/colmat"
 	"repro/internal/dataset"
 	"repro/internal/kernel"
 	"repro/internal/linalg"
@@ -97,11 +98,23 @@ func (g *Regressor) Predict(x []float64) float64 {
 // (mean + Dot(kx, alpha)), so the batch path is bit-identical to calling
 // Predict row by row.
 func (g *Regressor) PredictBatch(x *linalg.Matrix) []float64 {
-	kx := kernel.CrossGram(g.K, x, g.X)
-	out := make([]float64, x.Rows)
+	return g.PredictBatchInto(x, make([]float64, x.Rows))
+}
+
+// PredictBatchInto is PredictBatch writing into a caller-provided slice
+// of length x.Rows; the cross-Gram scratch is leased from the columnar
+// arena, so a steady-state batch allocates nothing (alloc_test.go pins
+// this at 0 allocs/op).
+func (g *Regressor) PredictBatchInto(x *linalg.Matrix, out []float64) []float64 {
+	if len(out) != x.Rows {
+		panic("gp: PredictBatchInto output length mismatch")
+	}
+	kx := colmat.Get(x.Rows, g.X.Rows)
+	kernel.CrossGramInto(g.K, x, g.X, kx)
 	for i := range out {
 		out[i] = g.mean + linalg.Dot(kx.Row(i), g.alpha)
 	}
+	colmat.Put(kx)
 	return out
 }
 

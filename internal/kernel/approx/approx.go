@@ -35,6 +35,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/core/colmat"
 	"repro/internal/kernel"
 	"repro/internal/linalg"
 )
@@ -333,6 +334,13 @@ func (l *Linear) Score(x []float64) float64 {
 		return s
 	}
 	z := make([]float64, len(l.W))
+	return l.scoreWithScratch(x, z)
+}
+
+// scoreWithScratch is the non-folded score with a caller-provided
+// feature buffer z (len == Map.Dim()), letting batch paths reuse one
+// scratch vector instead of allocating per row.
+func (l *Linear) scoreWithScratch(x, z []float64) float64 {
 	l.Map.Map(x, z)
 	s := l.Bias
 	for j, w := range l.W {
@@ -345,9 +353,34 @@ func (l *Linear) Score(x []float64) float64 {
 // any worker count (the loop is serial — a compiled score is one dot
 // product, too cheap to farm out).
 func (l *Linear) ScoreBatch(x *linalg.Matrix) []float64 {
-	out := make([]float64, x.Rows)
-	for i := range out {
-		out[i] = l.Score(x.Row(i))
+	return l.ScoreBatchInto(x, make([]float64, x.Rows))
+}
+
+// ScoreBatchInto is ScoreBatch writing into a caller-provided slice of
+// length x.Rows. The folded Nyström path needs no scratch at all; the
+// RFF path leases one feature vector from the columnar arena for the
+// whole batch instead of allocating per row, so a steady-state batch
+// allocates nothing (alloc_test.go pins this at 0 allocs/op).
+func (l *Linear) ScoreBatchInto(x *linalg.Matrix, out []float64) []float64 {
+	if len(out) != x.Rows {
+		panic("approx: ScoreBatchInto output length mismatch")
 	}
+	if fold := l.foldedWeights(); fold != nil {
+		ny := l.Map.(*Nystrom)
+		for i := range out {
+			xi := x.Row(i)
+			s := l.Bias
+			for j := range fold {
+				s += fold[j] * ny.K.Eval(xi, ny.Landmarks.Row(j))
+			}
+			out[i] = s
+		}
+		return out
+	}
+	z := colmat.GetVec(len(l.W))
+	for i := range out {
+		out[i] = l.scoreWithScratch(x.Row(i), z.Data)
+	}
+	colmat.PutVec(z)
 	return out
 }

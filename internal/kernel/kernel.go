@@ -102,17 +102,11 @@ func (Sigmoid) Name() string { return "sigmoid" }
 // layout-variability work ([13]); inputs are nonnegative histograms.
 type HistogramIntersection struct{}
 
-// Eval implements Kernel.
+// Eval implements Kernel. The unrolled min-sum keeps the original
+// loop's accumulation order and NaN/tie behavior (linalg.MinSum), so
+// histogram Grams are bit-identical to the pre-unroll implementation.
 func (HistogramIntersection) Eval(a, b []float64) float64 {
-	s := 0.0
-	for i := range a {
-		if a[i] < b[i] {
-			s += a[i]
-		} else {
-			s += b[i]
-		}
-	}
-	return s
+	return linalg.MinSum(a, b)
 }
 
 // Name implements Kernel.
@@ -136,23 +130,47 @@ func QuadFeatureMap(x []float64) []float64 {
 // race-free, and every element is produced by the same expression as the
 // serial loop — the result is bit-identical at any worker count.
 func Gram(k Kernel, x *linalg.Matrix) *linalg.Matrix {
-	n := x.Rows
-	g := linalg.NewMatrix(n, n)
-	parallel.ForN(n, gramCutover, func(lo, hi int) {
-		evals := int64(0)
-		for i := lo; i < hi; i++ {
-			xi := x.Row(i)
-			g.Set(i, i, k.Eval(xi, xi))
-			for j := i + 1; j < n; j++ {
-				v := k.Eval(xi, x.Row(j))
-				g.Set(i, j, v)
-				g.Set(j, i, v)
-			}
-			evals += int64(n - i)
-		}
-		gramCells.Add(evals)
-	})
+	g := linalg.NewMatrix(x.Rows, x.Rows)
+	GramInto(k, x, g)
 	return g
+}
+
+// GramInto computes the Gram matrix of x into g, which must be n×n for
+// n = x.Rows. Every cell is written, so a pooled colmat buffer is a
+// valid destination; the sweep is the Gram sweep exactly, bit-identical
+// at any worker count. The serial path (one worker or a small n) runs
+// without a closure so pooled steady-state callers stay allocation-free.
+func GramInto(k Kernel, x, g *linalg.Matrix) {
+	n := x.Rows
+	if g.Rows != n || g.Cols != n {
+		panic(fmt.Sprintf("kernel: GramInto destination is %dx%d, want %dx%d", g.Rows, g.Cols, n, n))
+	}
+	if parallel.Workers() <= 1 || n < gramCutover {
+		gramRange(k, x, g, 0, n)
+		return
+	}
+	parallel.ForN(n, gramCutover, func(lo, hi int) {
+		gramRange(k, x, g, lo, hi)
+	})
+}
+
+// gramRange fills rows [lo, hi) of the symmetric sweep: each pair
+// {i, j} is evaluated exactly once by the worker owning row min(i, j),
+// which writes both halves — the same expression as the serial loop.
+func gramRange(k Kernel, x, g *linalg.Matrix, lo, hi int) {
+	n := x.Rows
+	evals := int64(0)
+	for i := lo; i < hi; i++ {
+		xi := x.Row(i)
+		g.Set(i, i, k.Eval(xi, xi))
+		for j := i + 1; j < n; j++ {
+			v := k.Eval(xi, x.Row(j))
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+		evals += int64(n - i)
+	}
+	gramCells.Add(evals)
 }
 
 // CrossGram computes K_ij = k(a_i, b_j) between the rows of a and b.
@@ -160,16 +178,39 @@ func Gram(k Kernel, x *linalg.Matrix) *linalg.Matrix {
 // by exactly one worker.
 func CrossGram(k Kernel, a, b *linalg.Matrix) *linalg.Matrix {
 	g := linalg.NewMatrix(a.Rows, b.Rows)
-	parallel.ForN(a.Rows, gramCutover, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				g.Set(i, j, k.Eval(ai, b.Row(j)))
-			}
-		}
-		crossGramCells.Add(int64(hi-lo) * int64(b.Rows))
-	})
+	CrossGramInto(k, a, b, g)
 	return g
+}
+
+// CrossGramInto computes K_ij = k(a_i, b_j) into g, which must be
+// a.Rows × b.Rows. Every cell is written, so a pooled colmat buffer is
+// a valid destination. This is the batch-score hot path: the serial
+// case (one worker or a small batch) runs without a closure, so a
+// steady-state ScoreBatch with pooled buffers performs zero heap
+// allocations. Identical arithmetic to CrossGram at any worker count.
+func CrossGramInto(k Kernel, a, b, g *linalg.Matrix) {
+	if g.Rows != a.Rows || g.Cols != b.Rows {
+		panic(fmt.Sprintf("kernel: CrossGramInto destination is %dx%d, want %dx%d",
+			g.Rows, g.Cols, a.Rows, b.Rows))
+	}
+	if parallel.Workers() <= 1 || a.Rows < gramCutover {
+		crossGramRange(k, a, b, g, 0, a.Rows)
+		return
+	}
+	parallel.ForN(a.Rows, gramCutover, func(lo, hi int) {
+		crossGramRange(k, a, b, g, lo, hi)
+	})
+}
+
+func crossGramRange(k Kernel, a, b, g *linalg.Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := a.Row(i)
+		gi := g.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			gi[j] = k.Eval(ai, b.Row(j))
+		}
+	}
+	crossGramCells.Add(int64(hi-lo) * int64(b.Rows))
 }
 
 // Center double-centers a Gram matrix in feature space:

@@ -114,29 +114,54 @@ func (s *SlidingGram) Append(x []float64) (evicted bool) {
 	if evicted {
 		prior = s.cap - 1
 	}
-	parallel.ForN(prior, gramCutover, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			pi := s.slot(i)
-			v := s.k.Eval(s.samples.Row(pi), xi)
-			s.gram.Set(pi, slot, v)
-			s.gram.Set(slot, pi, v)
-		}
-		incGramCells.Add(int64(hi - lo))
-	})
+	// The serial case calls the row sweep directly — no closure, no
+	// goroutines — so a steady-state Append is allocation-free (the
+	// ring storage never grows after construction; the alloc-regression
+	// gate in alloc_test.go pins this at 0 allocs/op). The parallel
+	// case stripes the identical sweep, bit-identical by construction.
+	if parallel.Workers() <= 1 || prior < gramCutover {
+		s.appendRange(slot, xi, 0, prior)
+	} else {
+		parallel.ForN(prior, gramCutover, func(lo, hi int) {
+			s.appendRange(slot, xi, lo, hi)
+		})
+	}
 	s.gram.Set(slot, slot, s.k.Eval(xi, xi))
 	incGramCells.Inc()
 	incGramAppends.Inc()
 	return evicted
 }
 
+// appendRange evaluates the new sample's kernel row against retained
+// logical indices [lo, hi), writing both symmetric halves.
+func (s *SlidingGram) appendRange(slot int, xi []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		pi := s.slot(i)
+		v := s.k.Eval(s.samples.Row(pi), xi)
+		s.gram.Set(pi, slot, v)
+		s.gram.Set(slot, pi, v)
+	}
+	incGramCells.Add(int64(hi - lo))
+}
+
 // Window materializes the live window as a fresh n×dim matrix in logical
 // order (oldest first) — the sample matrix a refresh trains on.
 func (s *SlidingGram) Window() *linalg.Matrix {
 	out := linalg.NewMatrix(s.n, s.dim)
-	for i := 0; i < s.n; i++ {
-		copy(out.Row(i), s.Sample(i))
-	}
+	s.WindowInto(out)
 	return out
+}
+
+// WindowInto copies the live window into dst (Len()×dim, logical order,
+// oldest first), so refresh loops can reuse a pooled buffer instead of
+// materializing a fresh matrix every cycle.
+func (s *SlidingGram) WindowInto(dst *linalg.Matrix) {
+	if dst.Rows != s.n || dst.Cols != s.dim {
+		panic("kernel: WindowInto destination shape mismatch")
+	}
+	for i := 0; i < s.n; i++ {
+		copy(dst.Row(i), s.Sample(i))
+	}
 }
 
 // Reset empties the window without releasing storage.

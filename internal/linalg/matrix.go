@@ -145,19 +145,34 @@ func (m *Matrix) T() *Matrix {
 // of the serial loop (k strictly ascending for every (i, j)), so the
 // product is bit-identical to the serial path at any worker count.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
+	out := NewMatrix(m.Rows, b.Cols)
+	m.MulInto(b, out)
+	return out
+}
+
+// MulInto computes m * b into out, which must be m.Rows × b.Cols. Any
+// prior contents of out are overwritten (the accumulator sweep zeroes
+// first), so a pooled colmat buffer is a valid destination. The
+// arithmetic is the Mul path exactly — same striping, same blocking,
+// same per-element accumulation order — so MulInto(b, out) is
+// bit-identical to Mul(b) at any worker count.
+func (m *Matrix) MulInto(b, out *Matrix) {
 	if m.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
+	if out.Rows != m.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: MulInto destination is %dx%d, want %dx%d",
+			out.Rows, out.Cols, m.Rows, b.Cols))
+	}
 	mulCalls.Inc()
-	out := NewMatrix(m.Rows, b.Cols)
+	clear(out.Data)
 	if m.Rows*m.Cols*b.Cols < mulParallelFlops || parallel.Workers() <= 1 {
 		m.mulSerialInto(b, out, 0, m.Rows)
-		return out
+		return
 	}
 	parallel.For(m.Rows, func(lo, hi int) {
 		m.mulBlockedInto(b, out, lo, hi)
 	})
-	return out
 }
 
 // mulSerialInto is the original row-accumulator matmul over rows [lo, hi).
@@ -169,10 +184,7 @@ func (m *Matrix) mulSerialInto(b, out *Matrix, lo, hi int) {
 			if mik == 0 {
 				continue
 			}
-			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bkj := range bk {
-				oi[j] += mik * bkj
-			}
+			addScaled(oi, b.Data[k*b.Cols:(k+1)*b.Cols], mik)
 		}
 	}
 }
@@ -200,10 +212,7 @@ func (m *Matrix) mulBlockedInto(b, out *Matrix, lo, hi int) {
 					if mik == 0 {
 						continue
 					}
-					bk := b.Data[k*b.Cols+jb : k*b.Cols+jEnd]
-					for j, bkj := range bk {
-						oi[j] += mik * bkj
-					}
+					addScaled(oi, b.Data[k*b.Cols+jb:k*b.Cols+jEnd], mik)
 				}
 			}
 		}
@@ -212,22 +221,36 @@ func (m *Matrix) mulBlockedInto(b, out *Matrix, lo, hi int) {
 
 // MulVec returns m * v for a vector v of length m.Cols.
 func (m *Matrix) MulVec(v []float64) []float64 {
+	out := make([]float64, m.Rows)
+	m.MulVecInto(v, out)
+	return out
+}
+
+// MulVecInto computes m * v into out (length m.Rows), overwriting it.
+// The serial path runs without a closure so steady-state callers with a
+// reused destination stay allocation-free; the parallel path stripes
+// rows exactly as MulVec always has, bit-identical at any worker count.
+func (m *Matrix) MulVecInto(v, out []float64) {
 	if m.Cols != len(v) {
 		panic(fmt.Sprintf("linalg: MulVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
 	}
+	if len(out) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVecInto destination length %d, want %d", len(out), m.Rows))
+	}
 	mulVecCalls.Inc()
-	out := make([]float64, m.Rows)
-	serial := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = Dot(m.Row(i), v)
-		}
+	if m.Rows*m.Cols < vecParallelFlops || parallel.Workers() <= 1 {
+		m.mulVecRange(v, out, 0, m.Rows)
+		return
 	}
-	if m.Rows*m.Cols < vecParallelFlops {
-		serial(0, m.Rows)
-		return out
+	parallel.For(m.Rows, func(lo, hi int) {
+		m.mulVecRange(v, out, lo, hi)
+	})
+}
+
+func (m *Matrix) mulVecRange(v, out []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = Dot(m.Row(i), v)
 	}
-	parallel.For(m.Rows, serial)
-	return out
 }
 
 // Add returns m + b element-wise.
@@ -337,45 +360,39 @@ func (m *Matrix) String() string {
 	return s
 }
 
-// Dot returns the inner product of a and b.
+// Dot returns the inner product of a and b. The 4-wide unrolled body
+// keeps the single-accumulator order of a plain loop (see unroll.go),
+// so results are bit-identical to the pre-unroll implementation.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	s := 0.0
-	for i, v := range a {
-		s += v * b[i]
-	}
-	return s
+	return dotUnrolled(a, b)
 }
 
 // Norm2 returns the Euclidean norm of v.
 func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
 
-// Dist2 returns the squared Euclidean distance between a and b.
+// Dist2 returns the squared Euclidean distance between a and b, with
+// the same accumulation order as a plain loop (see unroll.go).
 func Dist2(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: Dist2 length mismatch %d vs %d", len(a), len(b)))
 	}
-	s := 0.0
-	for i, v := range a {
-		d := v - b[i]
-		s += d * d
-	}
-	return s
+	return dist2Unrolled(a, b)
 }
 
 // Dist returns the Euclidean distance between a and b.
 func Dist(a, b []float64) float64 { return math.Sqrt(Dist2(a, b)) }
 
-// AXPY computes y += alpha*x in place.
+// AXPY computes y += alpha*x in place. Each element receives exactly
+// one fused update, so the unrolled body is bit-identical to the plain
+// loop.
 func AXPY(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("linalg: AXPY length mismatch")
 	}
-	for i, v := range x {
-		y[i] += alpha * v
-	}
+	addScaled(y, x, alpha)
 }
 
 // ScaleVec multiplies v by s in place.

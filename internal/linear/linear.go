@@ -94,9 +94,31 @@ func (r *Regression) Predict(x []float64) float64 {
 // the worker pool. Each row is scored by the same expression as Predict,
 // so the result is bit-identical at any worker count.
 func (r *Regression) PredictBatch(x *linalg.Matrix) []float64 {
-	return parallel.MapN(x.Rows, batchCutover, func(i int) float64 {
-		return r.Predict(x.Row(i))
-	})
+	return r.PredictBatchInto(x, make([]float64, x.Rows))
+}
+
+// PredictBatchInto is PredictBatch writing into a caller-provided slice
+// of length x.Rows. The serial path calls the scoring loop directly —
+// no closure, no goroutines — so a steady-state batch allocates nothing
+// (alloc_test.go pins this at 0 allocs/op).
+func (r *Regression) PredictBatchInto(x *linalg.Matrix, out []float64) []float64 {
+	if len(out) != x.Rows {
+		panic("linear: PredictBatchInto output length mismatch")
+	}
+	if parallel.Workers() <= 1 || x.Rows < batchCutover {
+		r.predictRange(x, out, 0, x.Rows)
+	} else {
+		parallel.ForN(x.Rows, batchCutover, func(lo, hi int) {
+			r.predictRange(x, out, lo, hi)
+		})
+	}
+	return out
+}
+
+func (r *Regression) predictRange(x *linalg.Matrix, out []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = r.Predict(x.Row(i))
+	}
 }
 
 // batchCutover keeps small prediction batches serial: a single linear or

@@ -88,9 +88,23 @@ func (m *ApproxModel) ScoreRow(x []float64) float64 {
 
 // ScoreBatch scores every row of x, bit-identical to ScoreRow per row.
 func (m *ApproxModel) ScoreBatch(x *linalg.Matrix) []float64 {
-	out := make([]float64, x.Rows)
-	for i := range out {
-		out[i] = m.ScoreRow(x.Row(i))
+	return m.ScoreBatchInto(x, make([]float64, x.Rows))
+}
+
+// ScoreBatchInto is ScoreBatch writing into a caller-provided slice of
+// length x.Rows, delegating the raw scores to the compiled scorer's
+// zero-alloc batch path before applying the source kind's output
+// mapping in place.
+func (m *ApproxModel) ScoreBatchInto(x *linalg.Matrix, out []float64) []float64 {
+	out = m.Lin.ScoreBatchInto(x, out)
+	if m.SourceKind == KindSVC {
+		for i, s := range out {
+			if s >= 0 {
+				out[i] = m.Classes[1]
+			} else {
+				out[i] = m.Classes[0]
+			}
+		}
 	}
 	return out
 }

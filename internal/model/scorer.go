@@ -22,6 +22,12 @@ import (
 type Scorer interface {
 	ScoreRow(x []float64) float64
 	ScoreBatch(x *linalg.Matrix) []float64
+	// ScoreBatchInto is ScoreBatch writing into a caller-provided slice
+	// of length x.Rows (panics on length mismatch) and returning it. It
+	// is the zero-allocation serving path: every model kind routes
+	// through pooled columnar scratch, so a steady-state call allocates
+	// nothing (alloc_test.go pins this at 0 allocs/op).
+	ScoreBatchInto(x *linalg.Matrix, out []float64) []float64
 	// Dim returns the expected input width (0 when the model accepts any
 	// width, e.g. a rule set with no conditions).
 	Dim() int
@@ -125,31 +131,46 @@ type approxScorer struct{ m *ApproxModel }
 
 func (s approxScorer) ScoreRow(x []float64) float64          { return s.m.ScoreRow(x) }
 func (s approxScorer) ScoreBatch(x *linalg.Matrix) []float64 { return s.m.ScoreBatch(x) }
-func (s approxScorer) Dim() int                              { return s.m.Lin.Map.InputDim() }
+func (s approxScorer) ScoreBatchInto(x *linalg.Matrix, out []float64) []float64 {
+	return s.m.ScoreBatchInto(x, out)
+}
+func (s approxScorer) Dim() int { return s.m.Lin.Map.InputDim() }
 
 type svcScorer struct{ m *svm.SVC }
 
 func (s svcScorer) ScoreRow(x []float64) float64          { return s.m.Predict(x) }
 func (s svcScorer) ScoreBatch(x *linalg.Matrix) []float64 { return s.m.PredictBatch(x) }
-func (s svcScorer) Dim() int                              { return s.m.SV.Cols }
+func (s svcScorer) ScoreBatchInto(x *linalg.Matrix, out []float64) []float64 {
+	return s.m.PredictBatchInto(x, out)
+}
+func (s svcScorer) Dim() int { return s.m.SV.Cols }
 
 type oneClassScorer struct{ m *svm.OneClass }
 
 func (s oneClassScorer) ScoreRow(x []float64) float64          { return s.m.Decision(x) }
 func (s oneClassScorer) ScoreBatch(x *linalg.Matrix) []float64 { return s.m.DecisionBatch(x) }
-func (s oneClassScorer) Dim() int                              { return s.m.SV.Cols }
+func (s oneClassScorer) ScoreBatchInto(x *linalg.Matrix, out []float64) []float64 {
+	return s.m.DecisionBatchInto(x, out)
+}
+func (s oneClassScorer) Dim() int { return s.m.SV.Cols }
 
 type ridgeScorer struct{ m *linear.Regression }
 
 func (s ridgeScorer) ScoreRow(x []float64) float64          { return s.m.Predict(x) }
 func (s ridgeScorer) ScoreBatch(x *linalg.Matrix) []float64 { return s.m.PredictBatch(x) }
-func (s ridgeScorer) Dim() int                              { return len(s.m.W) }
+func (s ridgeScorer) ScoreBatchInto(x *linalg.Matrix, out []float64) []float64 {
+	return s.m.PredictBatchInto(x, out)
+}
+func (s ridgeScorer) Dim() int { return len(s.m.W) }
 
 type gpScorer struct{ m *gp.Regressor }
 
 func (s gpScorer) ScoreRow(x []float64) float64          { return s.m.Predict(x) }
 func (s gpScorer) ScoreBatch(x *linalg.Matrix) []float64 { return s.m.PredictBatch(x) }
-func (s gpScorer) Dim() int                              { return s.m.X.Cols }
+func (s gpScorer) ScoreBatchInto(x *linalg.Matrix, out []float64) []float64 {
+	return s.m.PredictBatchInto(x, out)
+}
+func (s gpScorer) Dim() int { return s.m.X.Cols }
 
 type treeScorer struct {
 	m   *tree.Tree
@@ -158,7 +179,10 @@ type treeScorer struct {
 
 func (s treeScorer) ScoreRow(x []float64) float64          { return s.m.Predict(x) }
 func (s treeScorer) ScoreBatch(x *linalg.Matrix) []float64 { return s.m.PredictBatch(x) }
-func (s treeScorer) Dim() int                              { return s.dim }
+func (s treeScorer) ScoreBatchInto(x *linalg.Matrix, out []float64) []float64 {
+	return s.m.PredictBatchInto(x, out)
+}
+func (s treeScorer) Dim() int { return s.dim }
 
 type ruleSetScorer struct {
 	m   *rules.RuleSet
@@ -167,4 +191,7 @@ type ruleSetScorer struct {
 
 func (s ruleSetScorer) ScoreRow(x []float64) float64          { return s.m.Predict(x) }
 func (s ruleSetScorer) ScoreBatch(x *linalg.Matrix) []float64 { return s.m.PredictBatch(x) }
-func (s ruleSetScorer) Dim() int                              { return s.dim }
+func (s ruleSetScorer) ScoreBatchInto(x *linalg.Matrix, out []float64) []float64 {
+	return s.m.PredictBatchInto(x, out)
+}
+func (s ruleSetScorer) Dim() int { return s.dim }

@@ -73,14 +73,18 @@ func FitCCA(x, y *linalg.Matrix, k int, reg float64) (*CCA, error) {
 		B:    linalg.NewMatrix(dy, k),
 		Corr: make([]float64, k),
 	}
+	uc := make([]float64, u.Rows) // scratch columns reused across components
+	vc := make([]float64, v.Rows)
 	for c := 0; c < k; c++ {
 		corr := s[c]
 		if corr > 1 {
 			corr = 1
 		}
 		cca.Corr[c] = corr
-		a := wx.MulVec(u.Col(c))
-		b := wy.MulVec(v.Col(c))
+		u.ColInto(c, uc)
+		v.ColInto(c, vc)
+		a := wx.MulVec(uc)
+		b := wy.MulVec(vc)
 		for j := 0; j < dx; j++ {
 			cca.A.Set(j, c, a[j])
 		}

@@ -55,12 +55,13 @@ func FitPLS(x, y *linalg.Matrix, k int, maxIters int) (*PLS, error) {
 		B: make([]float64, k),
 	}
 
+	uBuf := make([]float64, n) // scratch for the NIPALS seed column, reused per component
 	for c := 0; c < k; c++ {
 		// NIPALS inner loop: u = first Y column; iterate
 		// w ∝ Eᵀu, t = Ew, q ∝ Fᵀt, u = Fq.
-		u := f.Col(0)
+		f.ColInto(0, uBuf)
+		u := uBuf
 		if norm(u) < 1e-12 {
-			u = make([]float64, n)
 			for i := range u {
 				u[i] = 1
 			}

@@ -272,10 +272,13 @@ func (sm *servedModel) scoreBatch(ctx context.Context, x *linalg.Matrix) ([]floa
 		return nil, err
 	}
 	if sm.kx == nil || sm.cache == nil {
+		// The response slice is the only allocation: the scorer's Into
+		// path runs on pooled columnar scratch, so a steady-state batch
+		// costs O(1) allocations regardless of basis size.
 		if sm.compiled {
 			approxFastPath.Add(int64(x.Rows))
 		}
-		return sm.scorer.ScoreBatch(x), nil
+		return sm.scorer.ScoreBatchInto(x, make([]float64, x.Rows)), nil
 	}
 	n := x.Rows
 	rows := make([][]float64, n)

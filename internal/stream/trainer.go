@@ -3,6 +3,7 @@ package stream
 import (
 	"errors"
 
+	"repro/internal/core/colmat"
 	"repro/internal/kernel"
 	"repro/internal/linalg"
 	"repro/internal/svm"
@@ -107,7 +108,13 @@ func (t *Trainer) Refresh() (m *svm.OneClass, info svm.SolveInfo, fellBack bool,
 	if t.sg.Len() == 0 {
 		return nil, svm.SolveInfo{}, false, errors.New("stream: refresh on an empty window")
 	}
-	win := t.sg.Window()
+	// The window matrix is leased from the columnar arena: the solver
+	// copies support-vector rows into the model it returns, so nothing
+	// retains the lease past this call and the refresh loop stops paying
+	// an O(window·dim) allocation per cycle.
+	win := colmat.Get(t.sg.Len(), t.cfg.Dim)
+	defer colmat.Put(win)
+	t.sg.WindowInto(win)
 	cfg := svm.OneClassConfig{Nu: t.cfg.Nu, Tol: t.cfg.Tol, MaxIters: t.cfg.MaxIters}
 	m, info, err = svm.FitOneClassPrecomputed(win, t.cfg.Kernel, t.sg.At, cfg, t.prev)
 	if err != nil {

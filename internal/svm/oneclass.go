@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"repro/internal/core/colmat"
 	"repro/internal/kernel"
 	"repro/internal/linalg"
 )
@@ -64,8 +65,19 @@ func (m *OneClass) Decision(x []float64) float64 {
 // Each score is accumulated in the same order as Decision, so the batch
 // path is bit-identical to scoring the rows one at a time.
 func (m *OneClass) DecisionBatch(x *linalg.Matrix) []float64 {
-	g := kernel.CrossGram(m.K, x, m.SV)
-	out := make([]float64, x.Rows)
+	return m.DecisionBatchInto(x, make([]float64, x.Rows))
+}
+
+// DecisionBatchInto is DecisionBatch writing into a caller-provided
+// slice of length x.Rows; the cross-Gram scratch is leased from the
+// columnar arena, so a steady-state batch allocates nothing
+// (alloc_test.go pins this at 0 allocs/op).
+func (m *OneClass) DecisionBatchInto(x *linalg.Matrix, out []float64) []float64 {
+	if len(out) != x.Rows {
+		panic("svm: DecisionBatchInto output length mismatch")
+	}
+	g := colmat.Get(x.Rows, m.SV.Rows)
+	kernel.CrossGramInto(m.K, x, m.SV, g)
 	for i := range out {
 		s := -m.Rho
 		row := g.Row(i)
@@ -74,6 +86,7 @@ func (m *OneClass) DecisionBatch(x *linalg.Matrix) []float64 {
 		}
 		out[i] = s
 	}
+	colmat.Put(g)
 	return out
 }
 

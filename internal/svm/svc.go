@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/core/colmat"
 	"repro/internal/dataset"
 	"repro/internal/kernel"
 	"repro/internal/linalg"
@@ -187,8 +188,19 @@ func (m *SVC) Decision(x []float64) float64 {
 // Each margin is accumulated in the same order as Decision, so the batch
 // path is bit-identical to scoring the rows one at a time.
 func (m *SVC) DecisionBatch(x *linalg.Matrix) []float64 {
-	g := kernel.CrossGram(m.K, x, m.SV)
-	out := make([]float64, x.Rows)
+	return m.DecisionBatchInto(x, make([]float64, x.Rows))
+}
+
+// DecisionBatchInto is DecisionBatch writing into a caller-provided
+// slice of length x.Rows; the cross-Gram scratch is leased from the
+// columnar arena, so a steady-state batch allocates nothing
+// (alloc_test.go pins this at 0 allocs/op).
+func (m *SVC) DecisionBatchInto(x *linalg.Matrix, out []float64) []float64 {
+	if len(out) != x.Rows {
+		panic("svm: DecisionBatchInto output length mismatch")
+	}
+	g := colmat.Get(x.Rows, m.SV.Rows)
+	kernel.CrossGramInto(m.K, x, m.SV, g)
 	for i := range out {
 		s := m.B
 		row := g.Row(i)
@@ -197,12 +209,18 @@ func (m *SVC) DecisionBatch(x *linalg.Matrix) []float64 {
 		}
 		out[i] = s
 	}
+	colmat.Put(g)
 	return out
 }
 
 // PredictBatch returns Predict for every row of x via DecisionBatch.
 func (m *SVC) PredictBatch(x *linalg.Matrix) []float64 {
-	out := m.DecisionBatch(x)
+	return m.PredictBatchInto(x, make([]float64, x.Rows))
+}
+
+// PredictBatchInto is PredictBatch writing into a caller-provided slice.
+func (m *SVC) PredictBatchInto(x *linalg.Matrix, out []float64) []float64 {
+	out = m.DecisionBatchInto(x, out)
 	for i, s := range out {
 		if s >= 0 {
 			out[i] = m.classes[1]

@@ -60,8 +60,7 @@ func FitPCA(x *linalg.Matrix, k int) (*PCA, error) {
 	comp := linalg.NewMatrix(k, d)
 	variance := make([]float64, k)
 	for c := 0; c < k; c++ {
-		col := vecs.Col(c)
-		copy(comp.Row(c), col)
+		vecs.ColInto(c, comp.Row(c))
 		v := vals[c]
 		if v < 0 {
 			v = 0

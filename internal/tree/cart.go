@@ -275,9 +275,35 @@ func (t *Tree) PredictAll(d *dataset.Dataset) []float64 {
 // the worker pool. Routing is read-only on the fitted tree, so the result
 // is bit-identical at any worker count.
 func (t *Tree) PredictBatch(x *linalg.Matrix) []float64 {
-	return parallel.MapN(x.Rows, 256, func(i int) float64 {
-		return t.Predict(x.Row(i))
-	})
+	return t.PredictBatchInto(x, make([]float64, x.Rows))
+}
+
+// PredictBatchInto is PredictBatch writing into a caller-provided slice
+// of length x.Rows. The serial path calls the routing loop directly —
+// no closure, no goroutines — so a steady-state batch allocates nothing
+// (alloc_test.go pins this at 0 allocs/op).
+func (t *Tree) PredictBatchInto(x *linalg.Matrix, out []float64) []float64 {
+	if len(out) != x.Rows {
+		panic("tree: PredictBatchInto output length mismatch")
+	}
+	if parallel.Workers() <= 1 || x.Rows < batchCutover {
+		t.predictRange(x, out, 0, x.Rows)
+	} else {
+		parallel.ForN(x.Rows, batchCutover, func(lo, hi int) {
+			t.predictRange(x, out, lo, hi)
+		})
+	}
+	return out
+}
+
+// batchCutover keeps small prediction batches serial: routing a few
+// hundred rows is too cheap to amortize goroutine startup.
+const batchCutover = 256
+
+func (t *Tree) predictRange(x *linalg.Matrix, out []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = t.Predict(x.Row(i))
+	}
 }
 
 // Validate checks the structural partition invariant of a fitted (or

@@ -25,8 +25,15 @@ for f in "$BASELINE" "$CURRENT"; do
 done
 
 # Both files are the flat JSON arrays scripts/bench.sh emits: one object
-# per line with "name" and "ns_per_op" fields, which awk can pair up
-# without a JSON parser.
+# per line with "name", "ns_per_op", and "allocs_per_op" fields, which
+# awk can pair up without a JSON parser. Two ratchets per benchmark:
+# ns/op beyond THRESHOLD x baseline warns, and allocs/op above the
+# baseline warns. A zero-alloc baseline is strict — an allocation
+# creeping into a path the columnar core keeps at zero is a structural
+# regression, not machine noise. Nonzero baselines get max(1, 2%) slack:
+# the concurrent throughput benchmarks jitter by a few allocs with
+# goroutine scheduling, and the zero-floor paths are gated hard by
+# TestAllocFloor anyway.
 awk -v threshold="$THRESHOLD" '
 function field(line, key,    re, s) {
 	re = "\"" key "\": *[^,}]*"
@@ -38,18 +45,22 @@ function field(line, key,    re, s) {
 }
 FNR == NR {
 	name = field($0, "name")
-	if (name != "") base[name] = field($0, "ns_per_op")
+	if (name != "") {
+		base[name] = field($0, "ns_per_op")
+		baseAllocs[name] = field($0, "allocs_per_op")
+	}
 	next
 }
 {
 	name = field($0, "name")
 	if (name == "") next
 	cur[name] = field($0, "ns_per_op")
+	curAllocs[name] = field($0, "allocs_per_op")
 	order[++n] = name
 }
 END {
-	printf "%-70s %14s %14s %8s\n", "benchmark", "baseline_ns", "current_ns", "ratio"
-	worst = 0; regressions = 0; missing = 0
+	printf "%-70s %14s %14s %8s %12s\n", "benchmark", "baseline_ns", "current_ns", "ratio", "allocs"
+	worst = 0; regressions = 0; missing = 0; allocRegressions = 0
 	for (i = 1; i <= n; i++) {
 		name = order[i]
 		if (!(name in base)) { missing++; continue }
@@ -58,7 +69,18 @@ END {
 		flag = ""
 		if (r > threshold) { flag = "  <-- REGRESSION"; regressions++ }
 		if (r > worst) worst = r
-		printf "%-70s %14d %14d %7.2fx%s\n", name, base[name], cur[name], r, flag
+		allocCol = ""
+		if (baseAllocs[name] != "" && baseAllocs[name] != "null" && \
+		    curAllocs[name] != "" && curAllocs[name] != "null") {
+			allocCol = sprintf("%s->%s", baseAllocs[name], curAllocs[name])
+			ba = baseAllocs[name] + 0
+			slack = (ba == 0) ? 0 : (ba * 0.02 > 1 ? ba * 0.02 : 1)
+			if (curAllocs[name] + 0 > ba + slack) {
+				flag = flag "  <-- ALLOCS UP"
+				allocRegressions++
+			}
+		}
+		printf "%-70s %14d %14d %7.2fx %12s%s\n", name, base[name], cur[name], r, allocCol, flag
 	}
 	printf "\n"
 	if (missing) printf "%d benchmarks have no baseline entry (new since BENCH_baseline.json)\n", missing
@@ -67,6 +89,12 @@ END {
 		printf "If intentional, refresh the baseline: BENCH_OUT=BENCH_baseline.json scripts/bench.sh\n"
 	} else {
 		printf "no benchmark regressed beyond %.2fx the baseline (worst %.2fx)\n", threshold, worst
+	}
+	if (allocRegressions) {
+		printf "WARNING: %d benchmarks allocate more per op than the baseline\n", allocRegressions
+		printf "Zero-alloc paths are additionally gated hard by TestAllocFloor (scripts/alloc_floor.txt)\n"
+	} else {
+		printf "no benchmark allocates more per op than the baseline\n"
 	}
 }
 ' "$BASELINE" "$CURRENT" | tee "$OUT"

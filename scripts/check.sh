@@ -38,4 +38,19 @@ for w in 1 2 8; do
 	REPRO_WORKERS="$w" "$GO" test -race -count=1 -run 'TestClusterChaosStorm' .
 done
 
+# The columnar arena's aliasing property (a buffer re-leased under a
+# different shape never aliases live data) must hold at every pool
+# width; the hammer leases/dirties/returns from every worker.
+echo "== colmat alias hammer at 1/2/8 workers (race) =="
+for w in 1 2 8; do
+	echo "-- REPRO_WORKERS=$w"
+	REPRO_WORKERS="$w" "$GO" test -race -count=1 -run 'TestAliasHammer|TestShapeIsolation' ./internal/core/colmat/
+done
+
+# Allocation floors run WITHOUT -race: the race detector instruments
+# allocation sites and would report counts the floors were never set
+# against (alloc_test.go skips itself under -race for the same reason).
+echo "== alloc gate (no race) =="
+"$GO" test -count=1 -run 'TestAllocFloor' .
+
 echo "check: OK"
