@@ -2,7 +2,7 @@
 # plus the full suite under the race detector (see scripts/check.sh).
 # `make ci` is everything the GitHub workflow runs, locally.
 
-.PHONY: build test check bench smoke cluster-smoke stream-smoke fuzz cover conformance-slow ci
+.PHONY: build test check bench smoke cluster-smoke stream-smoke datasets-smoke fuzz cover conformance-slow ci
 
 build:
 	go build ./...
@@ -37,8 +37,14 @@ cluster-smoke:
 stream-smoke:
 	./scripts/stream_smoke.sh
 
+# Benchmark-dataset export end to end: fixed-seed export, payload
+# checksums vs scripts/datasets_checksums.txt, byte-identical re-export,
+# cards with seed + repro command (see scripts/datasets_smoke.sh).
+datasets-smoke:
+	./scripts/datasets_smoke.sh
+
 # Bounded fuzz sweep over the untrusted-input decoders (artifact decode,
-# predict handler); FUZZTIME=2m make fuzz for a longer run.
+# predict handler, dataset decode); FUZZTIME=2m make fuzz for a longer run.
 fuzz:
 	./scripts/fuzz.sh
 
@@ -62,4 +68,5 @@ ci:
 	./scripts/serve_smoke.sh
 	./scripts/cluster_smoke.sh
 	./scripts/stream_smoke.sh
+	./scripts/datasets_smoke.sh
 	./scripts/fuzz.sh

@@ -9,7 +9,13 @@
 //	        [-approx rff:D|nystrom:m] <experiment>
 //
 // Experiments: fig3, fig5, fig7, table1, fig9, fig10, fig11, fig12, sec2,
-// models, or "all".
+// mapred, models, or "all".
+//
+// The "datasets" subcommand exports each substrate as a versioned,
+// seeded, checksummed benchmark dataset plus a markdown card (see
+// internal/datasets):
+//
+//	edamine [-seed N] [-quick] datasets [-out dir] [-only name]
 //
 // The "models" experiment trains one model of every persistable kind
 // (see internal/model): with -save-model DIR it writes versioned
@@ -36,6 +42,7 @@ import (
 
 	"repro/internal/apps/costred"
 	"repro/internal/apps/dstc"
+	"repro/internal/apps/mapred"
 	"repro/internal/apps/modelzoo"
 	"repro/internal/apps/patterns"
 	"repro/internal/apps/returns"
@@ -43,6 +50,7 @@ import (
 	"repro/internal/apps/template"
 	"repro/internal/apps/testsel"
 	"repro/internal/apps/varpred"
+	"repro/internal/datasets"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -112,6 +120,9 @@ func experiments() []experiment {
 			return costred.Run(costred.Config{Seed: *seed,
 				Phase1Size: scale(200000, 1000000), Phase2Size: scale(100000, 500000)})
 		}},
+		{"mapred", "Map regression — per-tile variability/hotspot maps from layout features", func() (fmt.Stringer, error) {
+			return mapred.Run(mapred.Config{Seed: *seed, Windows: scale(24, 60)})
+		}},
 		{"sec2", "Section 2.4 — five regressor families (Fmax-style task)", func() (fmt.Stringer, error) {
 			return survey.Sec2Regressors(*seed, scale(150, 400))
 		}},
@@ -132,10 +143,13 @@ func experiments() []experiment {
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: edamine [-seed N] [-quick] [-manifest out.json] [-cpuprofile f] [-memprofile f] [-trace f] <experiment|all>\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: edamine [-seed N] [-quick] [-manifest out.json] [-cpuprofile f] [-memprofile f] [-trace f] <experiment|all>\n"+
+			"       edamine [-seed N] [-quick] datasets [-out dir] [-only name]\nexperiments:\n")
 		for _, e := range experiments() {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.id, e.title)
 		}
+		fmt.Fprintf(os.Stderr, "  %-8s export versioned benchmark datasets (%s)\n",
+			"datasets", strings.Join(datasets.Names(), ", "))
 	}
 	flag.Parse()
 	if *version {
@@ -149,7 +163,7 @@ func main() {
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 || (flag.NArg() > 1 && flag.Arg(0) != "datasets") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -172,6 +186,24 @@ func main() {
 	man.FaultSites = fault.ActiveSites()
 
 	want := flag.Arg(0)
+	if want == "datasets" {
+		start := time.Now()
+		if err := runDatasets(flag.Args()[1:]); err != nil {
+			stopProfiles() //nolint:errcheck — already exiting on a run error
+			fatal(err)
+		}
+		man.AddStage("datasets", time.Since(start))
+		if err := stopProfiles(); err != nil {
+			fatal(err)
+		}
+		man.Finish()
+		if *manifest != "" {
+			if err := man.WriteFile(*manifest); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
 	ran := false
 	for _, e := range experiments() {
 		if want != "all" && want != e.id {
@@ -205,6 +237,37 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runDatasets implements the "datasets" subcommand: build each (or one)
+// benchmark dataset at the global seed/scale and write the artifact plus
+// its card under -out. The bytes are a pure function of the seed, so CI
+// asserts the printed checksums against committed expectations.
+func runDatasets(args []string) error {
+	fs := flag.NewFlagSet("datasets", flag.ExitOnError)
+	out := fs.String("out", "datasets-out", "directory for <name>.json artifacts and <name>.card.md cards")
+	only := fs.String("only", "", "export a single dataset by name (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := datasets.Names()
+	if *only != "" {
+		names = []string{*only}
+	}
+	opt := datasets.Options{Seed: *seed, Quick: *quick}
+	for _, name := range names {
+		d, err := datasets.Build(name, opt)
+		if err != nil {
+			return err
+		}
+		env, err := d.Save(*out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d rows x %d cols, sha256 %s -> %s/%s.json (+card)\n",
+			name, env.Rows, env.Cols, env.Checksum, *out, name)
+	}
+	return nil
 }
 
 func fatal(err error) {

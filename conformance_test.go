@@ -41,7 +41,8 @@ func TestConformanceRegistryCoverage(t *testing.T) {
 		"gp", "tree", "rules/cn2sd",
 		"svm/svc-approx", "svm/oneclass-approx", "gp-approx"}
 	wantOther := []string{"knn", "bayes/naive", "cluster/kmeans", "neural/mlp",
-		"semisup/labelprop", "imbalance/smote", "multivar/pls", "core/colmat"}
+		"semisup/labelprop", "imbalance/smote", "multivar/pls", "core/colmat",
+		"maps", "isa/stress"}
 	for _, name := range wantPersisted {
 		c, ok := testkit.Lookup(name)
 		if !ok {

@@ -1,0 +1,141 @@
+// Package mapred implements the spatial map-regression benchmark task:
+// predict per-tile variability/hotspot maps of layout windows from
+// mask-only tile features, replacing the golden lithography simulation
+// tile by tile. It is the CircuitNet-style 2D-map counterpart of the
+// varpred window classifier — same substrate, finer-grained target —
+// and exercises the internal/maps workload end to end through two
+// regressors (ridge, GP) and the SVC hotspot classifier, reporting
+// map-level metrics for each.
+package mapred
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/maps"
+	"repro/internal/obs"
+)
+
+var (
+	mrWindows   = obs.GetCounter("mapred.windows_labeled")
+	mrTrainTime = obs.GetHistogram("mapred.train_ns")
+)
+
+// Config controls the experiment.
+type Config struct {
+	Seed    int64
+	Windows int     // labeled windows, default 60
+	Frac    float64 // train fraction of the window-level split, default 0.7
+	Label   maps.LabelConfig
+}
+
+func (c *Config) defaults() {
+	if c.Windows <= 0 {
+		c.Windows = 60
+	}
+	if c.Frac <= 0 || c.Frac >= 1 {
+		c.Frac = 0.7
+	}
+	c.Label.Defaults()
+}
+
+// LearnerResult holds the map-level metrics of one learner.
+type LearnerResult struct {
+	Kind      maps.ModelKind
+	RMSE      float64 // per-tile RMSE vs the golden weak-fraction map (NaN-free; 0 means skipped)
+	Precision float64 // hotspot precision at the model's natural threshold
+	Recall    float64 // hotspot recall at the model's natural threshold
+	TrainMS   float64
+}
+
+// Result is the experiment output.
+type Result struct {
+	Windows    int
+	TrainWins  int
+	TestWins   int
+	TilesTrain int
+	Grid       int
+	BaseRMSE   float64 // predict-zero baseline on the test maps
+	HotFrac    float64 // fraction of test tiles that are true hotspots
+	Learners   []LearnerResult
+}
+
+// String renders the result for the edamine console.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "map regression: %d windows (%d train / %d test), %dx%d tile grid, %d training tiles\n",
+		r.Windows, r.TrainWins, r.TestWins, r.Grid, r.Grid, r.TilesTrain)
+	fmt.Fprintf(&b, "  test hotspot fraction %.3f, predict-zero baseline RMSE %.4f\n", r.HotFrac, r.BaseRMSE)
+	for _, l := range r.Learners {
+		fmt.Fprintf(&b, "  %-5s  RMSE %.4f  hotspot P %.3f R %.3f  (train %.1f ms)\n",
+			l.Kind, l.RMSE, l.Precision, l.Recall, l.TrainMS)
+	}
+	return b.String()
+}
+
+// Run labels windows with the golden model, splits at window level,
+// trains ridge + GP regressors and the SVC hotspot classifier on tile
+// features, and scores the predicted maps against the golden maps.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	samples, err := maps.BuildSamples(cfg.Seed, cfg.Windows, cfg.Label)
+	if err != nil {
+		return nil, err
+	}
+	mrWindows.Add(int64(len(samples)))
+	train, test := maps.SplitSamples(cfg.Seed+1, samples, cfg.Frac)
+	td, err := maps.TileDataset(train, cfg.Label)
+	if err != nil {
+		return nil, err
+	}
+
+	truth := make([]*maps.TileMap, len(test))
+	hot, tiles := 0, 0
+	for i, s := range test {
+		truth[i] = s.Weak
+		for _, v := range s.Weak.Vals {
+			if v >= cfg.Label.HotWeak {
+				hot++
+			}
+			tiles++
+		}
+	}
+	zero := make([]*maps.TileMap, len(test))
+	for i := range zero {
+		zero[i] = maps.NewTileMap(cfg.Label.Grid())
+	}
+
+	res := &Result{
+		Windows: len(samples), TrainWins: len(train), TestWins: len(test),
+		TilesTrain: td.Len(), Grid: cfg.Label.Grid(),
+		BaseRMSE: maps.MapRMSE(zero, truth),
+		HotFrac:  float64(hot) / float64(tiles),
+	}
+
+	for _, kind := range []maps.ModelKind{maps.KindRidge, maps.KindGP, maps.KindSVC} {
+		t0 := time.Now()
+		m, err := maps.FitMapModel(td, maps.FitConfig{Kind: kind, Label: cfg.Label, Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("mapred: fit %s: %w", kind, err)
+		}
+		dt := time.Since(t0)
+		mrTrainTime.Observe(dt.Nanoseconds())
+
+		pred := make([]*maps.TileMap, len(test))
+		for i, s := range test {
+			pm, err := m.PredictMap(s.Window)
+			if err != nil {
+				return nil, fmt.Errorf("mapred: predict %s: %w", kind, err)
+			}
+			pred[i] = pm
+		}
+		lr := LearnerResult{Kind: kind, TrainMS: float64(dt.Microseconds()) / 1e3}
+		lr.Precision, lr.Recall = maps.HotspotPR(pred, truth, m.HotThreshold(), cfg.Label.HotWeak)
+		if kind != maps.KindSVC {
+			lr.RMSE = maps.MapRMSE(pred, truth)
+		}
+		res.Learners = append(res.Learners, lr)
+	}
+	return res, nil
+}

@@ -1,0 +1,52 @@
+package mapred
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	r, err := Run(Config{Seed: 5, Windows: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Learners) != 3 {
+		t.Fatalf("got %d learners, want 3", len(r.Learners))
+	}
+	if r.TrainWins+r.TestWins != r.Windows || r.TestWins == 0 {
+		t.Fatalf("split %d+%d does not cover %d windows", r.TrainWins, r.TestWins, r.Windows)
+	}
+	for _, l := range r.Learners {
+		if l.Precision < 0 || l.Precision > 1 || l.Recall < 0 || l.Recall > 1 {
+			t.Fatalf("%s: P/R %v/%v outside [0,1]", l.Kind, l.Precision, l.Recall)
+		}
+		if l.Kind != "svc" && l.RMSE >= r.BaseRMSE {
+			t.Fatalf("%s: RMSE %.4f does not beat the zero baseline %.4f", l.Kind, l.RMSE, r.BaseRMSE)
+		}
+	}
+	out := r.String()
+	for _, want := range []string{"map regression", "ridge", "gp", "svc", "baseline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("result string missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(Config{Seed: 8, Windows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 8, Windows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wall-time fields differ between runs; compare the metric fields.
+	for i := range a.Learners {
+		a.Learners[i].TrainMS, b.Learners[i].TrainMS = 0, 0
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different results:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,55 @@
+package datasets
+
+// FuzzDatasetDecode: datasets.Decode must return a typed error — never
+// panic, never hang, never hand back an inconsistent table — on
+// arbitrary untrusted bytes. The committed files under
+// testdata/fuzz/FuzzDatasetDecode seed the corpus; scripts/fuzz.sh runs
+// the bounded sweep in CI.
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzDatasetDecode(f *testing.F) {
+	// A valid artifact seeds the interesting region of the input space.
+	d, err := Build("mfgtest-chips", Options{Seed: 1, Quick: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := d.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{"schema_version":1,"kind":"dataset","name":"x","rows":1,"cols":1,"payload_sha256":"0","payload":{"columns":[{"name":"a"}],"rows":[[1]]}}`))
+	f.Add([]byte(`{"schema_version":99,"kind":"dataset"}`))
+	f.Add([]byte(`{"schema_version":1,"kind":"model"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, cols, rows, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// On success the returned table must honor every envelope claim.
+		if env.SchemaVersion != SchemaVersion || env.Kind != KindDataset || env.Name == "" {
+			t.Fatalf("decode accepted an invalid envelope: %+v", env)
+		}
+		if len(cols) != env.Cols || len(rows) != env.Rows {
+			t.Fatalf("decode returned %d cols/%d rows, envelope says %d/%d",
+				len(cols), len(rows), env.Cols, env.Rows)
+		}
+		for i, row := range rows {
+			if len(row) != len(cols) {
+				t.Fatalf("row %d ragged after successful decode", i)
+			}
+			for j, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite value at %d,%d after successful decode", i, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package datasets
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden files freeze dataset schema v1: tiny quick-scale exports
+// of every substrate at a fixed seed, committed to testdata/. They pin
+// both the envelope format and the generators behind it — any change to
+// layout generation, stress emission, or the chip model shows up as a
+// byte diff here before it silently changes the published benchmark.
+// Regenerate only when intentionally re-baselining:
+//
+//	go test ./internal/datasets -run TestGolden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden datasets from current code")
+
+const goldenSeed = 42
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden_v1_"+name+".json")
+}
+
+func TestGoldenDatasets(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			d := buildQuick(t, name, goldenSeed)
+			got, err := d.Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath(name), got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", goldenPath(name), len(got))
+			}
+			want, err := os.ReadFile(goldenPath(name))
+			if err != nil {
+				t.Fatalf("read golden (run with -update-golden to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: current export differs from committed golden (%d vs %d bytes).\n"+
+					"The dataset is no longer reproducible from its seed — if the generator\n"+
+					"change is intentional, re-baseline with -update-golden.",
+					name, len(got), len(want))
+			}
+			// The committed artifact must decode cleanly and carry a
+			// checksum the current code agrees with.
+			env, cols, rows, err := Decode(want)
+			if err != nil {
+				t.Fatalf("%s: committed golden fails decode: %v", name, err)
+			}
+			if env.Seed != goldenSeed || len(cols) != env.Cols || len(rows) != env.Rows {
+				t.Fatalf("%s: golden envelope inconsistent: %+v", name, env)
+			}
+			cur, err := d.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cur.Checksum != env.Checksum {
+				t.Fatalf("%s: checksum drifted: golden %s, current %s", name, env.Checksum, cur.Checksum)
+			}
+		})
+	}
+}

@@ -1,0 +1,348 @@
+package isa
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Stress-program generation (ChiBench-style): instead of one wide
+// constrained-random template, a stress profile targets a specific
+// instruction-category mix and emits structured instruction groups that
+// concentrate pressure on one corner of the load-store unit — store
+// bursts that fill the store buffer, overlapping store→load hazards,
+// unrolled loop-nest address sweeps that stride across cache lines and
+// pages. This ISA is branchless (programs are straight-line, so
+// termination is structural, bounded by CycleCap), which is why
+// ChiBench's branch-heavy profile has no analog here; its slot is taken
+// by the dependency-chain "alu-heavy" profile.
+//
+// Generation is a pure function of the int64 seed: the same
+// (profile, length, seed) triple always yields the same program
+// sequence, at any worker count — the property the datasets exporter
+// and the conformance suite pin.
+
+// Mix is an instruction-category distribution (fractions sum to 1).
+type Mix struct {
+	ALU   float64 `json:"alu"`
+	Load  float64 `json:"load"`
+	Store float64 `json:"store"`
+}
+
+// StressProfile names a target instruction mix plus the structured
+// emission style that realizes it.
+type StressProfile struct {
+	Name string `json:"name"`
+	Mix  Mix    `json:"mix"`
+}
+
+// StressProfiles lists every profile in stable order.
+func StressProfiles() []StressProfile {
+	return []StressProfile{
+		{Name: "alu-heavy", Mix: Mix{ALU: 0.8, Load: 0.1, Store: 0.1}},
+		{Name: "store-heavy", Mix: Mix{ALU: 0.1, Load: 0.2, Store: 0.7}},
+		{Name: "hazard-dense", Mix: Mix{ALU: 0.2, Load: 0.4, Store: 0.4}},
+		{Name: "loop-nest", Mix: Mix{ALU: 0.3, Load: 0.35, Store: 0.35}},
+	}
+}
+
+// ProfileByName resolves a profile name.
+func ProfileByName(name string) (StressProfile, error) {
+	for _, p := range StressProfiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return StressProfile{}, fmt.Errorf("isa: unknown stress profile %q", name)
+}
+
+// MaxCyclesPerInstr bounds the simulator cost of any single instruction:
+// base cycle + line cross + page cross + TLB walk + forward-block flush
+// + cache-miss penalty is 24 cycles in the worst case; 32 leaves
+// headroom for future micro-architectural events.
+const MaxCyclesPerInstr = 32
+
+// CycleCap is the simulator cycle budget a stress program must finish
+// under. Programs are straight-line, so Machine.Run always terminates;
+// the cap turns that structural guarantee into a checkable number.
+func CycleCap(p Program) int64 { return int64(len(p)) * MaxCyclesPerInstr }
+
+// StressConfig shapes a stress generator.
+type StressConfig struct {
+	Profile string `json:"profile"` // one of StressProfiles, default "hazard-dense"
+	Len     int    `json:"len"`     // instructions per program, default 64
+}
+
+func (c *StressConfig) defaults() {
+	if c.Profile == "" {
+		c.Profile = "hazard-dense"
+	}
+	if c.Len <= 0 {
+		c.Len = 64
+	}
+}
+
+// StressGen emits stress programs for one profile. The realized
+// instruction mix of every emitted program tracks the profile's target
+// mix: each step a greedy quota picks the category with the largest
+// deficit (target·len − emitted), then the profile's group emitter
+// appends a short structured burst for that category.
+type StressGen struct {
+	cfg     StressConfig
+	profile StressProfile
+	rng     *rand.Rand
+
+	// loop-nest sweep state, reset per program.
+	sweepBase   int
+	sweepOff    int32
+	sweepStride int32
+}
+
+// NewStressGen seeds a stress generator; the emitted program sequence is
+// a pure function of (cfg, seed).
+func NewStressGen(cfg StressConfig, seed int64) (*StressGen, error) {
+	cfg.defaults()
+	p, err := ProfileByName(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	return &StressGen{cfg: cfg, profile: p, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Profile returns the generator's profile.
+func (g *StressGen) Profile() StressProfile { return g.profile }
+
+// RealizedMix measures the instruction-category fractions of a program.
+func RealizedMix(p Program) Mix {
+	if len(p) == 0 {
+		return Mix{}
+	}
+	var m Mix
+	for _, in := range p {
+		switch {
+		case in.Op.IsLoad():
+			m.Load++
+		case in.Op.IsStore():
+			m.Store++
+		default:
+			m.ALU++
+		}
+	}
+	n := float64(len(p))
+	m.ALU /= n
+	m.Load /= n
+	m.Store /= n
+	return m
+}
+
+// MixDeviation returns the largest per-category absolute difference
+// between a realized mix and a target.
+func MixDeviation(got, want Mix) float64 {
+	max := 0.0
+	for _, d := range []float64{got.ALU - want.ALU, got.Load - want.Load, got.Store - want.Store} {
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MixTolerance is the deviation bound the generator guarantees between
+// a program's realized mix and its profile target: group emission adds
+// at most a handful of instructions per quota decision, so the realized
+// fraction of any category stays within this band at the default length.
+const MixTolerance = 0.15
+
+// Next emits one stress program.
+func (g *StressGen) Next() Program {
+	programsGenerated.Inc()
+	n := g.cfg.Len
+	p := make(Program, 0, n)
+	g.resetSweep()
+	var alu, load, store int
+	for len(p) < n {
+		// Greedy quota: the category furthest below its target share of
+		// the full program gets the next group.
+		fn := float64(n)
+		dALU := g.profile.Mix.ALU*fn - float64(alu)
+		dLoad := g.profile.Mix.Load*fn - float64(load)
+		dStore := g.profile.Mix.Store*fn - float64(store)
+		switch {
+		case dALU >= dLoad && dALU >= dStore:
+			p = g.emitALU(p, n)
+		case dLoad >= dStore:
+			p = g.emitLoad(p, n)
+		default:
+			p = g.emitStore(p, n)
+		}
+		alu, load, store = 0, 0, 0
+		for _, in := range p {
+			switch {
+			case in.Op.IsLoad():
+				load++
+			case in.Op.IsStore():
+				store++
+			default:
+				alu++
+			}
+		}
+	}
+	return p[:n]
+}
+
+// Batch emits k programs.
+func (g *StressGen) Batch(k int) []Program {
+	out := make([]Program, k)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+func (g *StressGen) resetSweep() {
+	g.sweepBase = 1 + g.rng.Intn(7)
+	g.sweepOff = 0
+	// Strides near the line and page sizes so consecutive sweep accesses
+	// cross cache lines and occasionally pages.
+	strides := []int32{int32(lineBytes) - 2, int32(lineBytes) + 3, int32(pageBytes) - 3}
+	g.sweepStride = strides[g.rng.Intn(len(strides))]
+}
+
+func (g *StressGen) scratch() int { return 8 + g.rng.Intn(8) }
+
+func (g *StressGen) base() int { return 1 + g.rng.Intn(7) }
+
+func (g *StressGen) width() int { return []int{1, 2, 4}[g.rng.Intn(3)] }
+
+// stressLoadOp / stressStoreOp map widths to opcodes.
+func stressLoadOp(w int) Op {
+	switch w {
+	case 1:
+		return LB
+	case 2:
+		return LH
+	}
+	return LW
+}
+
+func stressStoreOp(w int) Op {
+	switch w {
+	case 1:
+		return SB
+	case 2:
+		return SH
+	}
+	return SW
+}
+
+// emitALU appends an ALU group. alu-heavy chains 2-4 dependent ops
+// through one scratch register (a serial dependency chain, the
+// branchless stand-in for control-heavy stress); other profiles emit a
+// single op.
+func (g *StressGen) emitALU(p Program, n int) Program {
+	ops := []Op{ADD, SUB, MUL, AND, OR, XOR, SHL, SHR}
+	chain := 1
+	if g.profile.Name == "alu-heavy" {
+		chain = 2 + g.rng.Intn(3)
+	}
+	rd := g.scratch()
+	for i := 0; i < chain && len(p) < n; i++ {
+		op := ops[g.rng.Intn(len(ops))]
+		in := Instruction{Op: op, Rd: rd, Rs1: rd, Rs2: g.rng.Intn(NumRegs)}
+		if i == 0 {
+			in.Rs1 = g.rng.Intn(NumRegs)
+		}
+		p = append(p, in)
+	}
+	return p
+}
+
+// emitLoad appends a load group. loop-nest draws the address from the
+// advancing sweep; hazard-dense biases toward recently stored addresses
+// via the shared narrow offset range.
+func (g *StressGen) emitLoad(p Program, n int) Program {
+	w := g.width()
+	in := Instruction{Op: stressLoadOp(w), Rd: g.scratch()}
+	switch g.profile.Name {
+	case "loop-nest":
+		in.Rs1, in.Imm = g.sweepBase, g.sweepAdvance()
+	case "hazard-dense":
+		in.Rs1, in.Imm = g.base(), g.hazardOffset(w)
+	default:
+		in.Rs1, in.Imm = g.base(), int32(g.rng.Intn(512))
+	}
+	return append(p, in)
+}
+
+// emitStore appends a store group: a full-buffer burst for store-heavy,
+// an overlapping store→load pair for hazard-dense, one sweep store for
+// loop-nest, a single store otherwise.
+func (g *StressGen) emitStore(p Program, n int) Program {
+	w := g.width()
+	switch g.profile.Name {
+	case "store-heavy":
+		base := g.base()
+		burst := sbDepth + 1 + g.rng.Intn(2)
+		for i := 0; i < burst && len(p) < n; i++ {
+			p = append(p, Instruction{
+				Op: stressStoreOp(w), Rd: g.rng.Intn(NumRegs),
+				Rs1: base, Imm: int32(g.rng.Intn(256)),
+			})
+		}
+		return p
+	case "hazard-dense":
+		base := g.base()
+		off := g.hazardOffset(w)
+		p = append(p, Instruction{
+			Op: stressStoreOp(w), Rd: g.rng.Intn(NumRegs), Rs1: base, Imm: off,
+		})
+		if len(p) < n {
+			// Overlapping load: same base, offset within the stored
+			// bytes, possibly a different width — the forward vs
+			// forward-block coin the LSU has to call.
+			lw := g.width()
+			d := off + int32(g.rng.Intn(w))
+			p = append(p, Instruction{
+				Op: stressLoadOp(lw), Rd: g.scratch(), Rs1: base, Imm: d,
+			})
+		}
+		return p
+	case "loop-nest":
+		return append(p, Instruction{
+			Op: stressStoreOp(w), Rd: g.rng.Intn(NumRegs),
+			Rs1: g.sweepBase, Imm: g.sweepAdvance(),
+		})
+	default:
+		return append(p, Instruction{
+			Op: stressStoreOp(w), Rd: g.rng.Intn(NumRegs),
+			Rs1: g.base(), Imm: int32(g.rng.Intn(512)),
+		})
+	}
+}
+
+// sweepAdvance returns the current sweep offset and strides forward,
+// opening a new (deeper) inner sweep when the offset leaves the
+// immediate range — the unrolled analog of advancing the outer loop
+// index of a nest.
+func (g *StressGen) sweepAdvance() int32 {
+	off := g.sweepOff
+	g.sweepOff += g.sweepStride
+	if g.sweepOff >= 4096 {
+		g.sweepOff = int32(g.rng.Intn(lineBytes))
+		g.sweepBase = 1 + g.rng.Intn(7)
+	}
+	return off
+}
+
+// hazardOffset draws from a deliberately narrow window so independent
+// store and load groups still collide in the store buffer.
+func (g *StressGen) hazardOffset(w int) int32 {
+	off := int32(g.rng.Intn(48))
+	if w > 1 && g.rng.Float64() < 0.5 {
+		// Misalign for the width: alignment class is a coverage facet.
+		off = off - off%int32(w) + 1
+	}
+	return off
+}

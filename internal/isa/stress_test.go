@@ -1,0 +1,139 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStressMixWithinTolerance validates every profile's realized
+// instruction mix against its target: the greedy quota must keep each
+// category fraction inside MixTolerance for every generated program.
+func TestStressMixWithinTolerance(t *testing.T) {
+	for _, prof := range StressProfiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			g, err := NewStressGen(StressConfig{Profile: prof.Name}, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range g.Batch(50) {
+				got := RealizedMix(p)
+				if dev := MixDeviation(got, prof.Mix); dev > MixTolerance {
+					t.Fatalf("program %d: realized mix %+v deviates %.3f from target %+v (tolerance %v)",
+						i, got, dev, prof.Mix, MixTolerance)
+				}
+			}
+		})
+	}
+}
+
+// TestStressTerminatesUnderCycleCap proves the structural termination
+// guarantee as a number: every stress program, from every profile, runs
+// to completion on the reference machine within CycleCap cycles.
+func TestStressTerminatesUnderCycleCap(t *testing.T) {
+	m := NewMachine()
+	for _, prof := range StressProfiles() {
+		g, err := NewStressGen(StressConfig{Profile: prof.Name}, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range g.Batch(30) {
+			m.Run(p)
+			if cap := CycleCap(p); m.Cycles > cap {
+				t.Fatalf("%s program %d: %d cycles exceeds cap %d (%d instrs)",
+					prof.Name, i, m.Cycles, cap, len(p))
+			}
+			if m.Cycles < int64(len(p)) {
+				t.Fatalf("%s program %d: %d cycles for %d instrs — program did not run to completion",
+					prof.Name, i, m.Cycles, len(p))
+			}
+		}
+	}
+}
+
+// TestStressPureFunctionOfSeed pins generation (and the downstream
+// feature/coverage pipeline, which SimulateBatch runs on the worker
+// pool) as a pure function of the int64 seed. scripts/check.sh sweeps
+// this test at REPRO_WORKERS=1/2/8 under -race: the batch results must
+// be identical at every worker count.
+func TestStressPureFunctionOfSeed(t *testing.T) {
+	for _, prof := range StressProfiles() {
+		g1, err := NewStressGen(StressConfig{Profile: prof.Name}, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, _ := NewStressGen(StressConfig{Profile: prof.Name}, 42)
+		b1, b2 := g1.Batch(80), g2.Batch(80)
+		if !reflect.DeepEqual(b1, b2) {
+			t.Fatalf("%s: two generators with the same seed emitted different programs", prof.Name)
+		}
+		covs1, cycles1 := SimulateBatch(b1)
+		covs2, cycles2 := SimulateBatch(b2)
+		if !reflect.DeepEqual(cycles1, cycles2) {
+			t.Fatalf("%s: cycle counts differ between identical batches", prof.Name)
+		}
+		for i := range covs1 {
+			if *covs1[i] != *covs2[i] {
+				t.Fatalf("%s: coverage differs at program %d", prof.Name, i)
+			}
+		}
+		f1, f2 := FeatureBatch(b1), FeatureBatch(b2)
+		if !reflect.DeepEqual(f1, f2) {
+			t.Fatalf("%s: features differ between identical batches", prof.Name)
+		}
+		// A different seed must change the stream (profiles are not
+		// degenerate constants).
+		g3, _ := NewStressGen(StressConfig{Profile: prof.Name}, 43)
+		if reflect.DeepEqual(b1, g3.Batch(80)) {
+			t.Fatalf("%s: seed 42 and 43 emitted identical batches", prof.Name)
+		}
+	}
+}
+
+// TestStressProfilesDiffer guards against profile emitters collapsing
+// into one another: each profile's realized mix must be closer to its
+// own target than to any other profile's target.
+func TestStressProfilesDiffer(t *testing.T) {
+	profs := StressProfiles()
+	for _, prof := range profs {
+		g, err := NewStressGen(StressConfig{Profile: prof.Name, Len: 128}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Average realized mix over a few programs.
+		var avg Mix
+		const k = 10
+		for _, p := range g.Batch(k) {
+			m := RealizedMix(p)
+			avg.ALU += m.ALU / k
+			avg.Load += m.Load / k
+			avg.Store += m.Store / k
+		}
+		for _, other := range profs {
+			if other.Name == prof.Name {
+				continue
+			}
+			if MixDeviation(avg, other.Mix) < MixDeviation(avg, prof.Mix) {
+				t.Errorf("%s realized mix %+v is closer to %s's target than its own",
+					prof.Name, avg, other.Name)
+			}
+		}
+	}
+}
+
+// TestProfileByName covers the lookup's error path and stable ordering.
+func TestProfileByName(t *testing.T) {
+	if _, err := ProfileByName("no-such-profile"); err == nil {
+		t.Fatal("expected an error for an unknown profile")
+	}
+	for _, p := range StressProfiles() {
+		got, err := ProfileByName(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Fatalf("ProfileByName(%q) = %+v, %v", p.Name, got, err)
+		}
+		sum := p.Mix.ALU + p.Mix.Load + p.Mix.Store
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("%s target mix sums to %v, want 1", p.Name, sum)
+		}
+	}
+}

@@ -1,0 +1,421 @@
+// Package maps implements the spatial map-regression workload the
+// ML4EDA benchmark suites (CircuitNet, EDALearn) converge on: tile a
+// layout window into a k×k grid and predict a per-tile
+// variability/hotspot map from layout-tile features, replacing the
+// golden lithography simulation one tile at a time.
+//
+// The substrate is internal/litho: the golden reference runs the aerial
+// image model once per window and measures edge-placement sensitivity
+// along the print contour; this package bins those contour statistics
+// into per-tile truth maps, extracts mask-only features per tile
+// (density, halo density, edge-transition rate, two-scale density
+// histograms — the knowledge-in-the-kernel representation of the paper,
+// now per tile), and trains any of the repo's learners to predict the
+// map. Map-level metrics (per-tile RMSE, hotspot precision/recall at a
+// threshold) and a seeded window-level train/test split make the
+// workload a benchmark task, exported as a versioned dataset by
+// internal/datasets.
+//
+// Two structural properties the conformance suite pins:
+//
+//   - Tile features are transpose-invariant: transposing the mask maps
+//     tile (i,j) onto tile (j,i) with bit-identical features, so a
+//     fitted model's predicted map transposes exactly with the mask.
+//   - Tile scoring is row-independent: predicting tiles in any order
+//     yields bit-identical per-tile values.
+package maps
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/litho"
+)
+
+// LabelConfig shapes the tiling, the feature extraction, and the golden
+// labeling of one window.
+type LabelConfig struct {
+	N        int     `json:"n"`         // window size in pixels, default 64
+	Tile     int     `json:"tile"`      // tile size in pixels, default 16
+	Halo     int     `json:"halo"`      // feature context margin in pixels, default 4
+	Sigma    float64 `json:"sigma"`     // optical kernel sigma, default 2.5
+	MinSlope float64 `json:"min_slope"` // weak-edge slope threshold, default 0.08
+	HotWeak  float64 `json:"hot_weak"`  // weak-edge fraction above which a tile is a hotspot, default 0.25
+	Bins     int     `json:"bins"`      // histogram bins per density scale, default 6
+}
+
+// Defaults fills zero fields with the standard benchmark settings.
+func (c *LabelConfig) Defaults() {
+	if c.N <= 0 {
+		c.N = 64
+	}
+	if c.Tile <= 0 {
+		c.Tile = 16
+	}
+	if c.Halo <= 0 {
+		c.Halo = 4
+	}
+	if c.Sigma <= 0 {
+		c.Sigma = 2.5
+	}
+	if c.MinSlope <= 0 {
+		c.MinSlope = 0.08
+	}
+	if c.HotWeak <= 0 {
+		c.HotWeak = 0.25
+	}
+	if c.Bins <= 0 {
+		c.Bins = 6
+	}
+}
+
+// Validate checks the geometry: the tile grid must cover the window
+// exactly and the feature region must divide into both histogram block
+// scales.
+func (c LabelConfig) Validate() error {
+	if c.N%c.Tile != 0 {
+		return fmt.Errorf("maps: window %d not divisible by tile %d", c.N, c.Tile)
+	}
+	s := c.RegionSize()
+	if s%4 != 0 || s%8 != 0 {
+		return fmt.Errorf("maps: region size %d must divide into 4- and 8-pixel blocks", s)
+	}
+	return nil
+}
+
+// Grid returns the tiles per side.
+func (c LabelConfig) Grid() int { return c.N / c.Tile }
+
+// RegionSize returns the side of the zero-padded feature region
+// (tile plus halo on every side).
+func (c LabelConfig) RegionSize() int { return c.Tile + 2*c.Halo }
+
+// TileMap is a G×G grid of per-tile values; Vals[i*G+j] is tile row i
+// (y direction), column j (x direction).
+type TileMap struct {
+	G    int
+	Vals []float64
+}
+
+// NewTileMap allocates a zero map.
+func NewTileMap(g int) *TileMap { return &TileMap{G: g, Vals: make([]float64, g*g)} }
+
+// At returns the value of tile (i, j).
+func (m *TileMap) At(i, j int) float64 { return m.Vals[i*m.G+j] }
+
+// Set writes the value of tile (i, j).
+func (m *TileMap) Set(i, j int, v float64) { m.Vals[i*m.G+j] = v }
+
+// Clone deep-copies the map.
+func (m *TileMap) Clone() *TileMap {
+	out := NewTileMap(m.G)
+	copy(out.Vals, m.Vals)
+	return out
+}
+
+// Transpose returns the map with tile (i,j) and (j,i) swapped — the
+// oracle of the mask-transpose metamorphic relation.
+func (m *TileMap) Transpose() *TileMap {
+	out := NewTileMap(m.G)
+	for i := 0; i < m.G; i++ {
+		for j := 0; j < m.G; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// TruthMaps runs the golden lithography model once on the window and
+// bins the contour statistics per tile: Score is the mean inverse image
+// slope over the tile's contour pixels (edge-placement sensitivity,
+// higher = worse; 0 for tiles with no print contour), Weak is the
+// fraction of the tile's contour pixels below the MinSlope threshold.
+func TruthMaps(w *litho.Window, cfg LabelConfig) (score, weak *TileMap, err error) {
+	cfg.Defaults()
+	if w.N != cfg.N {
+		return nil, nil, fmt.Errorf("maps: window size %d does not match config %d", w.N, cfg.N)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	img := litho.AerialImage(w, cfg.Sigma)
+	g := cfg.Grid()
+	n := w.N
+	score, weak = NewTileMap(g), NewTileMap(g)
+	sumInv := make([]float64, g*g)
+	weakN := make([]float64, g*g)
+	contour := make([]float64, g*g)
+	for y := 1; y < n-1; y++ {
+		for x := 1; x < n-1; x++ {
+			c := img[y*n+x]
+			lo, hi := c, c
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				v := img[(y+d[1])*n+x+d[0]]
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if lo > litho.PrintThreshold || hi < litho.PrintThreshold {
+				continue
+			}
+			gx := (img[y*n+x+1] - img[y*n+x-1]) / 2
+			gy := (img[(y+1)*n+x] - img[(y-1)*n+x]) / 2
+			slope := math.Hypot(gx, gy)
+			t := (y/cfg.Tile)*g + x/cfg.Tile
+			contour[t]++
+			sumInv[t] += 1 / (slope + 1e-6)
+			if slope < cfg.MinSlope {
+				weakN[t]++
+			}
+		}
+	}
+	for t := range contour {
+		if contour[t] > 0 {
+			score.Vals[t] = sumInv[t] / contour[t]
+			weak.Vals[t] = weakN[t] / contour[t]
+		}
+	}
+	return score, weak, nil
+}
+
+// ExtractRegion copies the zero-padded feature region of tile (i, j):
+// the tile plus a Halo-pixel margin on every side, with pixels outside
+// the window read as empty (no metal). Zero padding keeps the region a
+// fixed size at the window boundary and commutes with mask transpose.
+func ExtractRegion(w *litho.Window, i, j int, cfg LabelConfig) []float64 {
+	cfg.Defaults()
+	s := cfg.RegionSize()
+	region := make([]float64, s*s)
+	y0 := i*cfg.Tile - cfg.Halo
+	x0 := j*cfg.Tile - cfg.Halo
+	for ry := 0; ry < s; ry++ {
+		y := y0 + ry
+		if y < 0 || y >= w.N {
+			continue
+		}
+		for rx := 0; rx < s; rx++ {
+			x := x0 + rx
+			if x < 0 || x >= w.N {
+				continue
+			}
+			region[ry*s+rx] = w.At(x, y)
+		}
+	}
+	return region
+}
+
+// TransposeRegion transposes a flattened s×s region in place-free form —
+// the probe-level form of the mask-transpose metamorphic transform.
+func TransposeRegion(region []float64, s int) []float64 {
+	out := make([]float64, len(region))
+	for y := 0; y < s; y++ {
+		for x := 0; x < s; x++ {
+			out[x*s+y] = region[y*s+x]
+		}
+	}
+	return out
+}
+
+// FeatureNames lists, in order, the per-tile features.
+func FeatureNames(cfg LabelConfig) []string {
+	cfg.Defaults()
+	names := []string{
+		"tile_density", // drawn fraction of the tile proper
+		"halo_density", // drawn fraction of the halo ring
+		"edge_rate",    // mask transitions per adjacent pixel pair in the region
+	}
+	for _, block := range []int{4, 8} {
+		for b := 0; b < cfg.Bins; b++ {
+			names = append(names, fmt.Sprintf("dens%d_bin%d", block, b))
+		}
+	}
+	return names
+}
+
+// RegionFeatures computes the per-tile feature vector from a flattened
+// region (as produced by ExtractRegion). Every feature is a function of
+// pixel sums and counts, so the vector is bit-identical under region
+// transpose — the invariance the conformance suite pins.
+func RegionFeatures(region []float64, cfg LabelConfig) []float64 {
+	cfg.Defaults()
+	s := cfg.RegionSize()
+	h := cfg.Halo
+	feat := make([]float64, 0, 3+2*cfg.Bins)
+
+	// Tile and halo densities. Sums of 0/1 pixels are exact integers,
+	// and transposing the region permutes the summands of the same
+	// integer totals.
+	var tileSum, haloSum float64
+	for y := 0; y < s; y++ {
+		for x := 0; x < s; x++ {
+			v := region[y*s+x]
+			if y >= h && y < s-h && x >= h && x < s-h {
+				tileSum += v
+			} else {
+				haloSum += v
+			}
+		}
+	}
+	tileArea := float64(cfg.Tile * cfg.Tile)
+	haloArea := float64(s*s) - tileArea
+	feat = append(feat, tileSum/tileArea, haloSum/haloArea)
+
+	// Edge rate: horizontal plus vertical 0↔1 transitions. Transpose
+	// swaps the two counts; the total is invariant.
+	trans := 0.0
+	for y := 0; y < s; y++ {
+		for x := 0; x+1 < s; x++ {
+			if region[y*s+x] != region[y*s+x+1] {
+				trans++
+			}
+		}
+	}
+	for x := 0; x < s; x++ {
+		for y := 0; y+1 < s; y++ {
+			if region[y*s+x] != region[(y+1)*s+x] {
+				trans++
+			}
+		}
+	}
+	feat = append(feat, trans/float64(2*s*(s-1)))
+
+	// Two-scale local density histograms: the block grid transposes
+	// with the region, so the multiset of block densities — and its
+	// histogram — is identical.
+	for _, block := range []int{4, 8} {
+		nb := s / block
+		hist := make([]float64, cfg.Bins)
+		for by := 0; by < nb; by++ {
+			for bx := 0; bx < nb; bx++ {
+				sum := 0.0
+				for y := by * block; y < (by+1)*block; y++ {
+					for x := bx * block; x < (bx+1)*block; x++ {
+						sum += region[y*s+x]
+					}
+				}
+				d := sum / float64(block*block)
+				b := int(d * float64(cfg.Bins))
+				if b >= cfg.Bins {
+					b = cfg.Bins - 1
+				}
+				hist[b]++
+			}
+		}
+		total := float64(nb * nb)
+		for b := range hist {
+			hist[b] /= total
+		}
+		feat = append(feat, hist...)
+	}
+	return feat
+}
+
+// TileFeatures extracts the feature vector of tile (i, j) directly from
+// a window.
+func TileFeatures(w *litho.Window, i, j int, cfg LabelConfig) []float64 {
+	return RegionFeatures(ExtractRegion(w, i, j, cfg), cfg)
+}
+
+// Sample is one labeled window: the mask plus its golden truth maps.
+type Sample struct {
+	Window *litho.Window
+	Score  *TileMap // mean inverse edge slope per tile
+	Weak   *TileMap // weak-edge fraction per tile (the hotspot score)
+}
+
+// GenWindows draws n windows from the varpred population mix (relaxed,
+// medium, and aggressive pitches) so both hotspot and benign tiles are
+// represented.
+func GenWindows(rng *rand.Rand, n int, size int) []*litho.Window {
+	if size <= 0 {
+		size = 64
+	}
+	out := make([]*litho.Window, n)
+	for i := range out {
+		switch rng.Intn(3) {
+		case 0: // aggressive: near the resolution limit
+			out[i] = litho.Generate(rng, litho.GenConfig{N: size, MinWidth: 2, MaxWidth: 3, MinSpace: 2, MaxSpace: 4, Jog: 0.3})
+		case 1: // medium
+			out[i] = litho.Generate(rng, litho.GenConfig{N: size, MinWidth: 3, MaxWidth: 6, MinSpace: 3, MaxSpace: 7, Jog: 0.2})
+		default: // relaxed
+			out[i] = litho.Generate(rng, litho.GenConfig{N: size, MinWidth: 6, MaxWidth: 10, MinSpace: 8, MaxSpace: 14, Jog: 0.1})
+		}
+	}
+	return out
+}
+
+// BuildSamples generates n windows from the seed and labels each with
+// the golden model — the expensive step the learned map model replaces.
+func BuildSamples(seed int64, n int, cfg LabelConfig) ([]*Sample, error) {
+	cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]*Sample, n)
+	for i, w := range GenWindows(rng, n, cfg.N) {
+		score, weak, err := TruthMaps(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		samples[i] = &Sample{Window: w, Score: score, Weak: weak}
+	}
+	return samples, nil
+}
+
+// SplitSamples splits windows (not tiles) into train and test with a
+// seeded shuffle: all tiles of a window land on the same side, so the
+// evaluation never scores a tile whose neighbours were trained on.
+func SplitSamples(seed int64, samples []*Sample, trainFrac float64) (train, test []*Sample) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		trainFrac = 0.7
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(samples))
+	nTrain := int(trainFrac * float64(len(samples)))
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	if nTrain >= len(samples) && len(samples) > 1 {
+		nTrain = len(samples) - 1
+	}
+	for k, idx := range perm {
+		if k < nTrain {
+			train = append(train, samples[idx])
+		} else {
+			test = append(test, samples[idx])
+		}
+	}
+	return train, test
+}
+
+// TileDataset flattens samples into a per-tile dataset: one row per
+// tile in row-major tile order per window, features from TileFeatures,
+// response = the tile's weak-edge fraction (the hotspot score the map
+// model regresses).
+func TileDataset(samples []*Sample, cfg LabelConfig) (*dataset.Dataset, error) {
+	cfg.Defaults()
+	if len(samples) == 0 {
+		return nil, errors.New("maps: no samples")
+	}
+	g := cfg.Grid()
+	rows := make([][]float64, 0, len(samples)*g*g)
+	y := make([]float64, 0, len(samples)*g*g)
+	for _, s := range samples {
+		for i := 0; i < g; i++ {
+			for j := 0; j < g; j++ {
+				rows = append(rows, TileFeatures(s.Window, i, j, cfg))
+				y = append(y, s.Weak.At(i, j))
+			}
+		}
+	}
+	d := dataset.FromRows(rows, y)
+	d.Names = FeatureNames(cfg)
+	return d, nil
+}

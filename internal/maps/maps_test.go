@@ -1,0 +1,347 @@
+package maps
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/litho"
+)
+
+func testCfg() LabelConfig {
+	var c LabelConfig
+	c.Defaults()
+	return c
+}
+
+func transposeWindow(w *litho.Window) *litho.Window {
+	out := litho.NewWindow(w.N)
+	for y := 0; y < w.N; y++ {
+		for x := 0; x < w.N; x++ {
+			out.Set(y, x, w.At(x, y))
+		}
+	}
+	return out
+}
+
+func TestTileMapTranspose(t *testing.T) {
+	m := NewTileMap(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	tr := m.Transpose()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if tr.At(j, i) != m.At(i, j) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if !reflect.DeepEqual(tr.Transpose(), m) {
+		t.Fatal("double transpose is not the identity")
+	}
+}
+
+// TestRegionFeaturesTransposeInvariant pins the structural property the
+// conformance suite builds on: every tile feature is bit-identical
+// under region transpose.
+func TestRegionFeaturesTransposeInvariant(t *testing.T) {
+	cfg := testCfg()
+	rng := rand.New(rand.NewSource(5))
+	s := cfg.RegionSize()
+	for trial := 0; trial < 20; trial++ {
+		region := make([]float64, s*s)
+		for i := range region {
+			if rng.Float64() < 0.4 {
+				region[i] = 1
+			}
+		}
+		a := RegionFeatures(region, cfg)
+		b := RegionFeatures(TransposeRegion(region, s), cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: features differ under transpose:\n%v\n%v", trial, a, b)
+		}
+	}
+}
+
+// TestExtractRegionCommutesWithTranspose: the region of tile (j,i) in
+// the transposed window is the transposed region of tile (i,j).
+func TestExtractRegionCommutesWithTranspose(t *testing.T) {
+	cfg := testCfg()
+	rng := rand.New(rand.NewSource(6))
+	w := GenWindows(rng, 1, cfg.N)[0]
+	wt := transposeWindow(w)
+	g := cfg.Grid()
+	s := cfg.RegionSize()
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			want := TransposeRegion(ExtractRegion(w, i, j, cfg), s)
+			got := ExtractRegion(wt, j, i, cfg)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("tile (%d,%d): transposed-window region mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestFeatureNamesMatchVectorLength(t *testing.T) {
+	cfg := testCfg()
+	w := litho.NewWindow(cfg.N)
+	w.FillRect(10, 10, 30, 30)
+	f := TileFeatures(w, 0, 0, cfg)
+	if len(f) != len(FeatureNames(cfg)) {
+		t.Fatalf("feature vector length %d != %d names", len(f), len(FeatureNames(cfg)))
+	}
+}
+
+func TestTruthMapsBasics(t *testing.T) {
+	cfg := testCfg()
+	rng := rand.New(rand.NewSource(7))
+	w := GenWindows(rng, 1, cfg.N)[0]
+	score, weak, err := TruthMaps(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Grid()
+	if score.G != g || weak.G != g {
+		t.Fatalf("grid %d/%d, want %d", score.G, weak.G, g)
+	}
+	anyContour := false
+	for t_ := range score.Vals {
+		v, f := score.Vals[t_], weak.Vals[t_]
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("tile %d: score %v is not a finite non-negative value", t_, v)
+		}
+		if f < 0 || f > 1 {
+			t.Fatalf("tile %d: weak fraction %v outside [0,1]", t_, f)
+		}
+		if v > 0 {
+			anyContour = true
+		}
+	}
+	if !anyContour {
+		t.Fatal("no tile saw any print contour — generator or labeling broken")
+	}
+	// An empty window has no contour at all: every tile labels 0.
+	empty := litho.NewWindow(cfg.N)
+	s0, w0, err := TruthMaps(empty, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t_ := range s0.Vals {
+		if s0.Vals[t_] != 0 || w0.Vals[t_] != 0 {
+			t.Fatalf("empty window labeled nonzero at tile %d", t_)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	c := LabelConfig{N: 60, Tile: 16}
+	c.Defaults()
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected error for 60 % 16 != 0")
+	}
+	c = testCfg()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Grid() != 4 || c.RegionSize() != 24 {
+		t.Fatalf("grid %d region %d, want 4 and 24", c.Grid(), c.RegionSize())
+	}
+}
+
+func TestSplitSamplesIsSeededAndDisjoint(t *testing.T) {
+	cfg := testCfg()
+	samples, err := BuildSamples(9, 10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr1, te1 := SplitSamples(4, samples, 0.7)
+	tr2, te2 := SplitSamples(4, samples, 0.7)
+	if !reflect.DeepEqual(tr1, tr2) || !reflect.DeepEqual(te1, te2) {
+		t.Fatal("same split seed produced different splits")
+	}
+	if len(tr1)+len(te1) != len(samples) || len(te1) == 0 {
+		t.Fatalf("split sizes %d+%d don't cover %d samples", len(tr1), len(te1), len(samples))
+	}
+	seen := map[*Sample]bool{}
+	for _, s := range tr1 {
+		seen[s] = true
+	}
+	for _, s := range te1 {
+		if seen[s] {
+			t.Fatal("a window appears in both train and test")
+		}
+	}
+	tr3, _ := SplitSamples(5, samples, 0.7)
+	if reflect.DeepEqual(tr1, tr3) {
+		t.Fatal("different split seeds produced the same split")
+	}
+}
+
+// TestMapModelEndToEnd trains all three kinds on a small corpus and
+// checks the learned maps beat the trivial predict-zero baseline on
+// RMSE (regression kinds) and produce sane PR values.
+func TestMapModelEndToEnd(t *testing.T) {
+	cfg := testCfg()
+	samples, err := BuildSamples(11, 24, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := SplitSamples(3, samples, 0.7)
+	td, err := TileDataset(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truth := make([]*TileMap, len(test))
+	for i, s := range test {
+		truth[i] = s.Weak
+	}
+	zero := make([]*TileMap, len(test))
+	for i := range zero {
+		zero[i] = NewTileMap(cfg.Grid())
+	}
+	baseline := MapRMSE(zero, truth)
+
+	for _, kind := range []ModelKind{KindRidge, KindGP, KindSVC} {
+		m, err := FitMapModel(td, FitConfig{Kind: kind, Label: cfg, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		pred := make([]*TileMap, len(test))
+		for i, s := range test {
+			pm, err := m.PredictMap(s.Window)
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			pred[i] = pm
+		}
+		p, r := HotspotPR(pred, truth, m.HotThreshold(), cfg.HotWeak)
+		if p < 0 || p > 1 || r < 0 || r > 1 {
+			t.Fatalf("%s: precision %v recall %v outside [0,1]", kind, p, r)
+		}
+		if kind == KindSVC {
+			continue // decision margins are not on the weak-fraction scale
+		}
+		rmse := MapRMSE(pred, truth)
+		if rmse >= baseline {
+			t.Fatalf("%s: map RMSE %.4f does not beat zero baseline %.4f", kind, rmse, baseline)
+		}
+	}
+}
+
+// TestScoreFeaturesRowIndependent: permuting probe rows permutes the
+// scores bit-identically (the conformance tile-permutation relation).
+func TestScoreFeaturesRowIndependent(t *testing.T) {
+	cfg := testCfg()
+	samples, err := BuildSamples(13, 12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := TileDataset(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FitMapModel(td, FitConfig{Kind: KindRidge, Label: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Grid()
+	s := cfg.RegionSize()
+	regions := linalg.NewMatrix(g*g, s*s)
+	w := samples[0].Window
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			copy(regions.Row(i*g+j), ExtractRegion(w, i, j, cfg))
+		}
+	}
+	base := m.ScoreRegions(regions)
+
+	rng := rand.New(rand.NewSource(17))
+	perm := rng.Perm(regions.Rows)
+	shuffled := linalg.NewMatrix(regions.Rows, regions.Cols)
+	for i, p := range perm {
+		copy(shuffled.Row(i), regions.Row(p))
+	}
+	got := m.ScoreRegions(shuffled)
+	for i, p := range perm {
+		if got[i] != base[p] {
+			t.Fatalf("row %d: permuted score %v != base score %v (bit-exact required)", i, got[i], base[p])
+		}
+	}
+}
+
+// TestPredictMapTransposesWithMask: the end-to-end form of the
+// transpose relation — predicting on the transposed mask yields the
+// transposed map, bit-identically.
+func TestPredictMapTransposesWithMask(t *testing.T) {
+	cfg := testCfg()
+	samples, err := BuildSamples(19, 12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := TileDataset(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []ModelKind{KindRidge, KindGP} {
+		m, err := FitMapModel(td, FitConfig{Kind: kind, Label: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := samples[1].Window
+		pm, err := m.PredictMap(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := m.PredictMap(transposeWindow(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(pt, pm.Transpose()) {
+			t.Fatalf("%s: predicted map of transposed mask is not the transposed map", kind)
+		}
+	}
+}
+
+// TestRecallSweepMonotone: recall never increases as the hotspot
+// threshold rises.
+func TestRecallSweepMonotone(t *testing.T) {
+	cfg := testCfg()
+	rng := rand.New(rand.NewSource(23))
+	g := cfg.Grid()
+	pred := make([]*TileMap, 6)
+	truth := make([]*TileMap, 6)
+	for k := range pred {
+		pred[k], truth[k] = NewTileMap(g), NewTileMap(g)
+		for t_ := range pred[k].Vals {
+			pred[k].Vals[t_] = rng.Float64()
+			truth[k].Vals[t_] = rng.Float64()
+		}
+	}
+	ths := []float64{0, 0.1, 0.25, 0.4, 0.6, 0.8, 1.01}
+	rec := RecallSweep(pred, truth, 0.5, ths)
+	for i := 1; i < len(rec); i++ {
+		if rec[i] > rec[i-1] {
+			t.Fatalf("recall rose from %v to %v as threshold went %v→%v", rec[i-1], rec[i], ths[i-1], ths[i])
+		}
+	}
+	if rec[0] != 1 {
+		t.Fatalf("recall at threshold 0 is %v, want 1 (every tile predicted hot)", rec[0])
+	}
+}
+
+func TestHotspotPRDegenerate(t *testing.T) {
+	g := 2
+	pred := []*TileMap{NewTileMap(g)}
+	truth := []*TileMap{NewTileMap(g)}
+	p, r := HotspotPR(pred, truth, 0.5, 0.5)
+	if p != 1 || r != 1 {
+		t.Fatalf("degenerate PR = %v/%v, want vacuous 1/1", p, r)
+	}
+}

@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/isa"
 	"repro/internal/mfgtest"
@@ -39,8 +40,10 @@ type Source interface {
 }
 
 // NewSource builds a named source: "isa" (constrained-random ISA
-// programs, the paper's novel-test-selection scenario) or "mfgtest"
-// (parametric chip measurements, the customer-returns scenario).
+// programs, the paper's novel-test-selection scenario), "mfgtest"
+// (parametric chip measurements, the customer-returns scenario), or
+// "isa-stress" / "isa-stress:<profile>" (ChiBench-style stress programs
+// from one instruction-mix profile, default hazard-dense).
 // shiftAt > 0 plants a distribution shift at that stream position so
 // drift-triggered refreshes can be exercised deterministically.
 func NewSource(name string, seed int64, shiftAt int) (Source, error) {
@@ -49,9 +52,12 @@ func NewSource(name string, seed int64, shiftAt int) (Source, error) {
 		return NewISASource(seed, shiftAt), nil
 	case "mfgtest":
 		return NewMfgSource(seed, shiftAt), nil
-	default:
-		return nil, fmt.Errorf("stream: unknown source %q (want isa or mfgtest)", name)
 	}
+	if name == "isa-stress" || strings.HasPrefix(name, "isa-stress:") {
+		profile := strings.TrimPrefix(strings.TrimPrefix(name, "isa-stress"), ":")
+		return NewISAStressSource(profile, seed, shiftAt)
+	}
+	return nil, fmt.Errorf("stream: unknown source %q (want isa, mfgtest, isa-stress, or isa-stress:<profile>)", name)
 }
 
 // ISASource streams constrained-random ISA programs: the generator half
@@ -116,6 +122,76 @@ func (s *ISASource) Simulate(c Candidate) SimResult {
 // CoverageCount returns the cumulative coverage-bin count across every
 // simulated candidate.
 func (s *ISASource) CoverageCount() int { return s.cov.Count() }
+
+// ISAStressSource streams stress programs from one instruction-mix
+// profile (see isa.StressProfiles). At ShiftAt the stream switches to
+// the store-heavy profile — a planted shift that concentrates pressure
+// on a different corner of the load-store unit, so features (and the
+// decision scores of a model trained on the original profile) move
+// sharply.
+type ISAStressSource struct {
+	gen     *isa.StressGen
+	seed    int64
+	machine *isa.Machine
+	cov     *isa.Coverage
+	shiftAt int
+	seq     int
+}
+
+// NewISAStressSource seeds the stress stream; an empty profile selects
+// the generator default (hazard-dense).
+func NewISAStressSource(profile string, seed int64, shiftAt int) (*ISAStressSource, error) {
+	gen, err := isa.NewStressGen(isa.StressConfig{Profile: profile}, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &ISAStressSource{
+		gen:     gen,
+		seed:    seed,
+		machine: isa.NewMachine(),
+		cov:     &isa.Coverage{},
+		shiftAt: shiftAt,
+	}, nil
+}
+
+// Name implements Source.
+func (s *ISAStressSource) Name() string { return "isa-stress:" + s.gen.Profile().Name }
+
+// Dim implements Source.
+func (s *ISAStressSource) Dim() int { return len(isa.FeatureNames) }
+
+// Next implements Source.
+func (s *ISAStressSource) Next() Candidate {
+	if s.shiftAt > 0 && s.seq == s.shiftAt && s.gen.Profile().Name != "store-heavy" {
+		// The planted shift: reseed deterministically onto the
+		// store-heavy profile (derived from the source seed so the whole
+		// stream stays a pure function of it).
+		g, err := isa.NewStressGen(isa.StressConfig{Profile: "store-heavy"}, s.seed+1)
+		if err != nil { // unreachable: the profile name is a constant
+			panic(err)
+		}
+		s.gen = g
+	}
+	p := s.gen.Next()
+	c := Candidate{Seq: s.seq, Features: isa.Features(p), payload: p}
+	s.seq++
+	return c
+}
+
+// Simulate implements Source: identical economics to ISASource.
+func (s *ISAStressSource) Simulate(c Candidate) SimResult {
+	p := c.payload.(isa.Program)
+	cov := s.machine.Run(p)
+	before := s.cov.Count()
+	s.cov.Merge(cov)
+	return SimResult{
+		Cycles: s.machine.Cycles,
+		Gain:   s.cov.Count() - before,
+	}
+}
+
+// CoverageCount returns the cumulative coverage-bin count.
+func (s *ISAStressSource) CoverageCount() int { return s.cov.Count() }
 
 // mfgCyclesPerTest is the nominal tester cost of fully characterizing
 // one parametric test — the unit the mfgtest economics are counted in.

@@ -97,6 +97,30 @@ func PermuteRowsAligned() Transform {
 	}
 }
 
+// PermuteProbesAligned reorders the probe rows; the training set is
+// untouched, so the refit model is identical and the oracle permutes
+// the original predictions the same way. Its relation pins
+// row-independent scoring: evaluating probes (tiles of a map, programs
+// of a batch) in any order must move the values bit-identically with
+// the rows.
+func PermuteProbesAligned() Transform {
+	return Transform{
+		Name: "permute-probes-aligned",
+		Apply: func(r *rand.Rand, c *Case) (*Case, Oracle) {
+			perm := r.Perm(c.Probes.Rows)
+			out := *c
+			out.Probes = permuteMatrixRows(c.Probes, perm)
+			return &out, func(pred []float64) []float64 {
+				mapped := make([]float64, len(pred))
+				for to, from := range perm {
+					mapped[to] = pred[from]
+				}
+				return mapped
+			}
+		},
+	}
+}
+
 // PermuteFeatures reorders the feature columns of the training set and
 // the probes consistently; predictions must be unchanged.
 func PermuteFeatures() Transform {

@@ -47,6 +47,16 @@ for w in 1 2 8; do
 	REPRO_WORKERS="$w" "$GO" test -race -count=1 -run 'TestAliasHammer|TestShapeIsolation' ./internal/core/colmat/
 done
 
+# The stress-program generator feeds the versioned isa-stress dataset,
+# so its seed-purity contract (same int64 seed -> same programs, same
+# simulated outcomes) must hold at every worker-pool width: the batch
+# simulate/feature fan-out must not leak nondeterminism into the export.
+echo "== stress-generator seed purity at 1/2/8 workers (race) =="
+for w in 1 2 8; do
+	echo "-- REPRO_WORKERS=$w"
+	REPRO_WORKERS="$w" "$GO" test -race -count=1 -run 'TestStressPureFunctionOfSeed' ./internal/isa/
+done
+
 # Allocation floors run WITHOUT -race: the race detector instruments
 # allocation sites and would report counts the floors were never set
 # against (alloc_test.go skips itself under -race for the same reason).

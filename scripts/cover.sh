@@ -10,8 +10,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-profile="${COVER_PROFILE:-cover.out}"
+# The profile lands in a git-ignored directory so a coverage run never
+# leaves an untracked cover.out at the repo root (or worse, commits it).
+profile="${COVER_PROFILE:-.cover/cover.out}"
 floor_file="scripts/cover_floor.txt"
+mkdir -p "$(dirname "$profile")"
 
 echo "== coverage run =="
 go test -count=1 -coverprofile="$profile" ./... | grep -v '^---' | sed 's/^ok  */ok  /'

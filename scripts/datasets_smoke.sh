@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Benchmark-dataset export smoke test: the bit-reproducibility contract
+# end to end, against the real binary.
+#
+#   1. build cmd/edamine and export every dataset at the fixed seed
+#      (quick scale — same scale the committed goldens use)
+#   2. assert each artifact's payload_sha256 against the committed
+#      expectations in scripts/datasets_checksums.txt
+#   3. re-export into a second directory and require byte-identical
+#      artifacts (the envelope carries no timestamps or build revision,
+#      so bytes are a pure function of seed + config + code)
+#   4. require each dataset card to carry the seed and the exact
+#      repro command
+#
+# CI runs this as the `datasets-smoke` job and uploads the artifacts.
+# After an intentional format or generator change, regenerate the
+# expectations:
+#
+#   go run ./cmd/edamine -seed 42 -quick datasets -out /tmp/ds &&
+#     grep -h payload_sha256 /tmp/ds/*.json  # paste into datasets_checksums.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+SEED="${DATASETS_SEED:-42}"
+OUT="${DATASETS_OUT:-.datasets-smoke}"
+EXPECT="scripts/datasets_checksums.txt"
+
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+echo "== export (seed $SEED, quick) =="
+"$GO" run ./cmd/edamine -seed "$SEED" -quick datasets -out "$OUT/a" | tee "$OUT/export.log"
+
+echo
+echo "== checksums vs $EXPECT =="
+fail=0
+while read -r name want; do
+	[ -z "$name" ] && continue
+	case "$name" in \#*) continue ;; esac
+	got="$(sed -n 's/.*"payload_sha256": "\([0-9a-f]*\)".*/\1/p' "$OUT/a/$name.json")"
+	if [ "$got" != "$want" ]; then
+		echo "FAIL: $name payload_sha256 = $got, committed expectation $want" >&2
+		fail=1
+	else
+		echo "ok: $name $got"
+	fi
+done <"$EXPECT"
+[ "$fail" -eq 0 ] || exit 1
+
+echo
+echo "== re-export must be byte-identical =="
+"$GO" run ./cmd/edamine -seed "$SEED" -quick datasets -out "$OUT/b" >/dev/null
+for f in "$OUT"/a/*.json; do
+	cmp "$f" "$OUT/b/$(basename "$f")" || {
+		echo "FAIL: re-export of $(basename "$f") differs" >&2
+		exit 1
+	}
+done
+echo "ok: all artifacts byte-identical across exports"
+
+echo
+echo "== cards carry seed + repro command =="
+for card in "$OUT"/a/*.card.md; do
+	name="$(basename "$card" .card.md)"
+	grep -q "generation seed: $SEED" "$card" || {
+		echo "FAIL: $name card does not state the seed" >&2
+		exit 1
+	}
+	grep -q -- "edamine -seed $SEED.*datasets.*-only $name" "$card" || {
+		echo "FAIL: $name card does not carry the repro command" >&2
+		exit 1
+	}
+	echo "ok: $name card"
+done
+
+echo
+echo "datasets-smoke: OK"

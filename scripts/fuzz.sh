@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Bounded fuzz sweep over the serving path's two untrusted-input
-# decoders: model artifact decoding (internal/model.FuzzModelDecode) and
-# the predict request handler (internal/serve.FuzzPredictHandler). Each
+# Bounded fuzz sweep over the untrusted-input decoders: model artifact
+# decoding (internal/model.FuzzModelDecode), the predict request handler
+# (internal/serve.FuzzPredictHandler), and benchmark-dataset artifact
+# decoding (internal/datasets.FuzzDatasetDecode). Each
 # target runs for FUZZTIME (default 30s) from its committed seed corpus;
 # any crasher Go writes to testdata/fuzz/ fails the run and should be
 # committed as a regression input once fixed.
@@ -20,6 +21,7 @@ FUZZTIME="${FUZZTIME:-30s}"
 targets=(
 	"repro/internal/model FuzzModelDecode"
 	"repro/internal/serve FuzzPredictHandler"
+	"repro/internal/datasets FuzzDatasetDecode"
 )
 
 for t in "${targets[@]}"; do
